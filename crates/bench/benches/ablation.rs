@@ -1,0 +1,104 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! clique-separator atom decomposition on/off, module-choice policy, and
+//! the three storage strategies on the real benchmark traces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use liw_sched::MachineSpec;
+use parmem_core::assignment::{assign_trace, AssignParams};
+use parmem_core::coloring::ModuleChoice;
+use parmem_core::strategies::{run_strategy, Strategy};
+use rliw_sim::pipeline::compile;
+
+fn bench_atoms_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atoms_ablation");
+    for b in workloads::benchmarks() {
+        let prog = compile(b.source, MachineSpec::with_modules(8)).unwrap();
+        let trace = prog.sched.access_trace();
+        for use_atoms in [true, false] {
+            let params = AssignParams {
+                use_atoms,
+                ..AssignParams::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(if use_atoms { "atoms" } else { "whole_graph" }, b.name),
+                &trace,
+                |bch, t| bch.iter(|| assign_trace(t, &params)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_module_choice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("module_choice");
+    let prog = compile(workloads::by_name("EXACT").unwrap().source, MachineSpec::with_modules(8)).unwrap();
+    let trace = prog.sched.access_trace();
+    for (name, choice) in [
+        ("lowest_index", ModuleChoice::LowestIndex),
+        ("least_used", ModuleChoice::LeastUsed),
+    ] {
+        let params = AssignParams {
+            module_choice: choice,
+            ..AssignParams::default()
+        };
+        group.bench_function(name, |b| b.iter(|| assign_trace(&trace, &params)));
+    }
+    group.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategies");
+    let prog = compile(workloads::by_name("FFT").unwrap().source, MachineSpec::with_modules(8)).unwrap();
+    let rt = prog.sched.regionized_trace();
+    for s in [Strategy::Stor1, Strategy::Stor2, Strategy::STOR3] {
+        group.bench_function(s.name(), |b| {
+            b.iter(|| run_strategy(&rt, s, &AssignParams::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_atoms_ablation,
+    bench_module_choice,
+    bench_strategies,
+    bench_scheduler_priority,
+    bench_optimizer
+);
+criterion_main!(benches);
+
+fn bench_scheduler_priority(c: &mut Criterion) {
+    use liw_sched::{schedule_with, ScheduleOptions, SchedulePriority};
+    let mut group = c.benchmark_group("scheduler_priority");
+    let tac = liw_ir::compile(workloads::by_name("FFT").unwrap().source).unwrap();
+    for (name, priority) in [
+        ("critical_path", SchedulePriority::CriticalPath),
+        ("program_order", SchedulePriority::ProgramOrder),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                schedule_with(
+                    &tac,
+                    MachineSpec::with_modules(8),
+                    ScheduleOptions {
+                        rename: true,
+                        priority,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer");
+    for b in workloads::benchmarks() {
+        let tac = liw_ir::compile(b.source).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(b.name), &tac, |bch, t| {
+            bch.iter(|| liw_opt::optimize(t))
+        });
+    }
+    group.finish();
+}

@@ -1,0 +1,61 @@
+//! Criterion benchmarks for the Fig. 4 coloring heuristic: scaling with
+//! graph size (the paper claims O((n+e)·log(n+e))) and comparison with
+//! plain first-fit coloring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parmem_core::baseline::first_fit_coloring;
+use parmem_core::coloring::{color_graph, ModuleChoice};
+use parmem_core::graph::ConflictGraph;
+use parmem_core::synth::{random_trace, TraceSpec};
+use parmem_core::types::ModuleSet;
+
+fn bench_coloring_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring_scaling");
+    for (values, instructions) in [(64, 200), (256, 800), (1024, 3200), (4096, 12800)] {
+        let spec = TraceSpec {
+            values,
+            instructions,
+            modules: 8,
+            min_ops: 2,
+            max_ops: 8,
+            skew: 0.8,
+        };
+        let trace = random_trace(&spec, 42);
+        let g = ConflictGraph::build(&trace);
+        group.bench_with_input(
+            BenchmarkId::new("fig4_heuristic", values),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    color_graph(g, 8, ModuleChoice::LowestIndex, |_| ModuleSet::EMPTY)
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("graph_build", values), &trace, |b, t| {
+            b.iter(|| ConflictGraph::build(t))
+        });
+    }
+    group.finish();
+}
+
+fn bench_coloring_vs_first_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring_vs_first_fit");
+    let spec = TraceSpec {
+        values: 512,
+        instructions: 1600,
+        modules: 8,
+        min_ops: 3,
+        max_ops: 8,
+        skew: 0.8,
+    };
+    let trace = random_trace(&spec, 7);
+    let g = ConflictGraph::build(&trace);
+    group.bench_function("fig4_heuristic", |b| {
+        b.iter(|| color_graph(&g, 8, ModuleChoice::LowestIndex, |_| ModuleSet::EMPTY))
+    });
+    group.bench_function("first_fit", |b| b.iter(|| first_fit_coloring(&trace)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_coloring_scaling, bench_coloring_vs_first_fit);
+criterion_main!(benches);

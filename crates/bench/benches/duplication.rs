@@ -1,0 +1,54 @@
+//! Criterion benchmarks for the two duplication algorithms (paper §2.2):
+//! per-instruction backtracking vs. the global hitting-set approach, on
+//! adversarial co-scheduled cliques of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parmem_core::assignment::{assign_trace, AssignParams, DuplicationStrategy};
+use parmem_core::duplication::hitting_set;
+use parmem_core::synth::clique_trace;
+use parmem_core::types::ValueId;
+
+fn bench_duplication_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("duplication");
+    for cliques in [1usize, 2, 4] {
+        let trace = clique_trace(4, cliques, 3, 11);
+        for (name, dup) in [
+            ("backtrack", DuplicationStrategy::Backtrack),
+            ("hitting_set", DuplicationStrategy::HittingSet),
+        ] {
+            let params = AssignParams {
+                duplication: dup,
+                ..AssignParams::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(name, cliques),
+                &trace,
+                |b, t| b.iter(|| assign_trace(t, &params)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_hitting_set_heuristic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hitting_set_heuristic");
+    for n_sets in [50usize, 200, 800] {
+        // Deterministic family of sets over 64 elements.
+        let sets: Vec<Vec<ValueId>> = (0..n_sets)
+            .map(|i| {
+                (0..(i % 4) + 1)
+                    .map(|j| ValueId(((i * 7 + j * 13) % 64) as u32))
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .into_iter()
+                    .collect()
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n_sets), &sets, |b, s| {
+            b.iter(|| hitting_set(s, 8))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_duplication_strategies, bench_hitting_set_heuristic);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! End-to-end pipeline benchmarks: compile+schedule cost, module
+//! assignment cost, and simulated execution throughput per benchmark
+//! program.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use liw_sched::MachineSpec;
+use parmem_core::assignment::AssignParams;
+use parmem_core::strategies::Strategy;
+use rliw_sim::pipeline::{assign, compile};
+use rliw_sim::ArrayPlacement;
+
+fn bench_compile_and_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_schedule");
+    for b in workloads::benchmarks() {
+        group.bench_with_input(BenchmarkId::from_parameter(b.name), &b.source, |bch, src| {
+            bch.iter(|| compile(src, MachineSpec::with_modules(8)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment");
+    for b in workloads::benchmarks() {
+        let prog = compile(b.source, MachineSpec::with_modules(8)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(b.name), &prog.sched, |bch, s| {
+            bch.iter(|| assign(s, Strategy::Stor1, &AssignParams::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(20);
+    for name in ["FFT", "SORT"] {
+        let b = workloads::by_name(name).unwrap();
+        let prog = compile(b.source, MachineSpec::with_modules(8)).unwrap();
+        let (a, _) = assign(&prog.sched, Strategy::Stor1, &AssignParams::default());
+        group.bench_function(name, |bch| {
+            bch.iter(|| rliw_sim::run(&prog.sched, &a, ArrayPlacement::Interleaved).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile_and_schedule, bench_assignment, bench_simulation);
+criterion_main!(benches);

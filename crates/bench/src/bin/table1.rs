@@ -1,0 +1,38 @@
+//! Regenerate the paper's Table 1: duplication of data under the three
+//! storage strategies, eight memory modules.
+//!
+//! Usage: `cargo run -p parmem-bench --bin table1 [-- <modules>]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "csv");
+    let k = args
+        .iter()
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(8);
+    let rows = parmem_bench::table1(k);
+    if csv {
+        println!("program,stor1_single,stor1_multi,stor2_single,stor2_multi,stor3_single,stor3_multi");
+        for r in &rows {
+            println!(
+                "{},{},{},{},{},{},{}",
+                r.program,
+                r.stor1.single,
+                r.stor1.multi,
+                r.stor2.single,
+                r.stor2.multi,
+                r.stor3.single,
+                r.stor3.multi
+            );
+        }
+        return;
+    }
+    println!("(k = {k} memory modules)");
+    print!("{}", parmem_bench::format_table1(&rows));
+    let residual: usize = rows
+        .iter()
+        .flat_map(|r| [r.stor1, r.stor2, r.stor3])
+        .map(|c| c.residual_conflicts)
+        .sum();
+    println!("\nresidual scalar conflicts across all runs: {residual}");
+}

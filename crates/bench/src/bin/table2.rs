@@ -1,0 +1,30 @@
+//! Regenerate the paper's Table 2: memory conflicts due to array accesses,
+//! `t_ave/t_min` and `t_max/t_min` for eight and four memory modules.
+//!
+//! Usage: `cargo run -p parmem-bench --bin table2`
+
+fn main() {
+    let csv = std::env::args().nth(1).as_deref() == Some("csv");
+    eprintln!("simulating all benchmarks under 4 array policies x 2 machine sizes...");
+    let rows8 = parmem_bench::table2(8);
+    let rows4 = parmem_bench::table2(4);
+    if csv {
+        println!("program,k,t_min,t_ave_analytic,t_ave_measured,t_interleaved,t_max");
+        for r in rows8.iter().chain(&rows4) {
+            println!(
+                "{},{},{},{:.2},{},{},{}",
+                r.program, r.modules, r.t_min, r.t_ave_analytic, r.t_ave_measured,
+                r.t_interleaved, r.t_max
+            );
+        }
+        return;
+    }
+    print!("{}", parmem_bench::format_table2(&rows8, &rows4));
+    println!("\ndetail (k=8): program, t_min, t_ave(analytic), t_ave(measured), t_interleaved, t_max");
+    for r in &rows8 {
+        println!(
+            "  {:<10} {:>8} {:>12.1} {:>10} {:>10} {:>8}",
+            r.program, r.t_min, r.t_ave_analytic, r.t_ave_measured, r.t_interleaved, r.t_max
+        );
+    }
+}

@@ -1,0 +1,644 @@
+//! The module assignment itself — which modules hold a copy of each data
+//! value — plus the end-to-end driver implementing the paper's overall
+//! strategy (Fig. 2):
+//!
+//! 1. build the access conflict graph,
+//! 2. decompose into atoms by clique separators,
+//! 3. color each atom with the Fig. 4 heuristic,
+//! 4. resolve the uncolorable values (`V_unassigned`) by duplication and
+//!    placement — either the backtracking algorithm (Fig. 6) or the
+//!    hitting-set algorithm (Figs. 7/9/10).
+
+use std::collections::HashSet;
+
+use crate::atoms;
+use crate::coloring::{color_graph, ModuleChoice};
+use crate::duplication::{backtrack_duplicate, hitting_set_duplicate};
+use crate::graph::ConflictGraph;
+use crate::matching;
+use crate::types::{AccessTrace, ModuleId, ModuleSet, OperandSet, ValueId};
+
+/// Where each data value's copies live. Indexed densely by [`ValueId`].
+#[derive(Clone, Debug)]
+pub struct Assignment {
+    k: usize,
+    copies: Vec<ModuleSet>,
+}
+
+impl Assignment {
+    /// An empty assignment for a machine with `k` modules.
+    pub fn new(k: usize) -> Assignment {
+        Assignment {
+            k,
+            copies: Vec::new(),
+        }
+    }
+
+    /// Number of memory modules `k`.
+    pub fn modules(&self) -> usize {
+        self.k
+    }
+
+    fn ensure(&mut self, v: ValueId) {
+        if v.index() >= self.copies.len() {
+            self.copies.resize(v.index() + 1, ModuleSet::EMPTY);
+        }
+    }
+
+    /// Modules currently holding a copy of `v` (empty set if unplaced).
+    pub fn copies(&self, v: ValueId) -> ModuleSet {
+        self.copies
+            .get(v.index())
+            .copied()
+            .unwrap_or(ModuleSet::EMPTY)
+    }
+
+    /// True if `v` has at least one copy somewhere.
+    pub fn is_placed(&self, v: ValueId) -> bool {
+        !self.copies(v).is_empty()
+    }
+
+    /// Record a copy of `v` in module `m`.
+    pub fn add_copy(&mut self, v: ValueId, m: ModuleId) {
+        assert!(m.index() < self.k, "module {m} out of range (k={})", self.k);
+        self.ensure(v);
+        self.copies[v.index()].insert(m);
+    }
+
+    /// Overwrite the copy set of `v`.
+    pub fn set_copies(&mut self, v: ValueId, set: ModuleSet) {
+        self.ensure(v);
+        self.copies[v.index()] = set;
+    }
+
+    /// All `(value, copy set)` pairs with at least one copy.
+    pub fn placed_values(&self) -> impl Iterator<Item = (ValueId, ModuleSet)> + '_ {
+        self.copies
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(i, &s)| (ValueId(i as u32), s))
+    }
+
+    /// Copy sets for an instruction's operands, in operand order.
+    pub fn operand_copy_sets(&self, inst: &OperandSet) -> Vec<ModuleSet> {
+        inst.iter().map(|v| self.copies(v)).collect()
+    }
+
+    /// Whether `inst` can fetch all operands in one parallel access.
+    pub fn instruction_conflict_free(&self, inst: &OperandSet) -> bool {
+        matching::instruction_conflict_free(&self.operand_copy_sets(inst))
+    }
+
+    /// Fetch makespan of `inst` (1 = conflict-free); `None` if an operand is
+    /// unplaced.
+    pub fn fetch_makespan(&self, inst: &OperandSet) -> Option<usize> {
+        matching::fetch_makespan(&self.operand_copy_sets(inst))
+    }
+
+    /// Number of values with exactly one copy.
+    pub fn single_copy_count(&self) -> usize {
+        self.copies.iter().filter(|s| s.len() == 1).count()
+    }
+
+    /// Number of values with more than one copy.
+    pub fn multi_copy_count(&self) -> usize {
+        self.copies.iter().filter(|s| s.len() > 1).count()
+    }
+
+    /// Total copies across all values.
+    pub fn total_copies(&self) -> usize {
+        self.copies.iter().map(|s| s.len()).sum()
+    }
+
+    /// Extra copies beyond one per placed value (the paper's "degree of
+    /// duplication").
+    pub fn extra_copies(&self) -> usize {
+        self.copies
+            .iter()
+            .filter(|s| !s.is_empty())
+            .map(|s| s.len() - 1)
+            .sum()
+    }
+
+    /// Number of instructions in `trace` that still conflict.
+    pub fn residual_conflicts(&self, trace: &AccessTrace) -> usize {
+        trace
+            .instructions
+            .iter()
+            .filter(|i| !self.instruction_conflict_free(i))
+            .count()
+    }
+}
+
+/// Which duplication/placement algorithm resolves `V_unassigned`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DuplicationStrategy {
+    /// Paper §2.2.1 — per-instruction backtracking (Fig. 6).
+    Backtrack,
+    /// Paper §2.2.2 — global hitting-set duplication with grouped placement
+    /// (Figs. 7, 9, 10). The paper's preferred algorithm.
+    #[default]
+    HittingSet,
+}
+
+/// Tunables for the end-to-end assignment.
+#[derive(Clone, Copy, Debug)]
+pub struct AssignParams {
+    /// How a colored node picks among available modules.
+    pub module_choice: ModuleChoice,
+    /// Duplication algorithm for uncolorable values.
+    pub duplication: DuplicationStrategy,
+    /// Whether to decompose the conflict graph into atoms first (paper §2.1).
+    /// Disabling this is an ablation knob; results stay correct either way.
+    pub use_atoms: bool,
+}
+
+impl Default for AssignParams {
+    fn default() -> Self {
+        AssignParams {
+            module_choice: ModuleChoice::LowestIndex,
+            duplication: DuplicationStrategy::HittingSet,
+            use_atoms: true,
+        }
+    }
+}
+
+/// Statistics from one assignment run — the numbers Table 1 reports.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AssignmentReport {
+    /// Scalars that ended with exactly one copy (Table 1 column "=1").
+    pub single_copy: usize,
+    /// Scalars that ended with multiple copies (Table 1 column ">1").
+    pub multi_copy: usize,
+    /// Total extra copies created beyond one per value.
+    pub extra_copies: usize,
+    /// Values the coloring heuristic could not color (`|V_unassigned|`).
+    pub uncolored: usize,
+    /// Number of atoms the conflict graph decomposed into.
+    pub atoms: usize,
+    /// Instructions still conflicting after duplication (should be 0 for
+    /// traces whose instructions carry at most k operands).
+    pub residual_conflicts: usize,
+    /// Copies added by the final repair sweep (0 unless a heuristic failed).
+    pub repair_copies: usize,
+}
+
+/// Run the full Fig. 2 pipeline on `trace`, starting from an empty
+/// assignment.
+pub fn assign_trace(trace: &AccessTrace, params: &AssignParams) -> (Assignment, AssignmentReport) {
+    let mut a = Assignment::new(trace.modules);
+    let report = assign_trace_into(trace, params, &mut a);
+    (a, report)
+}
+
+/// Run the pipeline on `trace`, *extending* an existing assignment: values
+/// that already have copies are treated as fixed (this is how the STOR2 and
+/// STOR3 strategies stage their work). Only values with no copies yet are
+/// colored/duplicated.
+pub fn assign_trace_into(
+    trace: &AccessTrace,
+    params: &AssignParams,
+    assignment: &mut Assignment,
+) -> AssignmentReport {
+    assert_eq!(
+        assignment.modules(),
+        trace.modules,
+        "assignment and trace must agree on module count"
+    );
+    let k = trace.modules;
+    let g = ConflictGraph::build(trace);
+
+    // --- Coloring phase ---
+    //
+    // Per connected component: decompose into atoms (paper §2.1) and color
+    // them in order, holding clique-separator vertices fixed across atoms.
+    // Tarjan's theorem guarantees a per-atom coloring extends to the whole
+    // graph, but only up to a *permutation* of colors per atom — the greedy
+    // heuristic with hard-fixed separators can therefore strand nodes an
+    // un-decomposed run would color. When that happens we fall back to
+    // coloring the whole component at once and keep the better result, so
+    // the decomposition is a pure win (smaller graphs) and never a quality
+    // loss.
+    let mut n_atoms = 0usize;
+    let mut unassigned: Vec<ValueId> = Vec::new();
+    let mut seen_unassigned: HashSet<ValueId> = HashSet::new();
+
+    for comp in g.connected_components() {
+        let sub = g.induced(&comp);
+
+        let (mut colors, mut unas) = if params.use_atoms {
+            color_component_by_atoms(&sub, k, params, assignment, &mut n_atoms)
+        } else {
+            n_atoms += 1;
+            let c = color_graph(&sub, k, params.module_choice, |v| {
+                assignment.copies(sub.value(v))
+            });
+            (c.assigned, c.unassigned)
+        };
+
+        if params.use_atoms {
+            // Fall back to whole-component coloring when the atom-wise merge
+            // produced a violation (possible when stage-fixed values defeat
+            // the permutation merge) or strands more nodes than a direct run
+            // would. The direct run is valid by construction, so this keeps
+            // atom decomposition a pure efficiency feature.
+            let valid = merged_coloring_valid(&sub, &colors, assignment);
+            if !valid || !unas.is_empty() {
+                let whole = color_graph(&sub, k, params.module_choice, |v| {
+                    assignment.copies(sub.value(v))
+                });
+                if !valid || whole.unassigned.len() < unas.len() {
+                    colors = whole.assigned;
+                    unas = whole.unassigned;
+                }
+            }
+        }
+
+        for (v, m) in colors {
+            assignment.add_copy(sub.value(v), m);
+        }
+        for v in unas {
+            let val = sub.value(v);
+            if seen_unassigned.insert(val) {
+                unassigned.push(val);
+            }
+        }
+    }
+    let uncolored = unassigned.len();
+
+    // --- Duplication + placement phase ---
+    match params.duplication {
+        DuplicationStrategy::Backtrack => backtrack_duplicate(trace, &unassigned, assignment),
+        DuplicationStrategy::HittingSet => hitting_set_duplicate(trace, &unassigned, assignment),
+    }
+
+    // --- Safety net: repair any instruction the heuristics left conflicting
+    // (cannot happen for well-formed traces, but keeps the conflict-free
+    // invariant machine-checked). Only instructions with ≤ k operands can be
+    // repaired at all.
+    let repair_copies = repair(trace, &unassigned, assignment);
+
+    AssignmentReport {
+        single_copy: assignment.single_copy_count(),
+        multi_copy: assignment.multi_copy_count(),
+        extra_copies: assignment.extra_copies(),
+        uncolored,
+        atoms: n_atoms,
+        residual_conflicts: assignment.residual_conflicts(trace),
+        repair_copies,
+    }
+}
+
+/// Color one connected component atom by atom.
+///
+/// Atoms are processed in *reverse* creation order: the decomposition
+/// guarantees each earlier atom meets the union of later ones in exactly its
+/// clique separator (Leimer's running-intersection property), so in the
+/// reverse direction every atom overlaps the already-colored region in one
+/// clique. Each atom is colored *independently* and its colors are then
+/// permuted to agree on that clique — the constructive content of Tarjan's
+/// theorem. When a permutation cannot align (only possible with stage-fixed
+/// values from a previous STOR2/STOR3 stage), the atom falls back to
+/// fixed-constraint coloring; the caller validates the merge and falls back
+/// to whole-component coloring if needed.
+fn color_component_by_atoms(
+    sub: &ConflictGraph,
+    k: usize,
+    params: &AssignParams,
+    assignment: &Assignment,
+    n_atoms: &mut usize,
+) -> (Vec<(u32, ModuleId)>, Vec<u32>) {
+    let atom_sets = atoms::atoms(sub);
+    *n_atoms += atom_sets.len();
+    let mut colors: Vec<(u32, ModuleId)> = Vec::new();
+    let mut local: std::collections::HashMap<u32, ModuleId> = Default::default();
+    let mut unas: Vec<u32> = Vec::new();
+
+    for atom in atom_sets.iter().rev() {
+        let asub = sub.induced(atom);
+        let stage_fixed_present = atom
+            .iter()
+            .any(|&sv| !assignment.copies(sub.value(sv)).is_empty());
+
+        let mut merged = false;
+        if !stage_fixed_present {
+            // Independent coloring + permutation alignment.
+            let fresh = color_graph(&asub, k, params.module_choice, |_| ModuleSet::EMPTY);
+            let mut perm: Vec<Option<ModuleId>> = vec![None; k];
+            let mut used_target = ModuleSet::EMPTY;
+            let mut ok = true;
+            for &(v, m) in &fresh.assigned {
+                let sv = atom[v as usize];
+                if let Some(&target) = local.get(&sv) {
+                    match perm[m.index()] {
+                        None => {
+                            if used_target.contains(target) {
+                                ok = false;
+                                break;
+                            }
+                            perm[m.index()] = Some(target);
+                            used_target.insert(target);
+                        }
+                        Some(t) if t != target => {
+                            ok = false;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if ok {
+                // Complete the permutation over all k modules.
+                let mut free = ModuleSet::all(k).difference(used_target);
+                for slot in perm.iter_mut() {
+                    if slot.is_none() {
+                        let m = free.first().expect("bijection completes");
+                        free.remove(m);
+                        *slot = Some(m);
+                    }
+                }
+                for &(v, m) in &fresh.assigned {
+                    let sv = atom[v as usize];
+                    let target = perm[m.index()].expect("complete");
+                    if let std::collections::hash_map::Entry::Vacant(e) = local.entry(sv) {
+                        e.insert(target);
+                        colors.push((sv, target));
+                    }
+                }
+                for &v in &fresh.unassigned {
+                    let sv = atom[v as usize];
+                    if !unas.contains(&sv) && !local.contains_key(&sv) {
+                        unas.push(sv);
+                    }
+                }
+                merged = true;
+            }
+        }
+
+        if !merged {
+            // Fixed-constraint greedy (stage-fixed values present, or the
+            // permutation failed).
+            let coloring = color_graph(&asub, k, params.module_choice, |v| {
+                let sv = atom[v as usize];
+                if let Some(&m) = local.get(&sv) {
+                    ModuleSet::singleton(m)
+                } else {
+                    assignment.copies(asub.value(v))
+                }
+            });
+            for &(v, m) in &coloring.assigned {
+                let sv = atom[v as usize];
+                local.insert(sv, m);
+                colors.push((sv, m));
+            }
+            for &v in &coloring.unassigned {
+                let sv = atom[v as usize];
+                if !unas.contains(&sv) {
+                    unas.push(sv);
+                }
+            }
+        }
+    }
+
+    (colors, unas)
+}
+
+/// Check a merged per-component coloring: no edge may join two same-colored
+/// vertices, and no colored vertex may clash with a stage-fixed single-copy
+/// neighbor.
+fn merged_coloring_valid(
+    sub: &ConflictGraph,
+    colors: &[(u32, ModuleId)],
+    assignment: &Assignment,
+) -> bool {
+    let mut color: Vec<Option<ModuleId>> = vec![None; sub.len()];
+    for &(v, m) in colors {
+        color[v as usize] = Some(m);
+    }
+    for (u, v, _) in sub.edges() {
+        let cu = color[u as usize].map(ModuleSet::singleton).unwrap_or_else(|| {
+            let s = assignment.copies(sub.value(u));
+            if s.len() == 1 {
+                s
+            } else {
+                ModuleSet::EMPTY
+            }
+        });
+        let cv = color[v as usize].map(ModuleSet::singleton).unwrap_or_else(|| {
+            let s = assignment.copies(sub.value(v));
+            if s.len() == 1 {
+                s
+            } else {
+                ModuleSet::EMPTY
+            }
+        });
+        if !cu.is_empty() && cu == cv {
+            return false;
+        }
+    }
+    true
+}
+
+/// Greedy last-resort fix: for each conflicting instruction with ≤ k
+/// operands, add copies of its duplicable operands until a matching exists.
+/// Returns the number of copies added (0 in normal operation).
+fn repair(trace: &AccessTrace, unassigned: &[ValueId], assignment: &mut Assignment) -> usize {
+    let k = trace.modules;
+    let dup_ok: HashSet<ValueId> = unassigned.iter().copied().collect();
+    let mut added = 0;
+    for inst in &trace.instructions {
+        if inst.len() > k || assignment.instruction_conflict_free(inst) {
+            continue;
+        }
+        // Ensure every operand has at least one copy (unplaced values can
+        // appear if a trace mentions values the coloring never saw — not
+        // possible via the public pipeline, but cheap to guard).
+        for v in inst.iter() {
+            if !assignment.is_placed(v) {
+                let used: ModuleSet = inst
+                    .iter()
+                    .filter(|&o| o != v)
+                    .map(|o| assignment.copies(o))
+                    .fold(ModuleSet::EMPTY, |acc, s| {
+                        if s.len() == 1 {
+                            acc.union(s)
+                        } else {
+                            acc
+                        }
+                    });
+                let free = ModuleSet::all(k).difference(used);
+                let m = free.first().unwrap_or(ModuleId(0));
+                assignment.add_copy(v, m);
+                added += 1;
+            }
+        }
+        // Add copies of duplicable operands into free modules until matched.
+        while !assignment.instruction_conflict_free(inst) {
+            let occupied: ModuleSet = inst
+                .iter()
+                .map(|o| assignment.copies(o))
+                .fold(ModuleSet::EMPTY, ModuleSet::union);
+            let free = ModuleSet::all(k).difference(occupied);
+            let candidate = inst
+                .iter()
+                .filter(|v| dup_ok.contains(v) || !free.is_empty())
+                .find(|&v| assignment.copies(v).len() < k);
+            let Some(v) = candidate else { break };
+            let target = free
+                .first()
+                .or_else(|| ModuleSet::all(k).difference(assignment.copies(v)).first());
+            let Some(m) = target else { break };
+            assignment.add_copy(v, m);
+            added += 1;
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1() -> AccessTrace {
+        AccessTrace::from_lists(3, &[&[1, 2, 4], &[2, 3, 5], &[2, 3, 4]])
+    }
+
+    #[test]
+    fn assignment_bookkeeping() {
+        let mut a = Assignment::new(4);
+        a.add_copy(ValueId(2), ModuleId(1));
+        a.add_copy(ValueId(2), ModuleId(3));
+        a.add_copy(ValueId(7), ModuleId(0));
+        assert_eq!(a.copies(ValueId(2)).len(), 2);
+        assert_eq!(a.copies(ValueId(0)), ModuleSet::EMPTY);
+        assert_eq!(a.single_copy_count(), 1);
+        assert_eq!(a.multi_copy_count(), 1);
+        assert_eq!(a.total_copies(), 3);
+        assert_eq!(a.extra_copies(), 1);
+        assert!(a.is_placed(ValueId(7)));
+        assert!(!a.is_placed(ValueId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_copy_checks_module_range() {
+        let mut a = Assignment::new(2);
+        a.add_copy(ValueId(0), ModuleId(2));
+    }
+
+    #[test]
+    fn fig1_assigns_without_duplication() {
+        // Paper Fig. 1: a conflict-free single-copy assignment exists.
+        let (a, r) = assign_trace(&fig1(), &AssignParams::default());
+        assert_eq!(r.multi_copy, 0, "report: {r:?}");
+        assert_eq!(r.single_copy, 5);
+        assert_eq!(r.residual_conflicts, 0);
+        assert_eq!(r.repair_copies, 0);
+        assert_eq!(a.residual_conflicts(&fig1()), 0);
+    }
+
+    #[test]
+    fn fig1_extended_needs_duplication() {
+        // Paper §2: adding {V2 V4 V5} makes single copies insufficient.
+        let t = AccessTrace::from_lists(
+            3,
+            &[&[1, 2, 4], &[2, 3, 5], &[2, 3, 4], &[2, 4, 5]],
+        );
+        for dup in [DuplicationStrategy::Backtrack, DuplicationStrategy::HittingSet] {
+            let params = AssignParams {
+                duplication: dup,
+                ..AssignParams::default()
+            };
+            let (a, r) = assign_trace(&t, &params);
+            assert_eq!(r.residual_conflicts, 0, "{dup:?}: {r:?}");
+            assert_eq!(a.residual_conflicts(&t), 0);
+            // The paper resolves this with one extra copy (of V5).
+            assert!(
+                r.extra_copies >= 1 && r.extra_copies <= 2,
+                "{dup:?} created {} extra copies",
+                r.extra_copies
+            );
+        }
+    }
+
+    #[test]
+    fn fig1_double_extension_reaches_three_copies() {
+        // Paper §2: with {V2 V4 V5} and {V1 V4 V5} added, V5 may need a copy
+        // in every module. Whatever the heuristics choose, the result must be
+        // conflict-free.
+        let t = AccessTrace::from_lists(
+            3,
+            &[
+                &[1, 2, 4],
+                &[2, 3, 5],
+                &[2, 3, 4],
+                &[2, 4, 5],
+                &[1, 4, 5],
+            ],
+        );
+        for dup in [DuplicationStrategy::Backtrack, DuplicationStrategy::HittingSet] {
+            let params = AssignParams {
+                duplication: dup,
+                ..AssignParams::default()
+            };
+            let (a, r) = assign_trace(&t, &params);
+            assert_eq!(r.residual_conflicts, 0, "{dup:?}: {r:?}");
+            assert_eq!(a.residual_conflicts(&t), 0);
+        }
+    }
+
+    #[test]
+    fn staged_assignment_respects_fixed_values() {
+        let t = fig1();
+        let mut a = Assignment::new(3);
+        // Pre-place V2 in M2 (paper's Fig. 1 answer uses M3 for V2; any fixed
+        // choice must be honored).
+        a.add_copy(ValueId(2), ModuleId(1));
+        let r = assign_trace_into(&t, &AssignParams::default(), &mut a);
+        assert_eq!(a.copies(ValueId(2)), ModuleSet::singleton(ModuleId(1)));
+        assert_eq!(r.residual_conflicts, 0);
+    }
+
+    #[test]
+    fn atoms_toggle_gives_same_guarantee() {
+        let t = AccessTrace::from_lists(
+            3,
+            &[
+                &[1, 2, 3],
+                &[2, 3, 4],
+                &[1, 3, 4],
+                &[1, 3, 5],
+                &[2, 3, 5],
+                &[1, 4, 5],
+            ],
+        );
+        for use_atoms in [true, false] {
+            let params = AssignParams {
+                use_atoms,
+                ..AssignParams::default()
+            };
+            let (a, r) = assign_trace(&t, &params);
+            assert_eq!(r.residual_conflicts, 0, "use_atoms={use_atoms}: {r:?}");
+            assert_eq!(a.residual_conflicts(&t), 0);
+        }
+    }
+
+    #[test]
+    fn oversized_instruction_is_reported_not_repaired() {
+        // 3 operands, 2 modules: impossible; pipeline must not loop forever
+        // and must report the residual conflict.
+        let t = AccessTrace::from_lists(2, &[&[1, 2, 3]]);
+        let (_, r) = assign_trace(&t, &AssignParams::default());
+        assert_eq!(r.residual_conflicts, 1);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = AccessTrace::new(4, vec![]);
+        let (a, r) = assign_trace(&t, &AssignParams::default());
+        assert_eq!(r.single_copy, 0);
+        assert_eq!(a.total_copies(), 0);
+        assert_eq!(r.residual_conflicts, 0);
+    }
+}

@@ -1,0 +1,395 @@
+//! Decomposition of the conflict graph into *atoms* by clique separators
+//! (paper §2.1, citing Tarjan, "Decomposition by clique separators", 1985).
+//!
+//! An atom is an induced subgraph with no clique separator. Tarjan's theorem:
+//! if each atom is k-colorable then the whole graph is k-colorable, because
+//! atoms overlap only in cliques whose colorings can be permuted into
+//! agreement. The coloring heuristic therefore runs per atom.
+//!
+//! Implementation: MCS-M (Berry, Blair, Heggernes & Peyton 2004) computes a
+//! *minimal elimination ordering* and its fill; the decomposition then follows
+//! the standard algorithm (Leimer 1993 / Berry, Pogorelcnik & Simonet 2010):
+//! scan vertices in elimination order, and whenever the vertex's
+//! higher-numbered neighborhood in the *filled* graph is a clique in the
+//! original graph, it is a clique (minimal) separator that splits off an atom.
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+use crate::graph::ConflictGraph;
+
+/// Result of MCS-M: a minimal elimination ordering plus the fill edges that
+/// make the graph chordal.
+#[derive(Clone, Debug)]
+pub struct MinimalOrdering {
+    /// `order[i]` is the vertex eliminated at position `i` (0-based).
+    pub order: Vec<u32>,
+    /// `position[v]` is the index of `v` in `order`.
+    pub position: Vec<usize>,
+    /// Fill edges `(u, v)` added by the minimal triangulation.
+    pub fill: Vec<(u32, u32)>,
+}
+
+/// Run MCS-M on `g`, producing a minimal elimination ordering and fill.
+///
+/// At each step the unnumbered vertex with the largest weight is numbered
+/// (ties broken by lowest vertex id for determinism), and every unnumbered
+/// vertex reachable through strictly-smaller-weight unnumbered intermediates
+/// has its weight incremented; non-edges among those pairs become fill.
+pub fn mcs_m(g: &ConflictGraph) -> MinimalOrdering {
+    let n = g.len();
+    let mut weight = vec![0i64; n];
+    let mut numbered = vec![false; n];
+    let mut order = vec![0u32; n];
+    let mut position = vec![0usize; n];
+    let mut fill = Vec::new();
+
+    // `incoming[x]`: minimum over paths from the current vertex of the
+    // maximum intermediate weight (i64::MAX = unreached, -1 = direct edge).
+    let mut incoming = vec![i64::MAX; n];
+    let mut touched: Vec<u32> = Vec::new();
+
+    for i in (0..n).rev() {
+        // Pick unnumbered vertex of maximum weight, lowest id on ties.
+        let v = (0..n as u32)
+            .filter(|&x| !numbered[x as usize])
+            .max_by_key(|&x| (weight[x as usize], Reverse(x)))
+            .expect("an unnumbered vertex must remain");
+        order[i] = v;
+        position[v as usize] = i;
+        numbered[v as usize] = true;
+
+        // Bottleneck Dijkstra from v over unnumbered vertices. A vertex u is
+        // "reached" (∈ S) iff some path from v has all intermediates of
+        // weight < weight[u]; passing *through* x costs max(in, weight[x]).
+        let mut heap: BinaryHeap<Reverse<(i64, u32)>> = BinaryHeap::new();
+        for &u in g.neighbors(v) {
+            if !numbered[u as usize] && incoming[u as usize] > -1 {
+                if incoming[u as usize] == i64::MAX {
+                    touched.push(u);
+                }
+                incoming[u as usize] = -1;
+                heap.push(Reverse((-1, u)));
+            }
+        }
+        while let Some(Reverse((inc, x))) = heap.pop() {
+            if inc > incoming[x as usize] {
+                continue; // stale entry
+            }
+            // Can only pass through x if x qualifies as an intermediate for
+            // the next hop; the cost of doing so includes weight[x].
+            let through = inc.max(weight[x as usize]);
+            for &y in g.neighbors(x) {
+                if numbered[y as usize] || y == v {
+                    continue;
+                }
+                if through < incoming[y as usize] {
+                    if incoming[y as usize] == i64::MAX {
+                        touched.push(y);
+                    }
+                    incoming[y as usize] = through;
+                    heap.push(Reverse((through, y)));
+                }
+            }
+        }
+
+        // All touched vertices with incoming < weight[u] form S.
+        for &u in &touched {
+            if incoming[u as usize] < weight[u as usize] {
+                weight[u as usize] += 1;
+                if !g.has_edge(u, v) {
+                    fill.push((u.min(v), u.max(v)));
+                }
+            }
+            incoming[u as usize] = i64::MAX;
+        }
+        touched.clear();
+    }
+
+    fill.sort_unstable();
+    fill.dedup();
+    MinimalOrdering {
+        order,
+        position,
+        fill,
+    }
+}
+
+/// Decompose `g` into atoms: vertex sets (dense ids of `g`, ascending) such
+/// that each induced subgraph has no clique separator, and the union covers
+/// every vertex and edge of `g`. Atoms may share vertices (the separators).
+pub fn atoms(g: &ConflictGraph) -> Vec<Vec<u32>> {
+    let n = g.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mo = mcs_m(g);
+
+    // Filled-graph adjacency (original edges + fill).
+    let mut filled_adj: Vec<Vec<u32>> = (0..n).map(|v| g.neighbors(v as u32).to_vec()).collect();
+    for &(a, b) in &mo.fill {
+        filled_adj[a as usize].push(b);
+        filled_adj[b as usize].push(a);
+    }
+
+    // Working graph G'': vertices get removed as atoms split off.
+    let mut alive = vec![true; n];
+    let mut out = Vec::new();
+
+    for i in 0..n {
+        let x = mo.order[i];
+        if !alive[x as usize] {
+            continue;
+        }
+        // madj(x): higher-ordered neighbors of x in the filled graph that are
+        // still alive.
+        let madj: Vec<u32> = filled_adj[x as usize]
+            .iter()
+            .copied()
+            .filter(|&w| mo.position[w as usize] > i && alive[w as usize])
+            .collect();
+        if madj.is_empty() || !g.is_clique(&madj) {
+            continue;
+        }
+        // madj is a clique — but it only yields an atom if it genuinely
+        // *separates* x's remaining component (otherwise x's component is
+        // swept up by the final per-component pass).
+        let comp = component_of(g, x, &alive, &madj);
+        let full_comp = component_of(g, x, &alive, &[]);
+        if comp.len() + madj.len() >= full_comp.len() {
+            continue; // separator removes nothing: not a real split
+        }
+        let mut atom = comp.clone();
+        atom.extend_from_slice(&madj);
+        for &c in &comp {
+            alive[c as usize] = false;
+        }
+        out.push(sorted(atom));
+    }
+
+    // Any remaining vertices form the final atom(s) — group by component.
+    let remaining: Vec<u32> = (0..n as u32).filter(|&v| alive[v as usize]).collect();
+    if !remaining.is_empty() {
+        let mut seen = vec![false; n];
+        for &s in &remaining {
+            if seen[s as usize] {
+                continue;
+            }
+            let comp = {
+                let mut comp = Vec::new();
+                let mut stack = vec![s];
+                seen[s as usize] = true;
+                while let Some(v) = stack.pop() {
+                    comp.push(v);
+                    for &w in g.neighbors(v) {
+                        if alive[w as usize] && !seen[w as usize] {
+                            seen[w as usize] = true;
+                            stack.push(w);
+                        }
+                    }
+                }
+                comp
+            };
+            out.push(sorted(comp));
+        }
+    }
+
+    out
+}
+
+/// Connected component of `start` in the graph induced on `alive` vertices
+/// minus the `removed` separator.
+fn component_of(g: &ConflictGraph, start: u32, alive: &[bool], removed: &[u32]) -> Vec<u32> {
+    let mut blocked = vec![false; g.len()];
+    for &r in removed {
+        blocked[r as usize] = true;
+    }
+    let mut seen = vec![false; g.len()];
+    let mut comp = Vec::new();
+    let mut stack = vec![start];
+    seen[start as usize] = true;
+    while let Some(v) = stack.pop() {
+        comp.push(v);
+        for &w in g.neighbors(v) {
+            if alive[w as usize] && !blocked[w as usize] && !seen[w as usize] {
+                seen[w as usize] = true;
+                stack.push(w);
+            }
+        }
+    }
+    comp
+}
+
+fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Check that a fill set makes `g` chordal under `order` — every vertex's
+/// higher-numbered filled neighborhood must be a clique in the filled graph.
+/// Exposed for tests.
+pub fn is_filled_chordal(g: &ConflictGraph, mo: &MinimalOrdering) -> bool {
+    let n = g.len();
+    let mut filled: std::collections::HashSet<(u32, u32)> = g
+        .edges()
+        .map(|(u, v, _)| (u.min(v), u.max(v)))
+        .collect();
+    for &(a, b) in &mo.fill {
+        filled.insert((a.min(b), a.max(b)));
+    }
+    let has = |a: u32, b: u32| filled.contains(&(a.min(b), a.max(b)));
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(a, b) in &filled {
+        adj[a as usize].push(b);
+        adj[b as usize].push(a);
+    }
+    for i in 0..n {
+        let v = mo.order[i];
+        let madj: Vec<u32> = adj[v as usize]
+            .iter()
+            .copied()
+            .filter(|&w| mo.position[w as usize] > i)
+            .collect();
+        for a in 0..madj.len() {
+            for b in (a + 1)..madj.len() {
+                if !has(madj[a], madj[b]) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ConflictGraph;
+
+    fn path(n: usize) -> ConflictGraph {
+        let edges: Vec<(u32, u32, u32)> =
+            (0..n as u32 - 1).map(|i| (i, i + 1, 1)).collect();
+        ConflictGraph::from_edges(n, &edges)
+    }
+
+    fn cycle(n: usize) -> ConflictGraph {
+        let mut edges: Vec<(u32, u32, u32)> =
+            (0..n as u32 - 1).map(|i| (i, i + 1, 1)).collect();
+        edges.push((n as u32 - 1, 0, 1));
+        ConflictGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn mcs_m_on_chordal_graph_adds_no_fill() {
+        // A triangle with a pendant: already chordal.
+        let g = ConflictGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (0, 2, 1), (2, 3, 1)]);
+        let mo = mcs_m(&g);
+        assert!(mo.fill.is_empty(), "chordal graph needs no fill: {:?}", mo.fill);
+        assert!(is_filled_chordal(&g, &mo));
+    }
+
+    #[test]
+    fn mcs_m_fills_a_cycle() {
+        let g = cycle(5);
+        let mo = mcs_m(&g);
+        // A 5-cycle needs exactly 2 fill edges for a *minimal* triangulation.
+        assert_eq!(mo.fill.len(), 2, "fill: {:?}", mo.fill);
+        assert!(is_filled_chordal(&g, &mo));
+    }
+
+    #[test]
+    fn path_decomposes_into_edges() {
+        // Every internal vertex of a path is a (singleton) clique separator,
+        // so atoms are exactly the edges.
+        let g = path(5);
+        let a = atoms(&g);
+        assert_eq!(a.len(), 4, "atoms: {a:?}");
+        for atom in &a {
+            assert_eq!(atom.len(), 2);
+            assert!(g.has_edge(atom[0], atom[1]));
+        }
+    }
+
+    #[test]
+    fn cycle_is_a_single_atom() {
+        // A chordless cycle has no clique separator.
+        let g = cycle(6);
+        let a = atoms(&g);
+        assert_eq!(a.len(), 1, "atoms: {a:?}");
+        assert_eq!(a[0], vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn two_triangles_sharing_an_edge_split() {
+        // Vertices 0-1-2 and 1-2-3; the shared edge {1,2} is a clique
+        // separator, so the atoms are the two triangles.
+        let g = ConflictGraph::from_edges(
+            4,
+            &[(0, 1, 1), (0, 2, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
+        );
+        let a = atoms(&g);
+        assert_eq!(a.len(), 2, "atoms: {a:?}");
+        let mut sets: Vec<Vec<u32>> = a.clone();
+        sets.sort();
+        assert_eq!(sets, vec![vec![0, 1, 2], vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn disconnected_components_are_separate_atoms() {
+        let g = ConflictGraph::from_edges(6, &[(0, 1, 1), (1, 2, 1), (0, 2, 1), (3, 4, 1)]);
+        let a = atoms(&g);
+        // triangle {0,1,2}, edge {3,4}, isolated {5}
+        assert_eq!(a.len(), 3, "atoms: {a:?}");
+        let mut sets = a.clone();
+        sets.sort();
+        assert_eq!(sets, vec![vec![0, 1, 2], vec![3, 4], vec![5]]);
+    }
+
+    #[test]
+    fn atoms_cover_all_vertices_and_edges() {
+        // Random-ish composite graph: two cycles joined by a bridge vertex.
+        let g = ConflictGraph::from_edges(
+            9,
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 3, 1),
+                (3, 0, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 6, 1),
+                (6, 7, 1),
+                (7, 8, 1),
+                (8, 4, 1),
+            ],
+        );
+        let a = atoms(&g);
+        let mut covered = vec![false; g.len()];
+        for atom in &a {
+            for &v in atom {
+                covered[v as usize] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "all vertices covered");
+        // Every edge inside some atom.
+        for (u, v, _) in g.edges() {
+            assert!(
+                a.iter().any(|atom| atom.contains(&u) && atom.contains(&v)),
+                "edge ({u},{v}) not inside any atom"
+            );
+        }
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = ConflictGraph::from_edges(1, &[]);
+        assert_eq!(atoms(&g), vec![vec![0]]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = ConflictGraph::from_edges(0, &[]);
+        assert!(atoms(&g).is_empty());
+    }
+}

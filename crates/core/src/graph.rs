@@ -1,0 +1,343 @@
+//! The *access conflict graph* (paper §2).
+//!
+//! Nodes are data values; an edge joins two values that appear as operands of
+//! the same long instruction. Each edge carries `conf(u,v)`, the number of
+//! instructions in which both endpoints occur — the weight source for the
+//! coloring heuristic of Fig. 4.
+
+use std::collections::HashMap;
+
+use crate::types::{AccessTrace, ValueId};
+
+/// Access conflict graph over the distinct values of an [`AccessTrace`].
+///
+/// Vertices are stored densely (`0..n`) with a mapping back to [`ValueId`]s,
+/// so the coloring and decomposition algorithms can use flat arrays.
+#[derive(Clone, Debug)]
+pub struct ConflictGraph {
+    /// Dense vertex -> original value.
+    values: Vec<ValueId>,
+    /// Original value index -> dense vertex (sparse; `u32::MAX` = absent).
+    dense_of: HashMap<ValueId, u32>,
+    /// Adjacency lists, sorted ascending, no self loops, no duplicates.
+    adj: Vec<Vec<u32>>,
+    /// `conf(u, v)` for `u < v`.
+    conf: HashMap<(u32, u32), u32>,
+    /// Total number of edges.
+    edges: usize,
+}
+
+impl ConflictGraph {
+    /// Build the conflict graph of `trace`. Every pair of distinct values
+    /// co-occurring in an instruction gets an edge; multiplicity is counted
+    /// in `conf`.
+    pub fn build(trace: &AccessTrace) -> ConflictGraph {
+        Self::build_filtered(trace, |_| true)
+    }
+
+    /// Build the conflict graph considering only values for which `keep`
+    /// returns true (used by the STOR2 global/local split, where each stage
+    /// sees a projection of the instruction stream).
+    pub fn build_filtered(
+        trace: &AccessTrace,
+        mut keep: impl FnMut(ValueId) -> bool,
+    ) -> ConflictGraph {
+        let mut values: Vec<ValueId> = trace
+            .instructions
+            .iter()
+            .flat_map(|i| i.iter())
+            .filter(|&v| keep(v))
+            .collect();
+        values.sort_unstable();
+        values.dedup();
+
+        let dense_of: HashMap<ValueId, u32> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+
+        let mut conf: HashMap<(u32, u32), u32> = HashMap::new();
+        for inst in &trace.instructions {
+            let ops: Vec<u32> = inst
+                .iter()
+                .filter_map(|v| dense_of.get(&v).copied())
+                .collect();
+            for i in 0..ops.len() {
+                for j in (i + 1)..ops.len() {
+                    let (a, b) = if ops[i] < ops[j] {
+                        (ops[i], ops[j])
+                    } else {
+                        (ops[j], ops[i])
+                    };
+                    *conf.entry((a, b)).or_insert(0) += 1;
+                }
+            }
+        }
+
+        let mut adj = vec![Vec::new(); values.len()];
+        for &(a, b) in conf.keys() {
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        let edges = conf.len();
+
+        ConflictGraph {
+            values,
+            dense_of,
+            adj,
+            conf,
+            edges,
+        }
+    }
+
+    /// Build directly from dense edge lists (used by tests, the synthetic
+    /// generators, and the atom decomposition which works on subgraphs).
+    pub fn from_edges(n: usize, edge_list: &[(u32, u32, u32)]) -> ConflictGraph {
+        let values: Vec<ValueId> = (0..n as u32).map(ValueId).collect();
+        let dense_of = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        let mut conf = HashMap::new();
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b, c) in edge_list {
+            assert!(a != b, "self loops are not allowed");
+            let key = if a < b { (a, b) } else { (b, a) };
+            if conf.insert(key, c).is_none() {
+                adj[a as usize].push(b);
+                adj[b as usize].push(a);
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        let edges = conf.len();
+        ConflictGraph {
+            values,
+            dense_of,
+            adj,
+            conf,
+            edges,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// The value a dense vertex represents.
+    pub fn value(&self, v: u32) -> ValueId {
+        self.values[v as usize]
+    }
+
+    /// Dense vertex of a value, if the value occurs in the graph.
+    pub fn vertex_of(&self, v: ValueId) -> Option<u32> {
+        self.dense_of.get(&v).copied()
+    }
+
+    /// Neighbors of a dense vertex, ascending.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of a dense vertex.
+    pub fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// `conf(u, v)` — how many instructions use both endpoints (0 if no edge).
+    pub fn conf(&self, u: u32, v: u32) -> u32 {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.conf.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Whether `u` and `v` are adjacent.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.conf(u, v) > 0
+    }
+
+    /// Whether every pair of vertices in `set` is adjacent (i.e. `set`
+    /// induces a clique). Used by the clique-separator decomposition.
+    pub fn is_clique(&self, set: &[u32]) -> bool {
+        for i in 0..set.len() {
+            for j in (i + 1)..set.len() {
+                if !self.has_edge(set[i], set[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Induced subgraph on `vertices` (dense vertex ids of `self`). The
+    /// returned graph's vertex `i` corresponds to `vertices[i]`; its
+    /// `value()` mapping is preserved from the parent.
+    pub fn induced(&self, vertices: &[u32]) -> ConflictGraph {
+        let mut local = HashMap::with_capacity(vertices.len());
+        for (i, &v) in vertices.iter().enumerate() {
+            local.insert(v, i as u32);
+        }
+        let values: Vec<ValueId> = vertices.iter().map(|&v| self.value(v)).collect();
+        let dense_of = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        let mut conf = HashMap::new();
+        let mut adj = vec![Vec::new(); vertices.len()];
+        for (i, &v) in vertices.iter().enumerate() {
+            for &w in self.neighbors(v) {
+                if let Some(&j) = local.get(&w) {
+                    if (i as u32) < j {
+                        conf.insert((i as u32, j), self.conf(v, w));
+                        adj[i].push(j);
+                        adj[j as usize].push(i as u32);
+                    }
+                }
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        let edges = conf.len();
+        ConflictGraph {
+            values,
+            dense_of,
+            adj,
+            conf,
+            edges,
+        }
+    }
+
+    /// Iterate all edges as `(u, v, conf)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        self.conf.iter().map(|(&(u, v), &c)| (u, v, c))
+    }
+
+    /// Connected components as lists of dense vertices (ascending within
+    /// each component; components ordered by smallest vertex).
+    pub fn connected_components(&self) -> Vec<Vec<u32>> {
+        let n = self.len();
+        let mut seen = vec![false; n];
+        let mut comps = Vec::new();
+        let mut stack = Vec::new();
+        for s in 0..n as u32 {
+            if seen[s as usize] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            seen[s as usize] = true;
+            stack.push(s);
+            while let Some(v) = stack.pop() {
+                comp.push(v);
+                for &w in self.neighbors(v) {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::AccessTrace;
+
+    /// The Fig. 1 trace from the paper: instructions {V1 V2 V4}, {V2 V3 V5},
+    /// {V2 V3 V4} with three modules.
+    fn fig1() -> AccessTrace {
+        AccessTrace::from_lists(3, &[&[1, 2, 4], &[2, 3, 5], &[2, 3, 4]])
+    }
+
+    #[test]
+    fn builds_fig1_graph() {
+        let g = ConflictGraph::build(&fig1());
+        assert_eq!(g.len(), 5);
+        // Edges: 1-2, 1-4, 2-4, 2-3, 2-5, 3-5, 3-4.
+        assert_eq!(g.edge_count(), 7);
+        let v2 = g.vertex_of(ValueId(2)).unwrap();
+        let v3 = g.vertex_of(ValueId(3)).unwrap();
+        let v1 = g.vertex_of(ValueId(1)).unwrap();
+        let v5 = g.vertex_of(ValueId(5)).unwrap();
+        // V2 and V3 co-occur twice.
+        assert_eq!(g.conf(v2, v3), 2);
+        assert_eq!(g.conf(v1, v2), 1);
+        assert_eq!(g.conf(v1, v5), 0);
+        assert!(!g.has_edge(v1, v5));
+        assert_eq!(g.degree(v2), 4);
+    }
+
+    #[test]
+    fn filtered_build_projects_values() {
+        let t = fig1();
+        // Keep only odd values: instructions project to {1}, {3,5}, {3}.
+        let g = ConflictGraph::build_filtered(&t, |v| v.0 % 2 == 1);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.edge_count(), 1);
+        let v3 = g.vertex_of(ValueId(3)).unwrap();
+        let v5 = g.vertex_of(ValueId(5)).unwrap();
+        assert_eq!(g.conf(v3, v5), 1);
+    }
+
+    #[test]
+    fn clique_detection() {
+        let g = ConflictGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (0, 2, 1), (2, 3, 1)]);
+        let v = |i: u32| i;
+        assert!(g.is_clique(&[v(0), v(1), v(2)]));
+        assert!(!g.is_clique(&[v(0), v(1), v(3)]));
+        assert!(g.is_clique(&[v(2), v(3)]));
+        assert!(g.is_clique(&[v(0)]));
+        assert!(g.is_clique(&[]));
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_values_and_conf() {
+        let g = ConflictGraph::build(&fig1());
+        let v2 = g.vertex_of(ValueId(2)).unwrap();
+        let v3 = g.vertex_of(ValueId(3)).unwrap();
+        let v5 = g.vertex_of(ValueId(5)).unwrap();
+        let sub = g.induced(&[v2, v3, v5]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.edge_count(), 3);
+        let s2 = sub.vertex_of(ValueId(2)).unwrap();
+        let s3 = sub.vertex_of(ValueId(3)).unwrap();
+        assert_eq!(sub.conf(s2, s3), 2);
+        assert_eq!(sub.value(s2), ValueId(2));
+    }
+
+    #[test]
+    fn connected_components_split() {
+        let g = ConflictGraph::from_edges(5, &[(0, 1, 1), (2, 3, 1)]);
+        let comps = g.connected_components();
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn from_edges_dedups() {
+        let g = ConflictGraph::from_edges(3, &[(0, 1, 2), (1, 0, 2)]);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.conf(0, 1), 2);
+    }
+}

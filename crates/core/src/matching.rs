@@ -1,0 +1,236 @@
+//! Bipartite-matching utilities used to *verify* conflict freedom.
+//!
+//! An instruction with operands `o_1..o_r` is conflict-free under an
+//! assignment iff each operand can be fetched from a *different* module that
+//! holds one of its copies — i.e. iff the bipartite graph
+//! (operands × modules-with-a-copy) has a perfect matching on the operand
+//! side. This checker is independent of the constructive algorithms, so the
+//! property tests use it as ground truth.
+//!
+//! The same machinery computes the *fetch makespan* of a conflicting
+//! instruction: the smallest `L` such that operands can be served with at
+//! most `L` fetches per module (each serialized fetch costs Δ in the paper's
+//! §3 model).
+
+use crate::types::ModuleSet;
+
+/// Maximum-cardinality matching between `operands` (each a [`ModuleSet`] of
+/// modules holding a copy) and modules, where each module may serve at most
+/// `cap` operands. Returns the number of matched operands.
+///
+/// Kuhn's augmenting-path algorithm; with ≤64 modules and ≤64 operands per
+/// instruction this is effectively constant time per call.
+pub fn max_matching_with_capacity(operands: &[ModuleSet], cap: usize) -> usize {
+    match run_matching(operands, cap) {
+        Some(assigned) => assigned.iter().filter(|a| a.is_some()).count(),
+        None => 0,
+    }
+}
+
+/// Core Kuhn's algorithm with module capacities. Returns per-operand module
+/// assignments (None = unmatched), or `None` when `cap == 0`.
+fn run_matching(operands: &[ModuleSet], cap: usize) -> Option<Vec<Option<u16>>> {
+    if cap == 0 {
+        return None;
+    }
+    // owner[m] lists which operands module m currently serves.
+    let mut owner: Vec<Vec<usize>> = vec![Vec::new(); 64];
+    let mut assigned: Vec<Option<u16>> = vec![None; operands.len()];
+
+    for start in 0..operands.len() {
+        let mut visited_modules = 0u64;
+        augment(
+            start,
+            operands,
+            cap,
+            &mut owner,
+            &mut assigned,
+            &mut visited_modules,
+        );
+    }
+    Some(assigned)
+}
+
+/// Try to match `op` to some module, relocating current occupants along
+/// augmenting paths. `visited_modules` marks modules already explored in
+/// this augmentation attempt (the standard Kuhn invariant).
+fn augment(
+    op: usize,
+    operands: &[ModuleSet],
+    cap: usize,
+    owner: &mut [Vec<usize>],
+    assigned: &mut [Option<u16>],
+    visited_modules: &mut u64,
+) -> bool {
+    for m in operands[op].iter() {
+        let mi = m.index();
+        let bit = 1u64 << mi;
+        if *visited_modules & bit != 0 {
+            continue;
+        }
+        *visited_modules |= bit;
+        if owner[mi].len() < cap {
+            owner[mi].push(op);
+            assigned[op] = Some(m.0);
+            return true;
+        }
+        // Module full: try to relocate one occupant elsewhere.
+        for slot in 0..owner[mi].len() {
+            let occupant = owner[mi][slot];
+            if augment(occupant, operands, cap, owner, assigned, visited_modules) {
+                // `occupant` found a new home; take its slot.
+                owner[mi][slot] = op;
+                assigned[op] = Some(m.0);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// True iff every operand can be served by a distinct module holding one of
+/// its copies — the paper's definition of a conflict-free instruction.
+///
+/// An operand with an empty copy set (value not yet placed anywhere) makes
+/// the instruction trivially non-conflict-free.
+pub fn instruction_conflict_free(operands: &[ModuleSet]) -> bool {
+    if operands.iter().any(|s| s.is_empty()) {
+        return false;
+    }
+    max_matching_with_capacity(operands, 1) == operands.len()
+}
+
+/// Minimum fetch makespan: the smallest `L ≥ 1` such that all operands can be
+/// served with at most `L` fetches per module. Equals 1 iff the instruction
+/// is conflict-free. Returns `None` if some operand has no copy at all.
+pub fn fetch_makespan(operands: &[ModuleSet]) -> Option<usize> {
+    if operands.is_empty() {
+        return Some(1);
+    }
+    if operands.iter().any(|s| s.is_empty()) {
+        return None;
+    }
+    // Binary search over L; feasibility is monotone in L.
+    let (mut lo, mut hi) = (1usize, operands.len());
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if max_matching_with_capacity(operands, mid) == operands.len() {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(lo)
+}
+
+/// A minimum-makespan fetch schedule: assigns every operand to a module
+/// holding one of its copies while minimizing the maximum per-module load.
+/// Returns `(operand → module, makespan)`, or `None` if an operand has no
+/// copy anywhere. Used by the simulator to serialize conflicting fetches.
+pub fn makespan_schedule(operands: &[ModuleSet]) -> Option<(Vec<u16>, usize)> {
+    if operands.is_empty() {
+        return Some((Vec::new(), 0));
+    }
+    if operands.iter().any(|s| s.is_empty()) {
+        return None;
+    }
+    let l = fetch_makespan(operands)?;
+    let assigned = run_matching(operands, l)?;
+    Some((assigned.into_iter().map(|a| a.expect("feasible at L")).collect(), l))
+}
+
+/// One concrete conflict-free fetch schedule (operand index → module), if the
+/// instruction is conflict-free. Used by the simulator to pick which copy of
+/// each value to read.
+pub fn conflict_free_schedule(operands: &[ModuleSet]) -> Option<Vec<u16>> {
+    if operands.iter().any(|s| s.is_empty()) {
+        return None;
+    }
+    let assigned = run_matching(operands, 1)?;
+    if assigned.iter().any(|a| a.is_none()) {
+        return None;
+    }
+    Some(assigned.into_iter().map(|a| a.unwrap()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ModuleId, ModuleSet};
+
+    fn ms(modules: &[u16]) -> ModuleSet {
+        modules.iter().map(|&m| ModuleId(m)).collect()
+    }
+
+    #[test]
+    fn distinct_singletons_are_conflict_free() {
+        let ops = [ms(&[0]), ms(&[1]), ms(&[2])];
+        assert!(instruction_conflict_free(&ops));
+        assert_eq!(fetch_makespan(&ops), Some(1));
+    }
+
+    #[test]
+    fn same_module_singletons_conflict() {
+        let ops = [ms(&[0]), ms(&[0])];
+        assert!(!instruction_conflict_free(&ops));
+        assert_eq!(fetch_makespan(&ops), Some(2));
+    }
+
+    #[test]
+    fn duplicate_copy_resolves_conflict() {
+        // Two values both in M0, but one also has a copy in M1.
+        let ops = [ms(&[0]), ms(&[0, 1])];
+        assert!(instruction_conflict_free(&ops));
+    }
+
+    #[test]
+    fn augmenting_path_is_found() {
+        // op0: {M0}, op1: {M0, M1}, op2: {M1}. Needs op1 to move to M1? No:
+        // op2 needs M1, so op1 must take M0 — but op0 needs M0. Conflict.
+        let ops = [ms(&[0]), ms(&[0, 1]), ms(&[1])];
+        assert!(!instruction_conflict_free(&ops));
+        assert_eq!(fetch_makespan(&ops), Some(2));
+
+        // Give op1 a third copy: matching exists via displacement.
+        let ops = [ms(&[0]), ms(&[0, 1, 2]), ms(&[1])];
+        assert!(instruction_conflict_free(&ops));
+        let sched = conflict_free_schedule(&ops).unwrap();
+        assert_eq!(sched.len(), 3);
+        let mut seen = std::collections::HashSet::new();
+        for (i, &m) in sched.iter().enumerate() {
+            assert!(ops[i].contains(ModuleId(m)), "schedule uses a real copy");
+            assert!(seen.insert(m), "modules must be distinct");
+        }
+    }
+
+    #[test]
+    fn empty_copy_set_is_never_free() {
+        let ops = [ms(&[]), ms(&[1])];
+        assert!(!instruction_conflict_free(&ops));
+        assert_eq!(fetch_makespan(&ops), None);
+        assert!(conflict_free_schedule(&ops).is_none());
+    }
+
+    #[test]
+    fn makespan_counts_worst_module_load() {
+        // Four operands all only in M0.
+        let ops = [ms(&[0]), ms(&[0]), ms(&[0]), ms(&[0])];
+        assert_eq!(fetch_makespan(&ops), Some(4));
+        // Spread two of them to M1: loads 2 + 2.
+        let ops = [ms(&[0]), ms(&[0]), ms(&[0, 1]), ms(&[0, 1])];
+        assert_eq!(fetch_makespan(&ops), Some(2));
+    }
+
+    #[test]
+    fn empty_instruction_is_free() {
+        assert!(instruction_conflict_free(&[]));
+        assert_eq!(fetch_makespan(&[]), Some(1));
+        assert_eq!(conflict_free_schedule(&[]), Some(vec![]));
+    }
+
+    #[test]
+    fn capacity_zero_matches_nothing() {
+        let ops = [ms(&[0])];
+        assert_eq!(max_matching_with_capacity(&ops, 0), 0);
+    }
+}

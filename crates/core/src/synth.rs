@@ -1,0 +1,345 @@
+//! Synthetic access-trace generators for property tests, scaling studies and
+//! the ablation benchmarks. All generators are seeded and reproducible.
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::types::{AccessTrace, OperandSet, ValueId};
+
+/// Parameters for [`random_trace`].
+#[derive(Clone, Copy, Debug)]
+pub struct TraceSpec {
+    /// Number of distinct data values to draw from.
+    pub values: usize,
+    /// Number of long instructions.
+    pub instructions: usize,
+    /// Number of memory modules `k`.
+    pub modules: usize,
+    /// Minimum operands per instruction (inclusive).
+    pub min_ops: usize,
+    /// Maximum operands per instruction (inclusive, clamped to `modules`).
+    pub max_ops: usize,
+    /// Zipf-like skew exponent: 0.0 = uniform popularity, 1.0 ≈ natural
+    /// scalar reuse (loop counters and accumulators recur in many
+    /// instructions, like real compiled code).
+    pub skew: f64,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        TraceSpec {
+            values: 64,
+            instructions: 200,
+            modules: 8,
+            min_ops: 2,
+            max_ops: 8,
+            skew: 0.8,
+        }
+    }
+}
+
+/// A random trace with Zipf-skewed value popularity.
+pub fn random_trace(spec: &TraceSpec, seed: u64) -> AccessTrace {
+    assert!(spec.values >= 1 && spec.min_ops >= 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let max_ops = spec.max_ops.min(spec.modules).min(spec.values);
+    let min_ops = spec.min_ops.min(max_ops);
+
+    let weights: Vec<f64> = (1..=spec.values)
+        .map(|r| 1.0 / (r as f64).powf(spec.skew))
+        .collect();
+    let dist = WeightedIndex::new(&weights).expect("non-empty positive weights");
+
+    let mut instructions = Vec::with_capacity(spec.instructions);
+    for _ in 0..spec.instructions {
+        let n_ops = rng.gen_range(min_ops..=max_ops);
+        let mut ops = Vec::with_capacity(n_ops);
+        // Draw distinct values (rejection; n_ops << values in practice).
+        let mut guard = 0;
+        while ops.len() < n_ops && guard < 10_000 {
+            let v = ValueId(dist.sample(&mut rng) as u32);
+            if !ops.contains(&v) {
+                ops.push(v);
+            }
+            guard += 1;
+        }
+        instructions.push(OperandSet::new(ops));
+    }
+    AccessTrace::new(spec.modules, instructions)
+}
+
+/// A trace guaranteed to admit a conflict-free single-copy assignment: a
+/// hidden k-coloring is fixed and every instruction samples operands with
+/// pairwise-distinct hidden colors. Used to measure how often the heuristics
+/// find zero-duplication solutions when one exists.
+pub fn colorable_trace(spec: &TraceSpec, seed: u64) -> AccessTrace {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let k = spec.modules;
+    let max_ops = spec.max_ops.min(k).min(spec.values);
+    let min_ops = spec.min_ops.min(max_ops);
+
+    // Hidden color per value.
+    let hidden: Vec<usize> = (0..spec.values).map(|_| rng.gen_range(0..k)).collect();
+    // Bucket values by hidden color.
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); k];
+    for (v, &c) in hidden.iter().enumerate() {
+        buckets[c].push(v as u32);
+    }
+    let nonempty: Vec<usize> = (0..k).filter(|&c| !buckets[c].is_empty()).collect();
+
+    let mut instructions = Vec::with_capacity(spec.instructions);
+    for _ in 0..spec.instructions {
+        let n_ops = rng.gen_range(min_ops..=max_ops).min(nonempty.len());
+        // Choose n_ops distinct colors, then one value from each bucket.
+        let mut colors = nonempty.clone();
+        for i in (1..colors.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            colors.swap(i, j);
+        }
+        let ops: Vec<ValueId> = colors[..n_ops]
+            .iter()
+            .map(|&c| {
+                let b = &buckets[c];
+                ValueId(b[rng.gen_range(0..b.len())])
+            })
+            .collect();
+        instructions.push(OperandSet::new(ops));
+    }
+    AccessTrace::new(spec.modules, instructions)
+}
+
+/// An adversarial trace that forces duplication: `cliques` groups of
+/// `modules + extra` values, each group fully co-scheduled (every
+/// `modules`-sized combination of the group appears as an instruction for
+/// small groups, or a covering sample for large ones).
+pub fn clique_trace(modules: usize, cliques: usize, extra: usize, seed: u64) -> AccessTrace {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let group = modules + extra;
+    let mut instructions = Vec::new();
+    for c in 0..cliques {
+        let base = (c * group) as u32;
+        let members: Vec<ValueId> = (0..group as u32).map(|i| ValueId(base + i)).collect();
+        // Cover all pairs within the group using `modules`-sized windows, and
+        // throw in random combos so higher-order conflicts appear too.
+        for w in members.windows(modules.min(group)) {
+            instructions.push(OperandSet::new(w.to_vec()));
+        }
+        for _ in 0..group {
+            let mut combo = members.clone();
+            for i in (1..combo.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                combo.swap(i, j);
+            }
+            combo.truncate(modules.min(group));
+            instructions.push(OperandSet::new(combo));
+        }
+        // Ensure every pair co-occurs at least once (pad with pair+filler
+        // instructions if modules >= 2).
+        if modules >= 2 {
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    instructions.push(OperandSet::new(vec![members[i], members[j]]));
+                }
+            }
+        }
+    }
+    AccessTrace::new(modules, instructions)
+}
+
+/// A synthetic *regionized* workload reproducing the pressure regime where
+/// the paper's STOR2 strategy degrades (Table 1's mechanism): each region's
+/// locals form dense near-`k`-chromatic structures, and instructions mix
+/// `k-1` locals with one region-crossing global. A strategy that places the
+/// globals blind to local structure (STOR2's first stage) boxes the local
+/// coloring in; STOR1, seeing all conflicts at once, does not.
+pub fn regional_pressure_trace(
+    modules: usize,
+    regions: usize,
+    globals: usize,
+    seed: u64,
+) -> crate::strategies::RegionizedTrace {
+    use crate::strategies::RegionizedTrace;
+    assert!(modules >= 2);
+    let k = modules;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let global_ids: Vec<ValueId> = (0..globals as u32).map(ValueId).collect();
+    let mut next_local = globals as u32;
+
+    let mut region_streams = Vec::with_capacity(regions);
+    for r in 0..regions {
+        // Locals of this region: a k-clique (co-scheduled everywhere), so
+        // the locals alone need all k modules.
+        let locals: Vec<ValueId> = (0..k as u32)
+            .map(|_| {
+                let v = ValueId(next_local);
+                next_local += 1;
+                v
+            })
+            .collect();
+        let mut insts = Vec::new();
+        insts.push(OperandSet::new(locals.clone()));
+        // Word i carries global g_i plus the clique minus local l_i — so a
+        // conflict-free single-copy layout exists (give g_i the module of
+        // the local it excludes), but only if the globals' modules are
+        // chosen with the local structure in view. Globals are never
+        // co-fetched with each other, so a blind global stage sees no
+        // conflicts among them and stacks them in one module; then every
+        // local is excluded from that module and the k-clique no longer
+        // fits in k-1 modules → forced duplication. Globals rotate across
+        // regions so each is genuinely live in several regions.
+        for i in 0..k {
+            let g = global_ids[(r + i) % global_ids.len()];
+            let mut ops: Vec<ValueId> = locals
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &l)| l)
+                .collect();
+            ops.push(g);
+            insts.push(OperandSet::new(ops));
+        }
+        // A little noise: repeat a couple of the mixed words (affects conf
+        // weights, not the structure).
+        for _ in 0..2 {
+            let pick = 1 + rng.gen_range(0..k);
+            insts.push(insts[pick].clone());
+        }
+        region_streams.push(insts);
+    }
+
+    RegionizedTrace {
+        modules,
+        regions: region_streams,
+        globals: global_ids.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_trace_respects_spec() {
+        let spec = TraceSpec {
+            values: 30,
+            instructions: 100,
+            modules: 4,
+            min_ops: 2,
+            max_ops: 4,
+            skew: 0.5,
+        };
+        let t = random_trace(&spec, 1);
+        assert_eq!(t.instructions.len(), 100);
+        assert_eq!(t.modules, 4);
+        for inst in &t.instructions {
+            assert!(inst.len() >= 2 && inst.len() <= 4, "{:?}", inst);
+        }
+        assert_eq!(t.oversized_instructions(), 0);
+    }
+
+    #[test]
+    fn random_trace_is_deterministic() {
+        let spec = TraceSpec::default();
+        let a = random_trace(&spec, 99);
+        let b = random_trace(&spec, 99);
+        assert_eq!(a.instructions.len(), b.instructions.len());
+        for (x, y) in a.instructions.iter().zip(&b.instructions) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = TraceSpec::default();
+        let a = random_trace(&spec, 1);
+        let b = random_trace(&spec, 2);
+        assert!(
+            a.instructions
+                .iter()
+                .zip(&b.instructions)
+                .any(|(x, y)| x != y),
+            "seeds should change the trace"
+        );
+    }
+
+    #[test]
+    fn colorable_trace_admits_conflict_free_assignment() {
+        // By construction the hidden coloring is conflict-free; verify by
+        // reconstructing it (the generator's invariant, not the heuristic's).
+        let spec = TraceSpec {
+            values: 40,
+            instructions: 150,
+            modules: 5,
+            min_ops: 2,
+            max_ops: 5,
+            skew: 0.3,
+        };
+        let t = colorable_trace(&spec, 7);
+        // All instructions must have ≤ k operands and be pairwise colorable:
+        // the generator guarantees distinct hidden colors inside each
+        // instruction, so a valid assignment exists. Check the weaker,
+        // machine-verifiable property: the graph produced is k-colorable via
+        // the exact hidden reconstruction — i.e. no instruction has more
+        // operands than modules.
+        assert_eq!(t.oversized_instructions(), 0);
+        use crate::assignment::{assign_trace, AssignParams};
+        let (a, r) = assign_trace(&t, &AssignParams::default());
+        assert_eq!(r.residual_conflicts, 0);
+        assert_eq!(a.residual_conflicts(&t), 0);
+    }
+
+    #[test]
+    fn regional_pressure_reproduces_stor2_pathology() {
+        use crate::assignment::AssignParams;
+        use crate::strategies::{run_strategy, Strategy};
+        // k=4, 8 regions, 8 globals: a conflict-free single-copy layout
+        // exists (STOR1 finds it), but STOR2's blind global stage forces
+        // duplication — the mechanism behind the paper's Table 1.
+        let rt = regional_pressure_trace(4, 8, 8, 3);
+        let (_, r1) = run_strategy(&rt, Strategy::Stor1, &AssignParams::default());
+        let (_, r2) = run_strategy(&rt, Strategy::Stor2, &AssignParams::default());
+        assert_eq!(r1.residual_conflicts, 0);
+        assert_eq!(r2.residual_conflicts, 0);
+        assert_eq!(r1.multi_copy, 0, "STOR1 should need no duplication: {r1:?}");
+        assert!(
+            r2.multi_copy >= 4,
+            "STOR2's global stage should force duplication: {r2:?}"
+        );
+    }
+
+    #[test]
+    fn regional_pressure_globals_span_regions() {
+        let rt = regional_pressure_trace(4, 6, 6, 1);
+        assert_eq!(rt.regions.len(), 6);
+        assert_eq!(rt.globals.len(), 6);
+        // Every region's stream stays within the k-operand limit.
+        for region in &rt.regions {
+            for inst in region {
+                assert!(inst.len() <= 4);
+            }
+        }
+        // Each global really appears in at least two regions.
+        for &g in &rt.globals {
+            let n = rt
+                .regions
+                .iter()
+                .filter(|rr| rr.iter().any(|i| i.contains(g)))
+                .count();
+            assert!(n >= 2, "{g} appears in {n} regions");
+        }
+    }
+
+    #[test]
+    fn clique_trace_forces_duplication() {
+        use crate::assignment::{assign_trace, AssignParams};
+        let t = clique_trace(3, 1, 2, 3);
+        let (a, r) = assign_trace(&t, &AssignParams::default());
+        assert_eq!(r.residual_conflicts, 0, "{r:?}");
+        assert!(
+            a.multi_copy_count() > 0,
+            "a K5 co-schedule with k=3 must duplicate"
+        );
+    }
+}

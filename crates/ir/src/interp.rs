@@ -1,0 +1,300 @@
+//! Reference interpreter for TAC programs.
+//!
+//! Runs the IR directly (no scheduling, no memory model). The RLIW simulator
+//! must produce byte-identical output for the same program — the integration
+//! tests use this as ground truth.
+
+use crate::ast::Ty;
+use crate::tac::{eval_op, Instr, Operand, TacProgram, Terminator, Value};
+
+/// Result of an interpreter run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunResult {
+    /// Values printed by `print` statements, in order.
+    pub output: Vec<Value>,
+    /// Number of TAC instructions executed (terminators included). This is
+    /// the "sequential machine" cycle count used by the speed-up experiment.
+    pub steps: u64,
+}
+
+/// Errors during interpretation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunError {
+    /// Executed more than the step limit — almost certainly an infinite loop.
+    OutOfFuel,
+    /// Array index out of bounds.
+    Bounds {
+        /// Array name.
+        array: String,
+        /// Offending index.
+        index: i64,
+        /// Array length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::OutOfFuel => write!(f, "step limit exceeded"),
+            RunError::Bounds { array, index, len } => {
+                write!(f, "index {index} out of bounds for `{array}` (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+fn zero(ty: Ty) -> Value {
+    match ty {
+        Ty::Int => Value::Int(0),
+        Ty::Real => Value::Real(0.0),
+        Ty::Bool => Value::Bool(false),
+    }
+}
+
+/// Interpret `p` with a step limit (default callers use
+/// [`run`] with 100M steps).
+pub fn run_with_fuel(p: &TacProgram, mut fuel: u64) -> Result<RunResult, RunError> {
+    let mut vars: Vec<Value> = p.vars.iter().map(|v| zero(v.ty)).collect();
+    let mut arrays: Vec<Vec<Value>> = p
+        .arrays
+        .iter()
+        .map(|a| vec![zero(a.elem); a.len])
+        .collect();
+    let mut output = Vec::new();
+    let mut steps = 0u64;
+
+    let read = |vars: &[Value], o: &Operand| -> Value {
+        match o {
+            Operand::Const(c) => *c,
+            Operand::Var(v) => vars[v.index()],
+        }
+    };
+
+    let mut block = p.entry;
+    'outer: loop {
+        let b = p.block(block);
+        for inst in &b.instrs {
+            if fuel == 0 {
+                return Err(RunError::OutOfFuel);
+            }
+            fuel -= 1;
+            steps += 1;
+            match inst {
+                Instr::Compute { dest, op, lhs, rhs } => {
+                    let a = read(&vars, lhs);
+                    let b2 = rhs.as_ref().map(|r| read(&vars, r));
+                    vars[dest.index()] = eval_op(*op, a, b2);
+                }
+                Instr::Load { dest, arr, index } => {
+                    let i = read(&vars, index).as_int();
+                    let store = &arrays[arr.index()];
+                    if i < 0 || i as usize >= store.len() {
+                        return Err(RunError::Bounds {
+                            array: p.array(*arr).name.clone(),
+                            index: i,
+                            len: store.len(),
+                        });
+                    }
+                    vars[dest.index()] = store[i as usize];
+                }
+                Instr::Store { arr, index, value } => {
+                    let i = read(&vars, index).as_int();
+                    let v = read(&vars, value);
+                    let store = &mut arrays[arr.index()];
+                    if i < 0 || i as usize >= store.len() {
+                        return Err(RunError::Bounds {
+                            array: p.array(*arr).name.clone(),
+                            index: i,
+                            len: store.len(),
+                        });
+                    }
+                    store[i as usize] = v;
+                }
+                Instr::Print { value } => {
+                    output.push(read(&vars, value));
+                }
+                Instr::Select {
+                    cond,
+                    if_true,
+                    if_false,
+                    dest,
+                } => {
+                    vars[dest.index()] = if read(&vars, cond).as_bool() {
+                        read(&vars, if_true)
+                    } else {
+                        read(&vars, if_false)
+                    };
+                }
+            }
+        }
+        if fuel == 0 {
+            return Err(RunError::OutOfFuel);
+        }
+        fuel -= 1;
+        steps += 1;
+        match &b.term {
+            Terminator::Jump(t) => block = *t,
+            Terminator::Branch {
+                cond,
+                then_to,
+                else_to,
+            } => {
+                block = if read(&vars, cond).as_bool() {
+                    *then_to
+                } else {
+                    *else_to
+                };
+            }
+            Terminator::Halt => break 'outer,
+        }
+    }
+
+    Ok(RunResult { output, steps })
+}
+
+/// Interpret with a generous default step limit (10^8).
+pub fn run(p: &TacProgram) -> Result<RunResult, RunError> {
+    run_with_fuel(p, 100_000_000)
+}
+
+/// Convenience: parse, lower and run MiniLang source.
+pub fn run_source(src: &str) -> Result<RunResult, Box<dyn std::error::Error>> {
+    let ast = crate::parser::parse(src)?;
+    let tac = crate::lower::lower(&ast)?;
+    Ok(run(&tac)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outputs(src: &str) -> Vec<Value> {
+        run_source(src).unwrap().output
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        let o = outputs(
+            "program t; var x: int; begin x := 2 + 3 * 4; print x; print x - 1; end.",
+        );
+        assert_eq!(o, vec![Value::Int(14), Value::Int(13)]);
+    }
+
+    #[test]
+    fn while_loop_sums() {
+        let o = outputs(
+            "program t; var i, s: int;
+             begin
+               i := 1; s := 0;
+               while i <= 10 do begin s := s + i; i := i + 1; end;
+               print s;
+             end.",
+        );
+        assert_eq!(o, vec![Value::Int(55)]);
+    }
+
+    #[test]
+    fn for_and_downto() {
+        let o = outputs(
+            "program t; var i, s: int;
+             begin
+               s := 0;
+               for i := 1 to 4 do s := s + i;
+               print s;
+               for i := 4 downto 1 do s := s - i;
+               print s;
+             end.",
+        );
+        assert_eq!(o, vec![Value::Int(10), Value::Int(0)]);
+    }
+
+    #[test]
+    fn if_else_branches() {
+        let o = outputs(
+            "program t; var x: int;
+             begin
+               x := 5;
+               if x > 3 then print 1; else print 0;
+               if x < 3 then print 1; else print 0;
+             end.",
+        );
+        assert_eq!(o, vec![Value::Int(1), Value::Int(0)]);
+    }
+
+    #[test]
+    fn arrays_roundtrip() {
+        let o = outputs(
+            "program t; var a: array[8] of int; i: int;
+             begin
+               for i := 0 to 7 do a[i] := i * i;
+               print a[0]; print a[3]; print a[7];
+             end.",
+        );
+        assert_eq!(o, vec![Value::Int(0), Value::Int(9), Value::Int(49)]);
+    }
+
+    #[test]
+    fn real_math() {
+        let o = outputs(
+            "program t; var x: real;
+             begin x := sqrt(16.0) + 1.0 / 2.0; print x; end.",
+        );
+        assert_eq!(o, vec![Value::Real(4.5)]);
+    }
+
+    #[test]
+    fn intrinsics() {
+        let o = outputs(
+            "program t; var x: real; i: int;
+             begin
+               x := abs(-2.5); print x;
+               i := abs(-7); print i;
+               i := trunc(3.99); print i;
+               x := exp(0.0); print x;
+             end.",
+        );
+        assert_eq!(
+            o,
+            vec![
+                Value::Real(2.5),
+                Value::Int(7),
+                Value::Int(3),
+                Value::Real(1.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn variables_start_at_zero() {
+        let o = outputs("program t; var x: int; y: real; begin print x; print y; end.");
+        assert_eq!(o, vec![Value::Int(0), Value::Real(0.0)]);
+    }
+
+    #[test]
+    fn infinite_loop_runs_out_of_fuel() {
+        let ast = crate::parser::parse(
+            "program t; var x: int; begin while true do x := x + 1; end.",
+        )
+        .unwrap();
+        let tac = crate::lower::lower(&ast).unwrap();
+        assert_eq!(run_with_fuel(&tac, 1000), Err(RunError::OutOfFuel));
+    }
+
+    #[test]
+    fn bounds_error_is_reported() {
+        let r = run_source(
+            "program t; var a: array[4] of int; i: int;
+             begin i := 9; a[i] := 1; end.",
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn step_count_is_positive() {
+        let r = run_source("program t; var x: int; begin x := 1; end.").unwrap();
+        assert!(r.steps >= 2); // one instr + halt
+    }
+}

@@ -1,0 +1,531 @@
+//! Lexer for MiniLang, the small imperative language the RLIW compiler
+//! front end accepts. Pascal-flavored: keywords, identifiers, integer and
+//! real literals, and the usual operator/punctuation set.
+
+use std::fmt;
+
+/// A lexical token with its source position (for error messages).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Token kind (and payload for literals/identifiers).
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+#[allow(missing_docs)] // variants are self-describing
+pub enum TokenKind {
+    // Literals & identifiers
+    Ident(String),
+    IntLit(i64),
+    RealLit(f64),
+
+    // Keywords
+    Program,
+    Var,
+    Begin,
+    End,
+    If,
+    Then,
+    Else,
+    While,
+    Do,
+    For,
+    To,
+    Downto,
+    Print,
+    Array,
+    Of,
+    IntKw,
+    RealKw,
+    BoolKw,
+    TrueKw,
+    FalseKw,
+    And,
+    Or,
+    Not,
+    Mod,
+    Div,
+
+    // Operators / punctuation
+    Assign,    // :=
+    Plus,      // +
+    Minus,     // -
+    Star,      // *
+    Slash,     // /
+    Eq,        // =
+    Ne,        // <>
+    Lt,        // <
+    Le,        // <=
+    Gt,        // >
+    Ge,        // >=
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    Colon,
+    Dot,
+
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            Ident(s) => write!(f, "identifier `{s}`"),
+            IntLit(v) => write!(f, "integer `{v}`"),
+            RealLit(v) => write!(f, "real `{v}`"),
+            Assign => write!(f, "`:=`"),
+            Eof => write!(f, "end of input"),
+            other => write!(f, "`{}`", keyword_or_symbol(other)),
+        }
+    }
+}
+
+fn keyword_or_symbol(k: &TokenKind) -> &'static str {
+    use TokenKind::*;
+    match k {
+        Program => "program",
+        Var => "var",
+        Begin => "begin",
+        End => "end",
+        If => "if",
+        Then => "then",
+        Else => "else",
+        While => "while",
+        Do => "do",
+        For => "for",
+        To => "to",
+        Downto => "downto",
+        Print => "print",
+        Array => "array",
+        Of => "of",
+        IntKw => "int",
+        RealKw => "real",
+        BoolKw => "bool",
+        TrueKw => "true",
+        FalseKw => "false",
+        And => "and",
+        Or => "or",
+        Not => "not",
+        Mod => "mod",
+        Div => "div",
+        Plus => "+",
+        Minus => "-",
+        Star => "*",
+        Slash => "/",
+        Eq => "=",
+        Ne => "<>",
+        Lt => "<",
+        Le => "<=",
+        Gt => ">",
+        Ge => ">=",
+        LParen => "(",
+        RParen => ")",
+        LBracket => "[",
+        RBracket => "]",
+        Comma => ",",
+        Semicolon => ";",
+        Colon => ":",
+        Dot => ".",
+        _ => "?",
+    }
+}
+
+/// A lexing error with position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a whole source string. Comments are `{ ... }` (Pascal style) and
+/// `// ...` to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! err {
+        ($($arg:tt)*) => {
+            return Err(LexError { message: format!($($arg)*), line, col })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let (tline, tcol) = (line, col);
+        let mut push = |kind: TokenKind| {
+            out.push(Token {
+                kind,
+                line: tline,
+                col: tcol,
+            })
+        };
+
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '{' => {
+                // Pascal comment.
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] != b'}' {
+                    if bytes[j] == b'\n' {
+                        line += 1;
+                        col = 0;
+                    }
+                    j += 1;
+                    col += 1;
+                }
+                if j >= bytes.len() {
+                    err!("unterminated comment");
+                }
+                i = j + 1;
+                col += 2;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                    col += 1;
+                }
+                let word = &src[start..i];
+                let kind = match word.to_ascii_lowercase().as_str() {
+                    "program" => TokenKind::Program,
+                    "var" => TokenKind::Var,
+                    "begin" => TokenKind::Begin,
+                    "end" => TokenKind::End,
+                    "if" => TokenKind::If,
+                    "then" => TokenKind::Then,
+                    "else" => TokenKind::Else,
+                    "while" => TokenKind::While,
+                    "do" => TokenKind::Do,
+                    "for" => TokenKind::For,
+                    "to" => TokenKind::To,
+                    "downto" => TokenKind::Downto,
+                    "print" => TokenKind::Print,
+                    "array" => TokenKind::Array,
+                    "of" => TokenKind::Of,
+                    "int" => TokenKind::IntKw,
+                    "real" => TokenKind::RealKw,
+                    "bool" => TokenKind::BoolKw,
+                    "true" => TokenKind::TrueKw,
+                    "false" => TokenKind::FalseKw,
+                    "and" => TokenKind::And,
+                    "or" => TokenKind::Or,
+                    "not" => TokenKind::Not,
+                    "mod" => TokenKind::Mod,
+                    "div" => TokenKind::Div,
+                    _ => TokenKind::Ident(word.to_string()),
+                };
+                push(kind);
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+                // Real literal: digits '.' digits (not `..` or `1.`)
+                let is_real = i + 1 < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes[i + 1].is_ascii_digit();
+                if is_real {
+                    i += 1;
+                    col += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                        col += 1;
+                    }
+                    // Optional exponent.
+                    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                        let mut j = i + 1;
+                        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                            j += 1;
+                        }
+                        if j < bytes.len() && bytes[j].is_ascii_digit() {
+                            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                                j += 1;
+                            }
+                            col += (j - i) as u32;
+                            i = j;
+                        }
+                    }
+                    let text = &src[start..i];
+                    match text.parse::<f64>() {
+                        Ok(v) => push(TokenKind::RealLit(v)),
+                        Err(_) => err!("malformed real literal `{text}`"),
+                    }
+                } else {
+                    let text = &src[start..i];
+                    match text.parse::<i64>() {
+                        Ok(v) => push(TokenKind::IntLit(v)),
+                        Err(_) => err!("integer literal `{text}` out of range"),
+                    }
+                }
+            }
+            ':' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push(TokenKind::Assign);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push(TokenKind::Colon);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push(TokenKind::Le);
+                    i += 2;
+                    col += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    push(TokenKind::Ne);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push(TokenKind::Lt);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push(TokenKind::Ge);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push(TokenKind::Gt);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '+' => {
+                push(TokenKind::Plus);
+                i += 1;
+                col += 1;
+            }
+            '-' => {
+                push(TokenKind::Minus);
+                i += 1;
+                col += 1;
+            }
+            '*' => {
+                push(TokenKind::Star);
+                i += 1;
+                col += 1;
+            }
+            '/' => {
+                push(TokenKind::Slash);
+                i += 1;
+                col += 1;
+            }
+            '=' => {
+                push(TokenKind::Eq);
+                i += 1;
+                col += 1;
+            }
+            '(' => {
+                push(TokenKind::LParen);
+                i += 1;
+                col += 1;
+            }
+            ')' => {
+                push(TokenKind::RParen);
+                i += 1;
+                col += 1;
+            }
+            '[' => {
+                push(TokenKind::LBracket);
+                i += 1;
+                col += 1;
+            }
+            ']' => {
+                push(TokenKind::RBracket);
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                push(TokenKind::Comma);
+                i += 1;
+                col += 1;
+            }
+            ';' => {
+                push(TokenKind::Semicolon);
+                i += 1;
+                col += 1;
+            }
+            '.' => {
+                push(TokenKind::Dot);
+                i += 1;
+                col += 1;
+            }
+            other => err!("unexpected character `{other}`"),
+        }
+    }
+
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        let k = kinds("program foo; var x: int;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Program,
+                TokenKind::Ident("foo".into()),
+                TokenKind::Semicolon,
+                TokenKind::Var,
+                TokenKind::Ident("x".into()),
+                TokenKind::Colon,
+                TokenKind::IntKw,
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        let k = kinds("42 3.25 1.5e3 2.0e-2 7");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::IntLit(42),
+                TokenKind::RealLit(3.25),
+                TokenKind::RealLit(1500.0),
+                TokenKind::RealLit(0.02),
+                TokenKind::IntLit(7),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let k = kinds(":= <= >= <> < > = + - * / mod div");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Assign,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Eq,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Mod,
+                TokenKind::Div,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        let k = kinds("x { this is\na comment } y // trailing\nz");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Ident("y".into()),
+                TokenKind::Ident("z".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let k = kinds("PROGRAM Begin END");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Program,
+                TokenKind::Begin,
+                TokenKind::End,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("x\ny\n  z").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+        assert_eq!(toks[2].col, 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(lex("{ never closed").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_character() {
+        let e = lex("x # y").unwrap_err();
+        assert!(e.message.contains('#'));
+    }
+
+    #[test]
+    fn integer_dot_is_not_real() {
+        // `1.` at end (e.g. `end.`-style) must lex as IntLit + Dot.
+        let k = kinds("1.");
+        assert_eq!(k, vec![TokenKind::IntLit(1), TokenKind::Dot, TokenKind::Eof]);
+    }
+}

@@ -1,0 +1,788 @@
+//! AST → three-address-code lowering, with integrated semantic checking
+//! (symbol resolution, type checking, implicit int→real coercion).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::{self, BinOp, Decl, DeclTy, Expr, Intrinsic, LValue, Stmt, Ty, UnOp};
+use crate::tac::{
+    eval_op, ArrayId, ArrayInfo, Block, BlockId, Instr, OpCode, Operand, TacProgram,
+    Terminator, Value, VarId, VarInfo,
+};
+
+/// A semantic error with the source line it was detected on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SemaError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "semantic error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+/// Lower a parsed program to TAC. All semantic checks happen here.
+pub fn lower(ast: &ast::Program) -> Result<TacProgram, SemaError> {
+    let mut lw = Lowerer::new(&ast.name);
+    lw.declare_all(&ast.decls)?;
+    let entry = lw.new_block();
+    lw.current = entry;
+    lw.stmts(&ast.body)?;
+    lw.terminate(Terminator::Halt);
+    Ok(lw.finish(entry))
+}
+
+#[derive(Clone, Copy)]
+enum Sym {
+    Scalar(VarId, Ty),
+    Array(ArrayId, Ty),
+}
+
+struct ProtoBlock {
+    instrs: Vec<Instr>,
+    term: Option<Terminator>,
+}
+
+struct Lowerer {
+    name: String,
+    vars: Vec<VarInfo>,
+    arrays: Vec<ArrayInfo>,
+    symbols: HashMap<String, Sym>,
+    blocks: Vec<ProtoBlock>,
+    current: BlockId,
+    next_temp: u32,
+}
+
+impl Lowerer {
+    fn new(name: &str) -> Lowerer {
+        Lowerer {
+            name: name.to_string(),
+            vars: Vec::new(),
+            arrays: Vec::new(),
+            symbols: HashMap::new(),
+            blocks: Vec::new(),
+            current: BlockId(0),
+            next_temp: 0,
+        }
+    }
+
+    fn err<T>(&self, line: u32, msg: impl Into<String>) -> Result<T, SemaError> {
+        Err(SemaError {
+            message: msg.into(),
+            line,
+        })
+    }
+
+    fn declare_all(&mut self, decls: &[Decl]) -> Result<(), SemaError> {
+        for d in decls {
+            for name in &d.names {
+                if self.symbols.contains_key(name) {
+                    return self.err(d.line, format!("`{name}` declared twice"));
+                }
+                match &d.ty {
+                    DeclTy::Scalar(ty) => {
+                        let id = VarId(self.vars.len() as u32);
+                        self.vars.push(VarInfo {
+                            name: name.clone(),
+                            ty: *ty,
+                            is_temp: false,
+                        });
+                        self.symbols.insert(name.clone(), Sym::Scalar(id, *ty));
+                    }
+                    DeclTy::Array { len, elem } => {
+                        let id = ArrayId(self.arrays.len() as u32);
+                        self.arrays.push(ArrayInfo {
+                            name: name.clone(),
+                            len: *len,
+                            elem: *elem,
+                        });
+                        self.symbols.insert(name.clone(), Sym::Array(id, *elem));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn new_temp(&mut self, ty: Ty) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarInfo {
+            name: format!("t{}", self.next_temp),
+            ty,
+            is_temp: true,
+        });
+        self.next_temp += 1;
+        id
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(ProtoBlock {
+            instrs: Vec::new(),
+            term: None,
+        });
+        id
+    }
+
+    fn emit(&mut self, i: Instr) {
+        self.blocks[self.current.index()].instrs.push(i);
+    }
+
+    fn terminate(&mut self, t: Terminator) {
+        let b = &mut self.blocks[self.current.index()];
+        if b.term.is_none() {
+            b.term = Some(t);
+        }
+    }
+
+    fn finish(self, entry: BlockId) -> TacProgram {
+        TacProgram {
+            name: self.name,
+            vars: self.vars,
+            arrays: self.arrays,
+            blocks: self
+                .blocks
+                .into_iter()
+                .map(|p| Block {
+                    instrs: p.instrs,
+                    term: p.term.unwrap_or(Terminator::Halt),
+                })
+                .collect(),
+            entry,
+        }
+    }
+
+    // ---- statements ----
+
+    fn stmts(&mut self, body: &[Stmt]) -> Result<(), SemaError> {
+        for s in body {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), SemaError> {
+        match s {
+            Stmt::Assign {
+                target,
+                value,
+                line,
+            } => self.assign(target, value, *line),
+            Stmt::Print { value, line } => {
+                let (op, _) = self.expr(value, *line)?;
+                self.emit(Instr::Print { value: op });
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                line,
+            } => {
+                let (c, cty) = self.expr(cond, *line)?;
+                if cty != Ty::Bool {
+                    return self.err(*line, "if condition must be bool");
+                }
+                let then_b = self.new_block();
+                let else_b = self.new_block();
+                let join_b = self.new_block();
+                self.terminate(Terminator::Branch {
+                    cond: c,
+                    then_to: then_b,
+                    else_to: else_b,
+                });
+                self.current = then_b;
+                self.stmts(then_body)?;
+                self.terminate(Terminator::Jump(join_b));
+                self.current = else_b;
+                self.stmts(else_body)?;
+                self.terminate(Terminator::Jump(join_b));
+                self.current = join_b;
+                Ok(())
+            }
+            Stmt::While { cond, body, line } => {
+                let head = self.new_block();
+                self.terminate(Terminator::Jump(head));
+                self.current = head;
+                let (c, cty) = self.expr(cond, *line)?;
+                if cty != Ty::Bool {
+                    return self.err(*line, "while condition must be bool");
+                }
+                let body_b = self.new_block();
+                let exit_b = self.new_block();
+                self.terminate(Terminator::Branch {
+                    cond: c,
+                    then_to: body_b,
+                    else_to: exit_b,
+                });
+                self.current = body_b;
+                self.stmts(body)?;
+                self.terminate(Terminator::Jump(head));
+                self.current = exit_b;
+                Ok(())
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                down,
+                body,
+                line,
+            } => {
+                let (vid, vty) = self.scalar(var, *line)?;
+                if vty != Ty::Int {
+                    return self.err(*line, "for-loop variable must be int");
+                }
+                // i := from
+                let (f, fty) = self.expr(from, *line)?;
+                if fty != Ty::Int {
+                    return self.err(*line, "for-loop bound must be int");
+                }
+                self.emit(Instr::Compute {
+                    dest: vid,
+                    op: OpCode::Copy,
+                    lhs: f,
+                    rhs: None,
+                });
+                // limit evaluated once, like Pascal.
+                let (t, tty) = self.expr(to, *line)?;
+                if tty != Ty::Int {
+                    return self.err(*line, "for-loop bound must be int");
+                }
+                let limit = match t {
+                    Operand::Const(_) => t,
+                    Operand::Var(_) => {
+                        let lt = self.new_temp(Ty::Int);
+                        self.emit(Instr::Compute {
+                            dest: lt,
+                            op: OpCode::Copy,
+                            lhs: t,
+                            rhs: None,
+                        });
+                        Operand::Var(lt)
+                    }
+                };
+                let head = self.new_block();
+                self.terminate(Terminator::Jump(head));
+                self.current = head;
+                let cond_t = self.new_temp(Ty::Bool);
+                self.emit(Instr::Compute {
+                    dest: cond_t,
+                    op: if *down { OpCode::Ge } else { OpCode::Le },
+                    lhs: Operand::Var(vid),
+                    rhs: Some(limit),
+                });
+                let body_b = self.new_block();
+                let exit_b = self.new_block();
+                self.terminate(Terminator::Branch {
+                    cond: Operand::Var(cond_t),
+                    then_to: body_b,
+                    else_to: exit_b,
+                });
+                self.current = body_b;
+                self.stmts(body)?;
+                self.emit(Instr::Compute {
+                    dest: vid,
+                    op: if *down { OpCode::Sub } else { OpCode::Add },
+                    lhs: Operand::Var(vid),
+                    rhs: Some(Operand::Const(Value::Int(1))),
+                });
+                self.terminate(Terminator::Jump(head));
+                self.current = exit_b;
+                Ok(())
+            }
+        }
+    }
+
+    fn assign(&mut self, target: &LValue, value: &Expr, line: u32) -> Result<(), SemaError> {
+        match target {
+            LValue::Var(name) => {
+                let (vid, vty) = self.scalar(name, line)?;
+                let (op, ty) = self.expr(value, line)?;
+                let op = self.coerce(op, ty, vty, line)?;
+                // Peephole: if the value was computed into a fresh temp by
+                // the immediately preceding instruction, retarget it.
+                if let Operand::Var(t) = op {
+                    if self.vars[t.index()].is_temp {
+                        if let Some(Instr::Compute { dest, .. } | Instr::Load { dest, .. }) =
+                            self.blocks[self.current.index()].instrs.last_mut()
+                        {
+                            if *dest == t {
+                                *dest = vid;
+                                return Ok(());
+                            }
+                        }
+                    }
+                }
+                self.emit(Instr::Compute {
+                    dest: vid,
+                    op: OpCode::Copy,
+                    lhs: op,
+                    rhs: None,
+                });
+                Ok(())
+            }
+            LValue::Index { array, index } => {
+                let (aid, ety) = self.array(array, line)?;
+                let (idx, ity) = self.expr(index, line)?;
+                if ity != Ty::Int {
+                    return self.err(line, "array index must be int");
+                }
+                let (val, vty) = self.expr(value, line)?;
+                let val = self.coerce(val, vty, ety, line)?;
+                self.emit(Instr::Store {
+                    arr: aid,
+                    index: idx,
+                    value: val,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    // ---- symbols ----
+
+    fn scalar(&self, name: &str, line: u32) -> Result<(VarId, Ty), SemaError> {
+        match self.symbols.get(name) {
+            Some(Sym::Scalar(id, ty)) => Ok((*id, *ty)),
+            Some(Sym::Array(..)) => self.err(line, format!("`{name}` is an array")),
+            None => self.err(line, format!("undeclared variable `{name}`")),
+        }
+    }
+
+    fn array(&self, name: &str, line: u32) -> Result<(ArrayId, Ty), SemaError> {
+        match self.symbols.get(name) {
+            Some(Sym::Array(id, ty)) => Ok((*id, *ty)),
+            Some(Sym::Scalar(..)) => self.err(line, format!("`{name}` is not an array")),
+            None => self.err(line, format!("undeclared array `{name}`")),
+        }
+    }
+
+    // ---- expressions ----
+
+    /// Coerce `op: from` to type `to`, inserting a conversion if needed.
+    fn coerce(
+        &mut self,
+        op: Operand,
+        from: Ty,
+        to: Ty,
+        line: u32,
+    ) -> Result<Operand, SemaError> {
+        if from == to {
+            return Ok(op);
+        }
+        match (from, to) {
+            (Ty::Int, Ty::Real) => Ok(self.convert(op, OpCode::IntToReal)),
+            (Ty::Real, Ty::Int) => {
+                self.err(line, "cannot assign real to int (use trunc())")
+            }
+            _ => self.err(line, format!("type mismatch: {from:?} vs {to:?}")),
+        }
+    }
+
+    fn convert(&mut self, op: Operand, code: OpCode) -> Operand {
+        if let Operand::Const(c) = op {
+            return Operand::Const(eval_op(code, c, None));
+        }
+        let t = self.new_temp(code.result_ty());
+        self.emit(Instr::Compute {
+            dest: t,
+            op: code,
+            lhs: op,
+            rhs: None,
+        });
+        Operand::Var(t)
+    }
+
+    fn expr(&mut self, e: &Expr, line: u32) -> Result<(Operand, Ty), SemaError> {
+        match e {
+            Expr::IntLit(v) => Ok((Operand::Const(Value::Int(*v)), Ty::Int)),
+            Expr::RealLit(v) => Ok((Operand::Const(Value::Real(*v)), Ty::Real)),
+            Expr::BoolLit(b) => Ok((Operand::Const(Value::Bool(*b)), Ty::Bool)),
+            Expr::Var(name) => {
+                let (id, ty) = self.scalar(name, line)?;
+                Ok((Operand::Var(id), ty))
+            }
+            Expr::Index { array, index } => {
+                let (aid, ety) = self.array(array, line)?;
+                let (idx, ity) = self.expr(index, line)?;
+                if ity != Ty::Int {
+                    return self.err(line, "array index must be int");
+                }
+                let t = self.new_temp(ety);
+                self.emit(Instr::Load {
+                    dest: t,
+                    arr: aid,
+                    index: idx,
+                });
+                Ok((Operand::Var(t), ety))
+            }
+            Expr::Unary { op, expr } => {
+                let (v, ty) = self.expr(expr, line)?;
+                match op {
+                    UnOp::Neg => {
+                        let code = match ty {
+                            Ty::Int => OpCode::Neg,
+                            Ty::Real => OpCode::FNeg,
+                            Ty::Bool => return self.err(line, "cannot negate bool"),
+                        };
+                        Ok((self.apply(code, v, None), code.result_ty()))
+                    }
+                    UnOp::Not => {
+                        if ty != Ty::Bool {
+                            return self.err(line, "`not` requires bool");
+                        }
+                        Ok((self.apply(OpCode::Not, v, None), Ty::Bool))
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => self.binary(*op, lhs, rhs, line),
+            Expr::Call { func, arg } => {
+                let (v, ty) = self.expr(arg, line)?;
+                let (code, want) = match func {
+                    Intrinsic::Sqrt => (OpCode::Sqrt, Ty::Real),
+                    Intrinsic::Sin => (OpCode::Sin, Ty::Real),
+                    Intrinsic::Cos => (OpCode::Cos, Ty::Real),
+                    Intrinsic::Exp => (OpCode::Exp, Ty::Real),
+                    Intrinsic::Ln => (OpCode::Ln, Ty::Real),
+                    Intrinsic::ToReal => (OpCode::IntToReal, Ty::Int),
+                    Intrinsic::Trunc => (OpCode::Trunc, Ty::Real),
+                    Intrinsic::Abs => {
+                        let code = match ty {
+                            Ty::Int => OpCode::IAbs,
+                            Ty::Real => OpCode::FAbs,
+                            Ty::Bool => return self.err(line, "abs() requires a number"),
+                        };
+                        return Ok((self.apply(code, v, None), code.result_ty()));
+                    }
+                };
+                if ty == Ty::Bool {
+                    return self.err(line, "intrinsic requires a numeric argument");
+                }
+                let v = if want == Ty::Real && ty == Ty::Int {
+                    self.convert(v, OpCode::IntToReal)
+                } else if want == Ty::Int && ty == Ty::Real {
+                    return self.err(line, "intrinsic requires an int argument");
+                } else {
+                    v
+                };
+                Ok((self.apply(code, v, None), code.result_ty()))
+            }
+        }
+    }
+
+    /// Emit `code` (folding constants) and return the result operand.
+    fn apply(&mut self, code: OpCode, lhs: Operand, rhs: Option<Operand>) -> Operand {
+        if let Operand::Const(a) = lhs {
+            match rhs {
+                None => return Operand::Const(eval_op(code, a, None)),
+                Some(Operand::Const(b)) => {
+                    return Operand::Const(eval_op(code, a, Some(b)))
+                }
+                _ => {}
+            }
+        }
+        let t = self.new_temp(code.result_ty());
+        self.emit(Instr::Compute {
+            dest: t,
+            op: code,
+            lhs,
+            rhs,
+        });
+        Operand::Var(t)
+    }
+
+    fn binary(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        line: u32,
+    ) -> Result<(Operand, Ty), SemaError> {
+        let (a, aty) = self.expr(lhs, line)?;
+        let (b, bty) = self.expr(rhs, line)?;
+
+        if op.is_logical() {
+            if aty != Ty::Bool || bty != Ty::Bool {
+                return self.err(line, "logical operator requires bool operands");
+            }
+            let code = if op == BinOp::And { OpCode::And } else { OpCode::Or };
+            return Ok((self.apply(code, a, Some(b)), Ty::Bool));
+        }
+
+        if aty == Ty::Bool || bty == Ty::Bool {
+            // Only = and <> make sense on bools.
+            if matches!(op, BinOp::Eq | BinOp::Ne) && aty == Ty::Bool && bty == Ty::Bool {
+                let code = if op == BinOp::Eq { OpCode::Eq } else { OpCode::Ne };
+                return Ok((self.apply(code, a, Some(b)), Ty::Bool));
+            }
+            return self.err(line, "arithmetic on bool operands");
+        }
+
+        // Numeric: decide integer vs real forms.
+        let real = aty == Ty::Real || bty == Ty::Real || op == BinOp::Div;
+        let (a, b) = if real {
+            (
+                if aty == Ty::Int {
+                    self.convert(a, OpCode::IntToReal)
+                } else {
+                    a
+                },
+                if bty == Ty::Int {
+                    self.convert(b, OpCode::IntToReal)
+                } else {
+                    b
+                },
+            )
+        } else {
+            (a, b)
+        };
+
+        let code = match (op, real) {
+            (BinOp::Add, false) => OpCode::Add,
+            (BinOp::Sub, false) => OpCode::Sub,
+            (BinOp::Mul, false) => OpCode::Mul,
+            (BinOp::Add, true) => OpCode::FAdd,
+            (BinOp::Sub, true) => OpCode::FSub,
+            (BinOp::Mul, true) => OpCode::FMul,
+            (BinOp::Div, _) => OpCode::FDiv,
+            (BinOp::IDiv, false) => OpCode::IDiv,
+            (BinOp::Mod, false) => OpCode::Mod,
+            (BinOp::IDiv | BinOp::Mod, true) => {
+                return self.err(line, "`div`/`mod` require int operands")
+            }
+            (BinOp::Eq, false) => OpCode::Eq,
+            (BinOp::Ne, false) => OpCode::Ne,
+            (BinOp::Lt, false) => OpCode::Lt,
+            (BinOp::Le, false) => OpCode::Le,
+            (BinOp::Gt, false) => OpCode::Gt,
+            (BinOp::Ge, false) => OpCode::Ge,
+            (BinOp::Eq, true) => OpCode::FEq,
+            (BinOp::Ne, true) => OpCode::FNe,
+            (BinOp::Lt, true) => OpCode::FLt,
+            (BinOp::Le, true) => OpCode::FLe,
+            (BinOp::Gt, true) => OpCode::FGt,
+            (BinOp::Ge, true) => OpCode::FGe,
+            (BinOp::And | BinOp::Or, _) => unreachable!("handled above"),
+        };
+        Ok((self.apply(code, a, Some(b)), code.result_ty()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn compile(src: &str) -> TacProgram {
+        lower(&parse(src).unwrap()).unwrap()
+    }
+
+    fn compile_err(src: &str) -> SemaError {
+        lower(&parse(src).unwrap()).unwrap_err()
+    }
+
+    #[test]
+    fn lowers_straight_line_code() {
+        let p = compile("program t; var x, y: int; begin x := 1 + 2; y := x * 3; end.");
+        // 1+2 folds to a constant copy.
+        let b0 = &p.blocks[p.entry.index()];
+        assert_eq!(b0.instrs.len(), 2);
+        assert!(matches!(
+            b0.instrs[0],
+            Instr::Compute {
+                op: OpCode::Copy,
+                lhs: Operand::Const(Value::Int(3)),
+                ..
+            }
+        ));
+        assert!(matches!(b0.instrs[1], Instr::Compute { op: OpCode::Mul, .. }));
+        assert!(matches!(b0.term, Terminator::Halt));
+    }
+
+    #[test]
+    fn peephole_retargets_temp_to_var() {
+        let p = compile("program t; var x, y: int; begin y := x + 1; end.");
+        let b0 = &p.blocks[p.entry.index()];
+        assert_eq!(b0.instrs.len(), 1, "{}", p.to_text());
+        match &b0.instrs[0] {
+            Instr::Compute { dest, op: OpCode::Add, .. } => {
+                assert_eq!(p.var(*dest).name, "y");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_builds_diamond_cfg() {
+        let p = compile(
+            "program t; var x: int; begin if x > 0 then x := 1; else x := 2; end.",
+        );
+        assert_eq!(p.blocks.len(), 4); // entry, then, else, join
+        match &p.blocks[p.entry.index()].term {
+            Terminator::Branch { then_to, else_to, .. } => {
+                assert_ne!(then_to, else_to);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn while_builds_loop_cfg() {
+        let p = compile(
+            "program t; var i: int; begin i := 0; while i < 10 do i := i + 1; end.",
+        );
+        // entry, head, body, exit
+        assert_eq!(p.blocks.len(), 4);
+        let head = match &p.blocks[p.entry.index()].term {
+            Terminator::Jump(h) => *h,
+            other => panic!("{other:?}"),
+        };
+        match &p.blocks[head.index()].term {
+            Terminator::Branch { then_to, else_to, .. } => {
+                // Body jumps back to head.
+                match &p.blocks[then_to.index()].term {
+                    Terminator::Jump(back) => assert_eq!(*back, head),
+                    other => panic!("{other:?}"),
+                }
+                assert!(matches!(p.blocks[else_to.index()].term, Terminator::Halt));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_loop_evaluates_limit_once() {
+        let p = compile(
+            "program t; var i, n, s: int;
+             begin n := 5; for i := 0 to n do s := s + i; end.",
+        );
+        let text = p.to_text();
+        // The limit `n` is copied to a temp before the loop head.
+        assert!(text.contains("t0 = Copy n") || text.contains("= Copy n"), "{text}");
+    }
+
+    #[test]
+    fn mixed_arithmetic_inserts_conversion() {
+        let p = compile("program t; var x: real; i: int; begin x := i + 1.5; end.");
+        let text = p.to_text();
+        assert!(text.contains("IntToReal"), "{text}");
+    }
+
+    #[test]
+    fn division_is_always_real() {
+        let p = compile("program t; var x: real; begin x := 1 / 4; end.");
+        let b0 = &p.blocks[p.entry.index()];
+        // Constant folded: 1/4 = 0.25.
+        assert!(matches!(
+            b0.instrs[0],
+            Instr::Compute {
+                op: OpCode::Copy,
+                lhs: Operand::Const(Value::Real(0.25)),
+                ..
+            }
+        ), "{}", p.to_text());
+    }
+
+    #[test]
+    fn array_load_store() {
+        let p = compile(
+            "program t; var a: array[8] of int; i, x: int;
+             begin a[i] := x; x := a[i + 1]; end.",
+        );
+        let b0 = &p.blocks[p.entry.index()];
+        assert!(matches!(b0.instrs[0], Instr::Store { .. }));
+        assert!(b0.instrs.iter().any(|i| matches!(i, Instr::Load { .. })));
+    }
+
+    #[test]
+    fn rejects_undeclared_variable() {
+        let e = compile_err("program t; begin x := 1; end.");
+        assert!(e.message.contains("undeclared"));
+    }
+
+    #[test]
+    fn rejects_duplicate_declaration() {
+        let e = compile_err("program t; var x: int; x: real; begin end.");
+        assert!(e.message.contains("twice"));
+    }
+
+    #[test]
+    fn rejects_real_to_int_assignment() {
+        let e = compile_err("program t; var i: int; begin i := 1.5; end.");
+        assert!(e.message.contains("trunc"));
+    }
+
+    #[test]
+    fn trunc_allows_real_to_int() {
+        let p = compile("program t; var i: int; x: real; begin i := trunc(x); end.");
+        assert!(p.to_text().contains("Trunc"));
+    }
+
+    #[test]
+    fn rejects_bool_condition_misuse() {
+        let e = compile_err("program t; var i: int; begin if i then i := 1; end.");
+        assert!(e.message.contains("bool"));
+    }
+
+    #[test]
+    fn rejects_non_int_index() {
+        let e = compile_err(
+            "program t; var a: array[4] of int; x: real; begin a[x] := 1; end.",
+        );
+        assert!(e.message.contains("index"));
+    }
+
+    #[test]
+    fn rejects_mod_on_reals() {
+        let e = compile_err("program t; var x: real; begin x := 1.0; x := x mod 2.0; end.");
+        assert!(e.message.contains("mod") || e.message.contains("int"));
+    }
+
+    #[test]
+    fn rejects_for_with_real_var() {
+        let e = compile_err(
+            "program t; var x: real; begin for x := 0 to 3 do print x; end.",
+        );
+        assert!(e.message.contains("int"));
+    }
+
+    #[test]
+    fn intrinsics_coerce_int_args() {
+        let p = compile("program t; var x: real; begin x := sqrt(9); end.");
+        // sqrt(9) folds: IntToReal(9) → 9.0, Sqrt(9.0) → 3.0.
+        let b0 = &p.blocks[p.entry.index()];
+        assert!(matches!(
+            b0.instrs[0],
+            Instr::Compute {
+                op: OpCode::Copy,
+                lhs: Operand::Const(Value::Real(v)),
+                ..
+            } if v == 3.0
+        ), "{}", p.to_text());
+    }
+
+    #[test]
+    fn bool_equality_allowed() {
+        let p = compile(
+            "program t; var a, b, c: bool; begin c := a = b; end.",
+        );
+        assert!(p.to_text().contains("Eq"));
+    }
+
+    #[test]
+    fn downto_uses_ge_and_sub() {
+        let p = compile(
+            "program t; var i: int; begin for i := 5 downto 1 do print i; end.",
+        );
+        let text = p.to_text();
+        assert!(text.contains("Ge"), "{text}");
+        assert!(text.contains("Sub"), "{text}");
+    }
+}

@@ -1,0 +1,169 @@
+#![warn(missing_docs)]
+
+//! # liw-opt
+//!
+//! Classic scalar optimizations over the `liw-ir` three-address code, run
+//! before LIW scheduling (the paper's RLIW compiler optimized before
+//! packing words too):
+//!
+//! * [`lvn`] — per-block value numbering: common-subexpression elimination,
+//!   constant propagation/folding, copy propagation, store-to-load
+//!   forwarding;
+//! * [`dce`] — liveness-driven dead code elimination;
+//! * [`simplify`] — constant-branch folding, jump threading, block merging,
+//!   unreachable-code removal.
+//!
+//! [`optimize`] iterates the three to a fixpoint. Every pass is
+//! semantics-preserving, machine-checked against the reference interpreter
+//! in its tests and fuzzed via the workspace property suite.
+
+pub mod dce;
+pub mod ifconv;
+pub mod lvn;
+pub mod simplify;
+
+use liw_ir::tac::TacProgram;
+
+/// Optimization pipeline configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct OptConfig {
+    /// Convert small branch diamonds into `select` conditional moves
+    /// (speculation-safe arms only). On by default — the RLIW's lock-step
+    /// words make short branches expensive.
+    pub if_convert: bool,
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        OptConfig { if_convert: true }
+    }
+}
+
+/// Summary of one optimization run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// LVN rewrites (folds, CSE hits, forwarded loads).
+    pub lvn_rewrites: usize,
+    /// Instructions removed by DCE.
+    pub dce_removed: usize,
+    /// CFG rewrites (folded branches, merges, drops).
+    pub cfg_rewrites: usize,
+    /// Branch diamonds converted to selects.
+    pub diamonds_converted: usize,
+    /// Fixpoint iterations.
+    pub iterations: usize,
+}
+
+/// Run the full pipeline (simplify → if-convert → LVN → DCE) to a fixpoint
+/// with the default configuration.
+pub fn optimize(p: &TacProgram) -> (TacProgram, OptStats) {
+    optimize_with(p, OptConfig::default())
+}
+
+/// Run the pipeline with an explicit configuration.
+pub fn optimize_with(p: &TacProgram, cfg: OptConfig) -> (TacProgram, OptStats) {
+    let mut cur = p.clone();
+    let mut stats = OptStats::default();
+    // Each round strictly reduces instruction count or CFG size, so this
+    // terminates quickly; cap as a defensive bound.
+    for _ in 0..16 {
+        stats.iterations += 1;
+        let (a, cfg1) = simplify::simplify_cfg(&cur);
+        let (a, ifc1) = if cfg.if_convert {
+            ifconv::if_convert(&a)
+        } else {
+            (a, 0)
+        };
+        let (b, lvn1) = lvn::local_value_numbering(&a);
+        let (c, dce1) = dce::dead_code_elimination(&b);
+        stats.cfg_rewrites += cfg1;
+        stats.diamonds_converted += ifc1;
+        stats.lvn_rewrites += lvn1;
+        stats.dce_removed += dce1;
+        let progress = cfg1 + ifc1 + lvn1 + dce1 > 0;
+        cur = c;
+        if !progress {
+            break;
+        }
+    }
+    (cur, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liw_ir::{compile, run};
+
+    fn check(src: &str) -> (TacProgram, TacProgram, OptStats) {
+        let p = compile(src).unwrap();
+        let (q, stats) = optimize(&p);
+        assert_eq!(
+            run(&p).unwrap().output,
+            run(&q).unwrap().output,
+            "optimize changed semantics\nbefore:\n{}\nafter:\n{}",
+            p.to_text(),
+            q.to_text()
+        );
+        (p, q, stats)
+    }
+
+    #[test]
+    fn pipeline_reaches_fixpoint_and_shrinks() {
+        let (p, q, stats) = check(
+            "program t; var a, b, c, d, x: int;
+             begin
+               a := 2; b := a + a; c := b * b; d := c - c;
+               if d = 0 then x := b; else x := c;
+               print x;
+             end.",
+        );
+        assert!(q.instr_count() < p.instr_count());
+        assert!(stats.iterations >= 2);
+        // d = 0 folds → branch folds → single path.
+        assert!(q.blocks.len() < p.blocks.len());
+    }
+
+    #[test]
+    fn benchmarks_survive_optimization() {
+        // The six real benchmarks: identical output, never larger.
+        for b in [
+            // inline small subset here to keep this crate independent of
+            // `workloads` (full checks live in the workspace tests)
+            "program s; var i, s: int;
+             begin s := 0; for i := 1 to 50 do s := s + i * i; print s; end.",
+            "program f; var a: array[16] of real; i: int; x: real;
+             begin
+               for i := 0 to 15 do a[i] := itor(i) * 0.5;
+               x := 0.0;
+               for i := 0 to 15 do x := x + a[i] * a[i];
+               print x;
+             end.",
+        ] {
+            let (p, q, _) = check(b);
+            assert!(q.instr_count() <= p.instr_count());
+        }
+    }
+
+    #[test]
+    fn idempotent_second_run() {
+        let src = "program t; var x, y: int;
+             begin x := 3 * 7; y := x + x; print y; end.";
+        let p = compile(src).unwrap();
+        let (q, _) = optimize(&p);
+        let (r, stats2) = optimize(&q);
+        assert_eq!(q, r);
+        assert_eq!(stats2.dce_removed, 0);
+        assert_eq!(stats2.lvn_rewrites, 0);
+    }
+
+    #[test]
+    fn while_false_vanishes() {
+        let (_, q, _) = check(
+            "program t; var x: int;
+             begin x := 5; while false do x := 0; print x; end.",
+        );
+        assert_eq!(q.blocks.len(), 1, "{}", q.to_text());
+        // Constant propagation reaches the print: `print 5` is all that's left.
+        assert_eq!(q.instr_count(), 1, "{}", q.to_text());
+    }
+}

@@ -1,0 +1,285 @@
+//! Control-flow simplification: fold constant branches, thread trivial
+//! jumps, merge straight-line block pairs, and drop unreachable blocks.
+//! Bigger basic blocks give the LIW list scheduler more to pack.
+
+use std::collections::HashMap;
+
+use liw_ir::tac::{Block, BlockId, Operand, TacProgram, Terminator, Value};
+
+/// Run CFG simplification to a fixpoint. Returns the rewritten program and
+/// the number of rewrites applied.
+pub fn simplify_cfg(p: &TacProgram) -> (TacProgram, usize) {
+    let mut cur = p.clone();
+    let mut total = 0usize;
+    loop {
+        let mut changed = 0usize;
+        changed += fold_constant_branches(&mut cur);
+        changed += thread_empty_jumps(&mut cur);
+        changed += merge_linear_pairs(&mut cur);
+        changed += drop_unreachable(&mut cur);
+        total += changed;
+        if changed == 0 {
+            break;
+        }
+    }
+    (cur, total)
+}
+
+/// `if const goto A else B` → `goto A|B`.
+fn fold_constant_branches(p: &mut TacProgram) -> usize {
+    let mut n = 0;
+    for b in &mut p.blocks {
+        if let Terminator::Branch {
+            cond: Operand::Const(c),
+            then_to,
+            else_to,
+        } = &b.term
+        {
+            let target = if matches!(c, Value::Bool(true) | Value::Int(1)) || c.as_bool() {
+                *then_to
+            } else {
+                *else_to
+            };
+            b.term = Terminator::Jump(target);
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Retarget edges that point at an empty block whose terminator is an
+/// unconditional jump.
+fn thread_empty_jumps(p: &mut TacProgram) -> usize {
+    // Resolve chains with cycle protection.
+    let resolve = |p: &TacProgram, start: BlockId| -> BlockId {
+        let mut seen = vec![false; p.blocks.len()];
+        let mut cur = start;
+        loop {
+            if seen[cur.index()] {
+                return cur; // cycle of empty jumps: leave as is
+            }
+            seen[cur.index()] = true;
+            let b = &p.blocks[cur.index()];
+            match (&b.instrs.is_empty(), &b.term) {
+                (true, Terminator::Jump(t)) if *t != cur => cur = *t,
+                _ => return cur,
+            }
+        }
+    };
+
+    let mut n = 0;
+    let targets: Vec<BlockId> = (0..p.blocks.len() as u32).map(BlockId).collect();
+    let resolved: HashMap<BlockId, BlockId> =
+        targets.iter().map(|&t| (t, resolve(p, t))).collect();
+
+    let entry_resolved = resolved[&p.entry];
+    if entry_resolved != p.entry {
+        p.entry = entry_resolved;
+        n += 1;
+    }
+    for b in &mut p.blocks {
+        match &mut b.term {
+            Terminator::Jump(t) => {
+                let r = resolved[t];
+                if r != *t {
+                    *t = r;
+                    n += 1;
+                }
+            }
+            Terminator::Branch {
+                then_to, else_to, ..
+            } => {
+                let rt = resolved[then_to];
+                if rt != *then_to {
+                    *then_to = rt;
+                    n += 1;
+                }
+                let re = resolved[else_to];
+                if re != *else_to {
+                    *else_to = re;
+                    n += 1;
+                }
+            }
+            Terminator::Halt => {}
+        }
+    }
+    n
+}
+
+/// Merge `a -> b` when `a` jumps unconditionally to `b` and `b` has no
+/// other predecessors (and `b != a`, `b != entry`).
+fn merge_linear_pairs(p: &mut TacProgram) -> usize {
+    // Count predecessors.
+    let nb = p.blocks.len();
+    let mut preds = vec![0usize; nb];
+    for b in &p.blocks {
+        for s in b.term.successors() {
+            preds[s.index()] += 1;
+        }
+    }
+    let mut n = 0;
+    for a in 0..nb {
+        let target = match &p.blocks[a].term {
+            Terminator::Jump(t) => *t,
+            _ => continue,
+        };
+        if target.index() == a || target == p.entry || preds[target.index()] != 1 {
+            continue;
+        }
+        // Move b's contents into a.
+        let b_block = std::mem::replace(
+            &mut p.blocks[target.index()],
+            Block {
+                instrs: Vec::new(),
+                term: Terminator::Halt,
+            },
+        );
+        let a_block = &mut p.blocks[a];
+        a_block.instrs.extend(b_block.instrs);
+        a_block.term = b_block.term;
+        // b is now unreachable; preds bookkeeping for one merge per pass is
+        // enough — iterate at the driver level.
+        n += 1;
+        break;
+    }
+    n
+}
+
+/// Remove unreachable blocks, compacting ids.
+fn drop_unreachable(p: &mut TacProgram) -> usize {
+    let nb = p.blocks.len();
+    let mut reach = vec![false; nb];
+    let mut stack = vec![p.entry];
+    reach[p.entry.index()] = true;
+    while let Some(b) = stack.pop() {
+        for s in p.blocks[b.index()].term.successors() {
+            if !reach[s.index()] {
+                reach[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    let dropped = reach.iter().filter(|&&r| !r).count();
+    if dropped == 0 {
+        return 0;
+    }
+    let mut remap: HashMap<BlockId, BlockId> = HashMap::new();
+    let mut new_blocks = Vec::with_capacity(nb - dropped);
+    for (i, b) in p.blocks.iter().enumerate() {
+        if reach[i] {
+            remap.insert(BlockId(i as u32), BlockId(new_blocks.len() as u32));
+            new_blocks.push(b.clone());
+        }
+    }
+    for b in &mut new_blocks {
+        match &mut b.term {
+            Terminator::Jump(t) => *t = remap[t],
+            Terminator::Branch {
+                then_to, else_to, ..
+            } => {
+                *then_to = remap[then_to];
+                *else_to = remap[else_to];
+            }
+            Terminator::Halt => {}
+        }
+    }
+    p.entry = remap[&p.entry];
+    p.blocks = new_blocks;
+    dropped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liw_ir::{compile, run};
+
+    fn opt(src: &str) -> (TacProgram, TacProgram) {
+        let p = compile(src).unwrap();
+        let (q, _) = simplify_cfg(&p);
+        assert_eq!(
+            run(&p).unwrap().output,
+            run(&q).unwrap().output,
+            "simplify changed semantics\n{}",
+            q.to_text()
+        );
+        (p, q)
+    }
+
+    #[test]
+    fn merges_if_diamond_after_execution_preserved() {
+        let (p, q) = opt(
+            "program t; var x: int;
+             begin
+               x := 1;
+               if x > 0 then x := 2; else x := 3;
+               print x;
+             end.",
+        );
+        assert!(q.blocks.len() <= p.blocks.len());
+    }
+
+    #[test]
+    fn constant_branch_folds_and_dead_arm_drops() {
+        // The front end folds `2 > 1` to a constant operand; simplify must
+        // turn the branch into a jump and drop the dead arm.
+        let (p, q) = opt(
+            "program t; var x: int;
+             begin
+               if 2 > 1 then x := 1; else x := 2;
+               print x;
+             end.",
+        );
+        assert!(
+            q.blocks.len() < p.blocks.len(),
+            "{} -> {} blocks",
+            p.blocks.len(),
+            q.blocks.len()
+        );
+        // No conditional branches remain.
+        assert!(q
+            .blocks
+            .iter()
+            .all(|b| !matches!(b.term, Terminator::Branch { .. })));
+    }
+
+    #[test]
+    fn linear_chain_collapses_to_one_block() {
+        let (_, q) = opt(
+            "program t; var x: int;
+             begin
+               if 1 > 2 then x := 9; else x := 7;
+               print x;
+             end.",
+        );
+        assert_eq!(q.blocks.len(), 1, "{}", q.to_text());
+    }
+
+    #[test]
+    fn loops_survive_simplification() {
+        let (_, q) = opt(
+            "program t; var i, s: int;
+             begin
+               s := 0;
+               for i := 1 to 5 do s := s + i;
+               print s;
+             end.",
+        );
+        // The loop's branch must remain.
+        assert!(q
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Terminator::Branch { .. })));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_dropped() {
+        let (p, q) = opt(
+            "program t; var x: int;
+             begin
+               while false do x := x + 1;
+               print x;
+             end.",
+        );
+        assert!(q.blocks.len() < p.blocks.len());
+    }
+}

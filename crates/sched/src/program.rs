@@ -1,0 +1,384 @@
+//! The scheduled-program representation: long instruction words grouped by
+//! basic block, with operands renamed to *data values* (webs).
+
+use liw_ir::tac::{ArrayId, ArrayInfo, BlockId, OpCode, Value, VarId};
+use parmem_core::types::{AccessTrace, OperandSet, ValueId};
+use parmem_core::strategies::RegionizedTrace;
+
+/// Machine configuration for scheduling: how much a long word can carry.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineSpec {
+    /// Functional units: maximum operations per long word.
+    pub width: usize,
+    /// Memory ports: maximum memory accesses per word (distinct scalar data
+    /// values read + array element accesses). Matches the number of memory
+    /// modules `k` on the paper's RLIW.
+    pub mem_ports: usize,
+    /// Number of parallel memory modules `k`.
+    pub modules: usize,
+}
+
+impl Default for MachineSpec {
+    fn default() -> Self {
+        // The paper's experiments: eight memory modules.
+        MachineSpec {
+            width: 8,
+            mem_ports: 8,
+            modules: 8,
+        }
+    }
+}
+
+impl MachineSpec {
+    /// A square machine: `k` functional units, ports, and modules.
+    pub fn with_modules(k: usize) -> MachineSpec {
+        MachineSpec {
+            width: k.max(1),
+            mem_ports: k.max(1),
+            modules: k.max(1),
+        }
+    }
+}
+
+/// A scheduled operand: immediate or scalar data-value read.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[allow(missing_docs)] // variants are self-describing
+pub enum SOperand {
+    Const(Value),
+    /// Read of data value (web) `w`.
+    Scalar(u32),
+}
+
+impl SOperand {
+    /// The data value this operand reads, if it reads one.
+    pub fn web(&self) -> Option<u32> {
+        match self {
+            SOperand::Scalar(w) => Some(*w),
+            SOperand::Const(_) => None,
+        }
+    }
+}
+
+/// One operation inside a long instruction word.
+#[derive(Clone, Debug, PartialEq)]
+#[allow(missing_docs)] // fields are self-describing
+pub enum SlotOp {
+    /// ALU / FPU operation writing data value `dest`.
+    Compute {
+        dest: u32,
+        op: OpCode,
+        lhs: SOperand,
+        rhs: Option<SOperand>,
+    },
+    /// `dest = arr[index]` — array element read (module unknown at compile
+    /// time).
+    Load {
+        dest: u32,
+        arr: ArrayId,
+        index: SOperand,
+    },
+    /// `arr[index] = value` — array element write.
+    Store {
+        arr: ArrayId,
+        index: SOperand,
+        value: SOperand,
+    },
+    /// Append value to output.
+    Print { value: SOperand },
+    /// Conditional move: `dest = cond ? if_true : if_false`.
+    Select {
+        cond: SOperand,
+        if_true: SOperand,
+        if_false: SOperand,
+        dest: u32,
+    },
+}
+
+impl SlotOp {
+    /// Scalar data values this op reads.
+    pub fn scalar_reads(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(2);
+        let mut push = |o: &SOperand| {
+            if let Some(w) = o.web() {
+                out.push(w);
+            }
+        };
+        match self {
+            SlotOp::Compute { lhs, rhs, .. } => {
+                push(lhs);
+                if let Some(r) = rhs {
+                    push(r);
+                }
+            }
+            SlotOp::Load { index, .. } => push(index),
+            SlotOp::Store { index, value, .. } => {
+                push(index);
+                push(value);
+            }
+            SlotOp::Print { value } => push(value),
+            SlotOp::Select {
+                cond,
+                if_true,
+                if_false,
+                ..
+            } => {
+                push(cond);
+                push(if_true);
+                push(if_false);
+            }
+        }
+        out
+    }
+
+    /// Data value written, if any.
+    pub fn writes(&self) -> Option<u32> {
+        match self {
+            SlotOp::Compute { dest, .. }
+            | SlotOp::Load { dest, .. }
+            | SlotOp::Select { dest, .. } => Some(*dest),
+            _ => None,
+        }
+    }
+
+    /// Number of array element accesses (0 or 1).
+    pub fn array_accesses(&self) -> usize {
+        matches!(self, SlotOp::Load { .. } | SlotOp::Store { .. }) as usize
+    }
+}
+
+/// A long instruction word: up to `width` operations issued in lock-step.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LongWord {
+    /// Up to `width` lock-step operations.
+    pub ops: Vec<SlotOp>,
+}
+
+impl LongWord {
+    /// Distinct scalar data values this word fetches.
+    pub fn scalar_read_set(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.ops.iter().flat_map(|o| o.scalar_reads()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Number of array element accesses in this word.
+    pub fn array_access_count(&self) -> usize {
+        self.ops.iter().map(|o| o.array_accesses()).sum()
+    }
+}
+
+/// Block terminator after scheduling. A `Branch` condition is fetched during
+/// the block's final word.
+#[derive(Clone, Debug, PartialEq)]
+#[allow(missing_docs)] // fields are self-describing
+pub enum SchedTerm {
+    Jump(BlockId),
+    Branch {
+        cond: SOperand,
+        then_to: BlockId,
+        else_to: BlockId,
+    },
+    Halt,
+}
+
+impl SchedTerm {
+    /// Data value read by the branch condition, if any.
+    pub fn cond_web(&self) -> Option<u32> {
+        match self {
+            SchedTerm::Branch { cond, .. } => cond.web(),
+            _ => None,
+        }
+    }
+}
+
+/// One scheduled basic block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SchedBlock {
+    /// The block's long instruction words, in issue order.
+    pub words: Vec<LongWord>,
+    /// Control transfer at the end of the block.
+    pub term: SchedTerm,
+}
+
+impl SchedBlock {
+    /// The scalar data values fetched by word `i`, including the branch
+    /// condition when `i` is the final word.
+    pub fn word_operands(&self, i: usize) -> Vec<u32> {
+        let mut v = self.words[i].scalar_read_set();
+        if i + 1 == self.words.len() {
+            if let Some(w) = self.term.cond_web() {
+                v.push(w);
+                v.sort_unstable();
+                v.dedup();
+            }
+        }
+        v
+    }
+}
+
+/// A fully scheduled program.
+#[derive(Clone, Debug)]
+pub struct SchedProgram {
+    /// Program name.
+    pub name: String,
+    /// The machine it was scheduled for.
+    pub spec: MachineSpec,
+    /// Scheduled blocks (same ids as the TAC CFG).
+    pub blocks: Vec<SchedBlock>,
+    /// Entry block.
+    pub entry: BlockId,
+    /// Number of data values (webs).
+    pub n_values: usize,
+    /// The program variable each data value renames (diagnostics).
+    pub value_var: Vec<VarId>,
+    /// Type of each program variable (indexed by `VarId`).
+    pub var_ty: Vec<liw_ir::Ty>,
+    /// Entry data value per variable (initial zero definition).
+    pub entry_value: Vec<u32>,
+    /// Array metadata (copied from the TAC program).
+    pub arrays: Vec<ArrayInfo>,
+    /// Region of each block (innermost loop), for STOR2.
+    pub region_of_block: Vec<u32>,
+    /// Number of regions.
+    pub n_regions: usize,
+}
+
+impl SchedProgram {
+    /// Total long words (static count).
+    pub fn word_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.words.len()).sum()
+    }
+
+    /// The static access trace: one operand set per long word, in block
+    /// order. This is what the module-assignment algorithms consume.
+    pub fn access_trace(&self) -> AccessTrace {
+        let mut insts = Vec::with_capacity(self.word_count());
+        for b in &self.blocks {
+            for i in 0..b.words.len() {
+                insts.push(OperandSet::new(
+                    b.word_operands(i).into_iter().map(ValueId).collect(),
+                ));
+            }
+        }
+        AccessTrace::new(self.spec.modules, insts)
+    }
+
+    /// The region-partitioned trace for the STOR2 strategy: per-region word
+    /// streams plus the set of data values live across regions (values read
+    /// or written in more than one region).
+    pub fn regionized_trace(&self) -> RegionizedTrace {
+        let mut regions: Vec<Vec<OperandSet>> = vec![Vec::new(); self.n_regions];
+        let mut region_uses: Vec<std::collections::HashSet<u32>> =
+            vec![Default::default(); self.n_regions];
+
+        for (bi, b) in self.blocks.iter().enumerate() {
+            let r = self.region_of_block[bi] as usize;
+            for i in 0..b.words.len() {
+                let ops = b.word_operands(i);
+                for &w in &ops {
+                    region_uses[r].insert(w);
+                }
+                for op in &b.words[i].ops {
+                    if let Some(w) = op.writes() {
+                        region_uses[r].insert(w);
+                    }
+                }
+                regions[r].push(OperandSet::new(ops.into_iter().map(ValueId).collect()));
+            }
+        }
+
+        let mut count: std::collections::HashMap<u32, usize> = Default::default();
+        for uses in &region_uses {
+            for &w in uses {
+                *count.entry(w).or_insert(0) += 1;
+            }
+        }
+        let globals = count
+            .into_iter()
+            .filter(|&(_, c)| c > 1)
+            .map(|(w, _)| ValueId(w))
+            .collect();
+
+        RegionizedTrace {
+            modules: self.spec.modules,
+            regions,
+            globals,
+        }
+    }
+
+    /// Histogram of scalar-operand counts per word: `h[i]` = number of
+    /// static words fetching exactly `i` distinct scalar values. The paper's
+    /// conflict pressure is driven by this density (a word with `i` operands
+    /// is an `i`-clique in the conflict graph).
+    pub fn operand_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.spec.mem_ports + 2];
+        for b in &self.blocks {
+            for i in 0..b.words.len() {
+                let n = b.word_operands(i).len().min(h.len() - 1);
+                h[n] += 1;
+            }
+        }
+        while h.len() > 1 && *h.last().unwrap() == 0 {
+            h.pop();
+        }
+        h
+    }
+
+    /// Mean distinct scalar operands per word.
+    pub fn mean_operands_per_word(&self) -> f64 {
+        let h = self.operand_histogram();
+        let total: usize = h.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        h.iter().enumerate().map(|(i, &c)| i * c).sum::<usize>() as f64 / total as f64
+    }
+
+    /// Count of scalar data values that actually appear in the trace
+    /// (the paper's Table 1 counts scalars, i.e. placed values).
+    pub fn used_values(&self) -> usize {
+        let t = self.access_trace();
+        let mut vals: std::collections::HashSet<u32> =
+            t.instructions.iter().flat_map(|i| i.iter().map(|v| v.0)).collect();
+        for b in &self.blocks {
+            for w in &b.words {
+                for op in &w.ops {
+                    if let Some(d) = op.writes() {
+                        vals.insert(d);
+                    }
+                }
+            }
+        }
+        vals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::schedule;
+
+    #[test]
+    fn operand_histogram_counts_words() {
+        let tac = liw_ir::compile(
+            "program t; var a, b, c, d, x, y: int;
+             begin x := a + b; y := c + d; end.",
+        )
+        .unwrap();
+        let sp = schedule(&tac, MachineSpec::with_modules(8));
+        let h = sp.operand_histogram();
+        assert_eq!(h.iter().sum::<usize>(), sp.word_count());
+        // One word fetching 4 distinct scalars.
+        assert_eq!(h.get(4), Some(&1), "{h:?}");
+        assert!(sp.mean_operands_per_word() > 0.0);
+    }
+
+    #[test]
+    fn empty_words_count_as_zero_operands() {
+        let tac = liw_ir::compile("program t; begin end.").unwrap();
+        let sp = schedule(&tac, MachineSpec::with_modules(4));
+        let h = sp.operand_histogram();
+        assert_eq!(h[0], sp.word_count());
+    }
+}

@@ -1,0 +1,137 @@
+//! Array storage policies — how array elements map to memory modules.
+//!
+//! Scalar data values get modules from the compile-time assignment; array
+//! element accesses are *unpredictable at compile time* (paper §3), so their
+//! module is a run-time property of the chosen storage policy. The three
+//! policies mirror the paper's Table 2 columns:
+//!
+//! * [`ArrayPlacement::Ideal`] — array fetches never conflict (`t_min`),
+//! * [`ArrayPlacement::SameModule`] — every array lives in one module
+//!   (`t_max`),
+//! * [`ArrayPlacement::Interleaved`] / [`ArrayPlacement::UniformRandom`] —
+//!   realistic layouts (`t_ave`; the paper's analytic model assumes the
+//!   uniform distribution).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Module selection for array element accesses.
+#[derive(Clone, Debug)]
+pub enum ArrayPlacement {
+    /// `t_min`: array accesses never collide — each lands on its own
+    /// imaginary spare module.
+    Ideal,
+    /// `t_max`: every array element in module `m`.
+    SameModule(u16),
+    /// Element `i` of array `a` lives in module `(base_a + i) mod k`, the
+    /// classic interleaved layout (deterministic).
+    Interleaved,
+    /// Every access draws a module uniformly at random (seeded) — exactly
+    /// the assumption behind the paper's `t_ave` formula.
+    UniformRandom(u64),
+}
+
+/// Stateful resolver created per simulation run.
+pub struct ArrayModuleMap {
+    policy: ArrayPlacement,
+    modules: usize,
+    rng: Option<ChaCha8Rng>,
+}
+
+impl ArrayModuleMap {
+    /// Create a resolver for `modules` memory modules under `policy`.
+    pub fn new(policy: ArrayPlacement, modules: usize) -> ArrayModuleMap {
+        let rng = match &policy {
+            ArrayPlacement::UniformRandom(seed) => Some(ChaCha8Rng::seed_from_u64(*seed)),
+            _ => None,
+        };
+        ArrayModuleMap {
+            policy,
+            modules,
+            rng,
+        }
+    }
+
+    /// Module for accessing element `index` of array `array_id`, or `None`
+    /// under the ideal (conflict-free) policy.
+    pub fn module_for(&mut self, array_id: u32, index: i64) -> Option<u16> {
+        let k = self.modules as i64;
+        match &self.policy {
+            ArrayPlacement::Ideal => None,
+            ArrayPlacement::SameModule(m) => Some((*m as usize % self.modules) as u16),
+            ArrayPlacement::Interleaved => {
+                Some(((array_id as i64 + index).rem_euclid(k)) as u16)
+            }
+            ArrayPlacement::UniformRandom(_) => {
+                let r = self.rng.as_mut().expect("rng for uniform policy");
+                Some(r.gen_range(0..self.modules) as u16)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_never_assigns_a_module() {
+        let mut m = ArrayModuleMap::new(ArrayPlacement::Ideal, 4);
+        assert_eq!(m.module_for(0, 17), None);
+    }
+
+    #[test]
+    fn same_module_is_constant() {
+        let mut m = ArrayModuleMap::new(ArrayPlacement::SameModule(2), 4);
+        for i in 0..10 {
+            assert_eq!(m.module_for(3, i), Some(2));
+        }
+        // Out-of-range module wraps.
+        let mut m = ArrayModuleMap::new(ArrayPlacement::SameModule(9), 4);
+        assert_eq!(m.module_for(0, 0), Some(1));
+    }
+
+    #[test]
+    fn interleaved_cycles_through_modules() {
+        let mut m = ArrayModuleMap::new(ArrayPlacement::Interleaved, 4);
+        let mods: Vec<u16> = (0..8).map(|i| m.module_for(0, i).unwrap()).collect();
+        assert_eq!(mods, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        // Different arrays are offset.
+        assert_eq!(m.module_for(1, 0), Some(1));
+    }
+
+    #[test]
+    fn uniform_random_is_seeded() {
+        let mut a = ArrayModuleMap::new(ArrayPlacement::UniformRandom(7), 8);
+        let mut b = ArrayModuleMap::new(ArrayPlacement::UniformRandom(7), 8);
+        for i in 0..100 {
+            assert_eq!(a.module_for(0, i), b.module_for(0, i));
+        }
+        let mut c = ArrayModuleMap::new(ArrayPlacement::UniformRandom(8), 8);
+        let diff = (0..100).any(|i| {
+            let x = ArrayModuleMap::new(ArrayPlacement::UniformRandom(7), 8)
+                .module_for(0, i);
+            x != c.module_for(0, i)
+        });
+        assert!(diff);
+    }
+
+    #[test]
+    fn uniform_random_covers_all_modules() {
+        let mut m = ArrayModuleMap::new(ArrayPlacement::UniformRandom(1), 4);
+        let mut seen = [false; 4];
+        for i in 0..200 {
+            seen[m.module_for(0, i).unwrap() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn negative_index_wraps_safely() {
+        let mut m = ArrayModuleMap::new(ArrayPlacement::Interleaved, 4);
+        // Bounds errors are caught by the executor; the mapper must still be
+        // total.
+        assert!(m.module_for(0, -1).unwrap() < 4);
+    }
+}

@@ -1,0 +1,524 @@
+//! The lock-step RLIW machine: executes a scheduled program one long word
+//! per cycle, fetching each word's operands from the `k` parallel memory
+//! modules and stalling when several fetches hit the same module.
+//!
+//! Timing model (paper §3): a module performs one data transfer per Δ; all
+//! modules work in parallel, so a word's memory-transfer time is
+//! `max-load × Δ` where max-load is the busiest module's access count. The
+//! simulator reports actual transfer time under the chosen
+//! [`ArrayPlacement`], the analytic expectation under the uniform assumption
+//! (`t_ave` — computed exactly per executed word), and the usual execution
+//! statistics.
+
+use liw_ir::tac::{eval_op, Value};
+use liw_sched::{SOperand, SchedProgram, SchedTerm, SlotOp};
+use parmem_core::assignment::Assignment;
+use parmem_core::matching::makespan_schedule;
+use parmem_core::types::{ModuleId, ModuleSet, ValueId};
+
+use crate::arrays::{ArrayModuleMap, ArrayPlacement};
+use crate::model::MaxloadTable;
+
+/// Execution + memory statistics for one simulated run.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Long words executed.
+    pub words: u64,
+    /// Machine cycles, counting stalls (`max(1, makespan)` per word).
+    pub cycles: u64,
+    /// Total memory-transfer time in Δ units under the actual array policy
+    /// (Σ per-word max-load).
+    pub transfer_time: u64,
+    /// Exact expected transfer time under the paper's uniform-array
+    /// assumption, accumulated per executed word (`t_ave`).
+    pub expected_transfer_time: f64,
+    /// Words that performed at least one memory access.
+    pub mem_words: u64,
+    /// Words whose *scalar* fetches alone conflicted (should be 0 with a
+    /// verified assignment).
+    pub scalar_conflict_words: u64,
+    /// Scalar reads of values with no assigned module (should be 0).
+    pub unplaced_reads: u64,
+    /// makespan histogram: `makespan_hist[i]` = words with max-load `i`.
+    pub makespan_hist: Vec<u64>,
+    /// Accumulated analytic distribution Σ_w p_w(i) (divide by `mem_words`
+    /// for the paper's `p(i)`).
+    pub analytic_hist: Vec<f64>,
+    /// Extra write transfers for duplicated values (each definition of a
+    /// value with `c` copies schedules `c-1` module-to-module transfers).
+    pub copy_write_transfers: u64,
+    /// Transfers served per memory module (utilization profile).
+    pub module_transfers: Vec<u64>,
+    /// Operations executed.
+    pub ops: u64,
+    /// `print` output, in order.
+    pub output: Vec<Value>,
+}
+
+impl SimStats {
+    /// `t_min`: transfer time if no array access ever conflicts — every
+    /// memory word costs exactly the scalar makespan (1 with a verified
+    /// assignment).
+    pub fn t_min(&self) -> u64 {
+        self.mem_words
+    }
+
+    /// The paper's `p(i)`: probability that an instruction requires `i`
+    /// operands from the same memory module, under the uniform-array
+    /// assumption, averaged over the executed memory words.
+    pub fn p_distribution(&self) -> Vec<f64> {
+        if self.mem_words == 0 {
+            return Vec::new();
+        }
+        self.analytic_hist
+            .iter()
+            .map(|&s| s / self.mem_words as f64)
+            .collect()
+    }
+
+    fn bump_hist(&mut self, m: usize) {
+        if self.makespan_hist.len() <= m {
+            self.makespan_hist.resize(m + 1, 0);
+        }
+        self.makespan_hist[m] += 1;
+    }
+}
+
+/// Simulation errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// Executed more words than the fuel limit allows.
+    OutOfFuel,
+    /// Array index out of bounds.
+    Bounds {
+        /// Array name.
+        array: String,
+        /// Offending index.
+        index: i64,
+        /// Array length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::OutOfFuel => write!(f, "cycle limit exceeded"),
+            SimError::Bounds { array, index, len } => {
+                write!(f, "index {index} out of bounds for `{array}` (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+fn zero(ty: liw_ir::Ty) -> Value {
+    match ty {
+        liw_ir::Ty::Int => Value::Int(0),
+        liw_ir::Ty::Real => Value::Real(0.0),
+        liw_ir::Ty::Bool => Value::Bool(false),
+    }
+}
+
+/// Execute `prog` under `assignment` with the given array policy.
+///
+/// `fuel` bounds the number of executed words (use
+/// [`run`] for the default 100M).
+pub fn run_with_fuel(
+    prog: &SchedProgram,
+    assignment: &Assignment,
+    policy: ArrayPlacement,
+    mut fuel: u64,
+) -> Result<SimStats, SimError> {
+    assert_eq!(
+        assignment.modules(),
+        prog.spec.modules,
+        "assignment and machine must agree on k"
+    );
+    let k = prog.spec.modules;
+    let mut arrays_map = ArrayModuleMap::new(policy, k);
+    let mut table = MaxloadTable::new();
+
+    // Runtime state: one logical value per data value (all copies hold the
+    // same contents — copies are kept coherent by the compile-time-scheduled
+    // broadcast transfers counted below), plus array storage.
+    let mut values: Vec<Value> = (0..prog.n_values)
+        .map(|w| zero(prog.var_ty[prog.value_var[w].index()]))
+        .collect();
+    let mut arrays: Vec<Vec<Value>> = prog
+        .arrays
+        .iter()
+        .map(|a| vec![zero(a.elem); a.len])
+        .collect();
+
+    let mut stats = SimStats::default();
+    let mut block = prog.entry;
+
+    let read = |values: &[Value], o: &SOperand| -> Value {
+        match o {
+            SOperand::Const(c) => *c,
+            SOperand::Scalar(w) => values[*w as usize],
+        }
+    };
+
+    'outer: loop {
+        let b = &prog.blocks[block.index()];
+        for wi in 0..b.words.len() {
+            if fuel == 0 {
+                return Err(SimError::OutOfFuel);
+            }
+            fuel -= 1;
+            let word = &b.words[wi];
+
+            // ---- evaluate ops against the word-start snapshot ----
+            let mut scalar_writes: Vec<(u32, Value)> = Vec::new();
+            let mut array_writes: Vec<(usize, usize, Value)> = Vec::new();
+            let mut array_modules: Vec<Option<u16>> = Vec::new();
+            for op in &word.ops {
+                stats.ops += 1;
+                match op {
+                    SlotOp::Compute { dest, op, lhs, rhs } => {
+                        let a = read(&values, lhs);
+                        let b2 = rhs.as_ref().map(|r| read(&values, r));
+                        scalar_writes.push((*dest, eval_op(*op, a, b2)));
+                    }
+                    SlotOp::Load { dest, arr, index } => {
+                        let i = read(&values, index).as_int();
+                        let store = &arrays[arr.index()];
+                        if i < 0 || i as usize >= store.len() {
+                            return Err(SimError::Bounds {
+                                array: prog.arrays[arr.index()].name.clone(),
+                                index: i,
+                                len: store.len(),
+                            });
+                        }
+                        array_modules.push(arrays_map.module_for(arr.0, i));
+                        scalar_writes.push((*dest, store[i as usize]));
+                    }
+                    SlotOp::Store { arr, index, value } => {
+                        let i = read(&values, index).as_int();
+                        let v = read(&values, value);
+                        let store = &arrays[arr.index()];
+                        if i < 0 || i as usize >= store.len() {
+                            return Err(SimError::Bounds {
+                                array: prog.arrays[arr.index()].name.clone(),
+                                index: i,
+                                len: store.len(),
+                            });
+                        }
+                        array_modules.push(arrays_map.module_for(arr.0, i));
+                        array_writes.push((arr.index(), i as usize, v));
+                    }
+                    SlotOp::Print { value } => {
+                        stats.output.push(read(&values, value));
+                    }
+                    SlotOp::Select {
+                        cond,
+                        if_true,
+                        if_false,
+                        dest,
+                    } => {
+                        let v = if read(&values, cond).as_bool() {
+                            read(&values, if_true)
+                        } else {
+                            read(&values, if_false)
+                        };
+                        scalar_writes.push((*dest, v));
+                    }
+                }
+            }
+
+            // ---- memory accounting ----
+            let scalar_webs = b.word_operands(wi);
+            let mut op_sets: Vec<ModuleSet> = scalar_webs
+                .iter()
+                .map(|&w| assignment.copies(ValueId(w)))
+                .collect();
+            for s in op_sets.iter_mut() {
+                if s.is_empty() {
+                    stats.unplaced_reads += 1;
+                    *s = ModuleSet::singleton(ModuleId(0));
+                }
+            }
+            let (sched_mods, scalar_makespan) =
+                makespan_schedule(&op_sets).expect("no empty sets remain");
+            let mut loads = vec![0u32; k];
+            for &m in &sched_mods {
+                loads[m as usize] += 1;
+            }
+            if scalar_makespan > 1 {
+                stats.scalar_conflict_words += 1;
+            }
+
+            let n_array = array_modules.len();
+            let any_access = !scalar_webs.is_empty() || n_array > 0;
+
+            // Analytic expectation from scalar base loads + uniform arrays.
+            if any_access {
+                let (e, dist) = table.lookup(&loads, n_array).clone();
+                stats.expected_transfer_time += e;
+                if stats.analytic_hist.len() < dist.len() {
+                    stats.analytic_hist.resize(dist.len(), 0.0);
+                }
+                for (i, p) in dist.iter().enumerate() {
+                    stats.analytic_hist[i] += p;
+                }
+            }
+
+            // Actual max-load under the chosen policy.
+            for m in array_modules.iter().flatten() {
+                loads[*m as usize] += 1;
+            }
+            let mut makespan = *loads.iter().max().unwrap_or(&0) as usize;
+            if any_access {
+                makespan = makespan.max(1);
+            }
+
+            if stats.module_transfers.len() < k {
+                stats.module_transfers.resize(k, 0);
+            }
+            for (m, &l) in loads.iter().enumerate() {
+                stats.module_transfers[m] += l as u64;
+            }
+            stats.words += 1;
+            stats.cycles += makespan.max(1) as u64;
+            stats.transfer_time += makespan as u64;
+            if any_access {
+                stats.mem_words += 1;
+                stats.bump_hist(makespan);
+            }
+
+            // Copy-creation transfers: each def of a duplicated value
+            // broadcasts to its extra copies.
+            for &(w, _) in &scalar_writes {
+                let c = assignment.copies(ValueId(w)).len();
+                if c > 1 {
+                    stats.copy_write_transfers += (c - 1) as u64;
+                }
+            }
+
+            // ---- commit writes ----
+            for (w, v) in scalar_writes {
+                values[w as usize] = v;
+            }
+            for (a, i, v) in array_writes {
+                arrays[a][i] = v;
+            }
+        }
+
+        match &b.term {
+            SchedTerm::Jump(t) => block = *t,
+            SchedTerm::Branch {
+                cond,
+                then_to,
+                else_to,
+            } => {
+                block = if read(&values, cond).as_bool() {
+                    *then_to
+                } else {
+                    *else_to
+                };
+            }
+            SchedTerm::Halt => break 'outer,
+        }
+    }
+
+    Ok(stats)
+}
+
+/// Execute with the default fuel (10^8 words).
+pub fn run(
+    prog: &SchedProgram,
+    assignment: &Assignment,
+    policy: ArrayPlacement,
+) -> Result<SimStats, SimError> {
+    run_with_fuel(prog, assignment, policy, 100_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liw_sched::{compile_and_schedule, MachineSpec};
+    use parmem_core::assignment::{assign_trace, AssignParams};
+
+    fn setup(src: &str, k: usize) -> (SchedProgram, Assignment) {
+        let sp = compile_and_schedule(src, MachineSpec::with_modules(k)).unwrap();
+        let (a, r) = assign_trace(&sp.access_trace(), &AssignParams::default());
+        assert_eq!(r.residual_conflicts, 0, "assignment failed: {r:?}");
+        (sp, a)
+    }
+
+    const SUM: &str = "program t; var i, s, n: int;
+        begin
+          n := 50; s := 0;
+          for i := 1 to n do s := s + i;
+          print s;
+        end.";
+
+    #[test]
+    fn produces_same_output_as_reference_interpreter() {
+        let (sp, a) = setup(SUM, 8);
+        let stats = run(&sp, &a, ArrayPlacement::Interleaved).unwrap();
+        let reference = liw_ir::run_source(SUM).unwrap();
+        assert_eq!(stats.output, reference.output);
+        assert_eq!(stats.output, vec![Value::Int(1275)]);
+    }
+
+    #[test]
+    fn verified_assignment_has_no_scalar_conflicts() {
+        let (sp, a) = setup(SUM, 8);
+        let stats = run(&sp, &a, ArrayPlacement::Ideal).unwrap();
+        assert_eq!(stats.scalar_conflict_words, 0);
+        assert_eq!(stats.unplaced_reads, 0);
+        // Ideal arrays + conflict-free scalars → t == t_min.
+        assert_eq!(stats.transfer_time, stats.t_min());
+    }
+
+    #[test]
+    fn single_module_baseline_serializes() {
+        let (sp, _) = setup(SUM, 8);
+        let baseline = parmem_core::baseline::single_module(&sp.access_trace());
+        let stats = run(&sp, &baseline, ArrayPlacement::Ideal).unwrap();
+        // Words reading ≥2 scalars now stall.
+        assert!(stats.scalar_conflict_words > 0);
+        let good = setup(SUM, 8).1;
+        let good_stats = run(&sp, &good, ArrayPlacement::Ideal).unwrap();
+        assert!(stats.cycles > good_stats.cycles);
+        // Output is unaffected by conflicts.
+        assert_eq!(stats.output, good_stats.output);
+    }
+
+    const ARRAY_PROG: &str = "program t; var a: array[64] of int; i, s: int;
+        begin
+          for i := 0 to 63 do a[i] := i;
+          s := 0;
+          for i := 0 to 63 do s := s + a[i];
+          print s;
+        end.";
+
+    #[test]
+    fn array_policies_order_correctly() {
+        let (sp, a) = setup(ARRAY_PROG, 8);
+        let ideal = run(&sp, &a, ArrayPlacement::Ideal).unwrap();
+        let inter = run(&sp, &a, ArrayPlacement::Interleaved).unwrap();
+        let rand = run(&sp, &a, ArrayPlacement::UniformRandom(1)).unwrap();
+        let worst = run(&sp, &a, ArrayPlacement::SameModule(0)).unwrap();
+        assert_eq!(ideal.output, vec![Value::Int(2016)]);
+        assert_eq!(ideal.output, worst.output);
+        // t_min ≤ t_interleaved, t_random ≤ t_max.
+        assert!(ideal.transfer_time <= inter.transfer_time);
+        assert!(ideal.transfer_time <= rand.transfer_time);
+        assert!(inter.transfer_time <= worst.transfer_time);
+        assert!(rand.transfer_time <= worst.transfer_time);
+        // Analytic expectation sits between min and max too.
+        assert!(ideal.expected_transfer_time >= ideal.t_min() as f64 - 1e-9);
+        assert!(ideal.expected_transfer_time <= worst.transfer_time as f64 + 1e-9);
+    }
+
+    #[test]
+    fn analytic_matches_monte_carlo_average() {
+        let (sp, a) = setup(ARRAY_PROG, 4);
+        let analytic = run(&sp, &a, ArrayPlacement::Ideal)
+            .unwrap()
+            .expected_transfer_time;
+        // Average actual transfer over many random seeds.
+        let trials = 30;
+        let mut total = 0u64;
+        for seed in 0..trials {
+            total += run(&sp, &a, ArrayPlacement::UniformRandom(seed))
+                .unwrap()
+                .transfer_time;
+        }
+        let mc = total as f64 / trials as f64;
+        let rel = (analytic - mc).abs() / analytic;
+        assert!(rel < 0.05, "analytic {analytic} vs monte-carlo {mc}");
+    }
+
+    #[test]
+    fn copy_transfers_counted_for_duplicated_values() {
+        // Force duplication with a tiny k and a dense program.
+        let src = "program t; var a, b, c, d, e: int;
+            begin
+              a := 1; b := 2; c := 3; d := 4; e := 5;
+              a := b + c; b := c + d; c := d + e; d := e + a; e := a + b;
+              print a + b + c + d + e;
+            end.";
+        let sp = compile_and_schedule(src, MachineSpec::with_modules(3)).unwrap();
+        let (a, r) = assign_trace(&sp.access_trace(), &AssignParams::default());
+        assert_eq!(r.residual_conflicts, 0);
+        let stats = run(&sp, &a, ArrayPlacement::Ideal).unwrap();
+        let reference = liw_ir::run_source(src).unwrap();
+        assert_eq!(stats.output, reference.output);
+        if r.multi_copy > 0 {
+            assert!(stats.copy_write_transfers > 0);
+        }
+    }
+
+    #[test]
+    fn p_distribution_matches_paper_formula() {
+        // t_ave = Σ i·Δ·p(i) per memory word: recomputing the expected
+        // transfer time from p(i) must reproduce `expected_transfer_time`.
+        let (sp, a) = setup(ARRAY_PROG, 4);
+        let stats = run(&sp, &a, ArrayPlacement::Ideal).unwrap();
+        let p = stats.p_distribution();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9, "p sums to 1");
+        let t_ave_from_p: f64 = p
+            .iter()
+            .enumerate()
+            .map(|(i, &pi)| i as f64 * pi)
+            .sum::<f64>()
+            * stats.mem_words as f64;
+        assert!(
+            (t_ave_from_p - stats.expected_transfer_time).abs() < 1e-6,
+            "{t_ave_from_p} vs {}",
+            stats.expected_transfer_time
+        );
+    }
+
+    #[test]
+    fn fuel_limit_triggers() {
+        let (sp, a) = setup(SUM, 8);
+        match run_with_fuel(&sp, &a, ArrayPlacement::Ideal, 3) {
+            Err(SimError::OutOfFuel) => {}
+            other => panic!("expected OutOfFuel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounds_violation_detected() {
+        let src = "program t; var a: array[4] of int; i: int;
+            begin i := 9; a[i] := 1; end.";
+        let (sp, a) = setup(src, 8);
+        match run(&sp, &a, ArrayPlacement::Interleaved) {
+            Err(SimError::Bounds { index: 9, .. }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn module_utilization_is_balanced_under_good_layout() {
+        let (sp, a) = setup(ARRAY_PROG, 8);
+        let stats = run(&sp, &a, ArrayPlacement::Interleaved).unwrap();
+        assert_eq!(stats.module_transfers.len(), 8);
+        let total: u64 = stats.module_transfers.iter().sum();
+        assert!(total > 0);
+        // Single-module baseline concentrates everything on M1.
+        let baseline = parmem_core::baseline::single_module(&sp.access_trace());
+        let worst = run(&sp, &baseline, ArrayPlacement::SameModule(0)).unwrap();
+        assert_eq!(
+            worst.module_transfers.iter().sum::<u64>(),
+            worst.module_transfers[0],
+            "all traffic on module 0: {:?}",
+            worst.module_transfers
+        );
+    }
+
+    #[test]
+    fn cycles_at_least_words() {
+        let (sp, a) = setup(SUM, 8);
+        let stats = run(&sp, &a, ArrayPlacement::Ideal).unwrap();
+        assert!(stats.cycles >= stats.words);
+        assert!(stats.words > 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! End-to-end glue: MiniLang source → TAC → scheduled long words → memory
+//! module assignment → simulated execution. This is the programmatic API the
+//! benchmark harness and examples drive; each step is also usable on its
+//! own.
+
+use liw_ir::tac::TacProgram;
+use liw_sched::{schedule, MachineSpec, SchedProgram};
+use parmem_core::assignment::{Assignment, AssignmentReport, AssignParams};
+use parmem_core::strategies::{run_strategy, Strategy};
+
+use crate::arrays::ArrayPlacement;
+use crate::machine::{self, SimError, SimStats};
+
+/// A compiled program: the TAC (for the reference interpreter) plus the
+/// scheduled long-word form (for the RLIW).
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    /// Mid-level IR (runs on the reference interpreter).
+    pub tac: TacProgram,
+    /// Scheduled long-word form (runs on the RLIW simulator).
+    pub sched: SchedProgram,
+}
+
+/// Compile MiniLang source for a machine with the given spec.
+pub fn compile(src: &str, spec: MachineSpec) -> Result<CompiledProgram, Box<dyn std::error::Error>> {
+    let tac = liw_ir::compile(src)?;
+    let sched = schedule(&tac, spec);
+    Ok(CompiledProgram { tac, sched })
+}
+
+/// Compile with innermost-loop unrolling (raises ILP so wide instruction
+/// words actually fill; the paper's compiler achieved density through
+/// global trace scheduling instead).
+pub fn compile_unrolled(
+    src: &str,
+    spec: MachineSpec,
+    cfg: liw_ir::unroll::UnrollConfig,
+) -> Result<CompiledProgram, Box<dyn std::error::Error>> {
+    compile_with(
+        src,
+        spec,
+        CompileOptions {
+            unroll: Some(cfg),
+            optimize: false,
+            rename: true,
+        },
+    )
+}
+
+/// Full front-end configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CompileOptions {
+    /// Innermost-loop unrolling before lowering.
+    pub unroll: Option<liw_ir::unroll::UnrollConfig>,
+    /// Run the `liw-opt` scalar optimizer (value numbering, DCE, CFG
+    /// simplification) before scheduling.
+    pub optimize: bool,
+    /// Rename variables into per-definition data values (webs); `false` is
+    /// the ablation of the paper's §3 renaming remark.
+    pub rename: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            unroll: None,
+            optimize: true,
+            rename: true,
+        }
+    }
+}
+
+/// Compile with explicit front-end options.
+pub fn compile_with(
+    src: &str,
+    spec: MachineSpec,
+    opts: CompileOptions,
+) -> Result<CompiledProgram, Box<dyn std::error::Error>> {
+    let tac = match opts.unroll {
+        None => liw_ir::compile(src)?,
+        Some(cfg) => liw_ir::compile_unrolled(src, cfg)?,
+    };
+    let tac = if opts.optimize {
+        // A `select` reads three scalars, so if-conversion is only legal on
+        // machines with at least three memory ports (on a 2-port machine a
+        // select word could never be conflict-free).
+        let cfg = liw_opt::OptConfig {
+            if_convert: spec.mem_ports >= 3,
+        };
+        liw_opt::optimize_with(&tac, cfg).0
+    } else {
+        tac
+    };
+    let sched = liw_sched::schedule_with(
+        &tac,
+        spec,
+        liw_sched::ScheduleOptions {
+            rename: opts.rename,
+            priority: liw_sched::SchedulePriority::CriticalPath,
+        },
+    );
+    Ok(CompiledProgram { tac, sched })
+}
+
+/// Run a storage strategy over the scheduled program's trace.
+pub fn assign(
+    sched: &SchedProgram,
+    strategy: Strategy,
+    params: &AssignParams,
+) -> (Assignment, AssignmentReport) {
+    run_strategy(&sched.regionized_trace(), strategy, params)
+}
+
+/// The paper's Table 2 measurements for one program: transfer time under
+/// each array policy, plus the analytic expectation.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub program: String,
+    /// Machine size `k`.
+    pub modules: usize,
+    /// Δ-units if no array conflicts ever occur.
+    pub t_min: u64,
+    /// Exact expected transfer time under uniform array placement (paper's
+    /// `t_ave = Σ i·Δ·p(i)`).
+    pub t_ave_analytic: f64,
+    /// Measured transfer time with seeded uniform-random placement.
+    pub t_ave_measured: u64,
+    /// Measured transfer time with interleaved placement.
+    pub t_interleaved: u64,
+    /// Transfer time with every array in one module.
+    pub t_max: u64,
+}
+
+impl Table2Row {
+    /// `t_ave/t_min` (analytic).
+    pub fn ave_ratio(&self) -> f64 {
+        self.t_ave_analytic / self.t_min as f64
+    }
+
+    /// `t_max/t_min`.
+    pub fn max_ratio(&self) -> f64 {
+        self.t_max as f64 / self.t_min as f64
+    }
+
+    /// `t_interleaved/t_min`.
+    pub fn interleaved_ratio(&self) -> f64 {
+        self.t_interleaved as f64 / self.t_min as f64
+    }
+}
+
+/// Produce a Table 2 row by simulating under the four array policies.
+pub fn table2_row(
+    name: &str,
+    sched: &SchedProgram,
+    assignment: &Assignment,
+    seed: u64,
+) -> Result<Table2Row, SimError> {
+    let ideal = machine::run(sched, assignment, ArrayPlacement::Ideal)?;
+    let rand = machine::run(sched, assignment, ArrayPlacement::UniformRandom(seed))?;
+    let inter = machine::run(sched, assignment, ArrayPlacement::Interleaved)?;
+    let worst = machine::run(sched, assignment, ArrayPlacement::SameModule(0))?;
+    Ok(Table2Row {
+        program: name.to_string(),
+        modules: sched.spec.modules,
+        t_min: ideal.transfer_time,
+        t_ave_analytic: ideal.expected_transfer_time,
+        t_ave_measured: rand.transfer_time,
+        t_interleaved: inter.transfer_time,
+        t_max: worst.transfer_time,
+    })
+}
+
+/// Result of a full verified run: the simulated stats plus the reference
+/// interpreter's output/step count, with outputs checked for equality.
+#[derive(Clone, Debug)]
+pub struct VerifiedRun {
+    /// Simulator statistics.
+    pub stats: SimStats,
+    /// Sequential reference step count.
+    pub reference_steps: u64,
+    /// Speed-up of the LIW machine over a 1-op-per-cycle sequential machine
+    /// executing the same TAC (the paper reports 64–300%).
+    pub speedup: f64,
+}
+
+/// Simulate and cross-check against the reference interpreter. Panics if the
+/// simulated output diverges from the reference semantics (that would be a
+/// compiler/simulator bug, never a data-layout effect).
+pub fn verified_run(
+    prog: &CompiledProgram,
+    assignment: &Assignment,
+    policy: ArrayPlacement,
+) -> Result<VerifiedRun, Box<dyn std::error::Error>> {
+    let reference = liw_ir::run(&prog.tac)?;
+    let stats = machine::run(&prog.sched, assignment, policy)?;
+    assert_eq!(
+        stats.output, reference.output,
+        "scheduled execution diverged from reference semantics"
+    );
+    let speedup = reference.steps as f64 / stats.cycles as f64;
+    Ok(VerifiedRun {
+        stats,
+        reference_steps: reference.steps,
+        speedup,
+    })
+}
+
+/// Convenience: compile, assign with STOR1 + defaults, and run verified.
+pub fn quick_run(
+    src: &str,
+    k: usize,
+    policy: ArrayPlacement,
+) -> Result<(VerifiedRun, AssignmentReport), Box<dyn std::error::Error>> {
+    let prog = compile(src, MachineSpec::with_modules(k))?;
+    let (assignment, report) = assign(&prog.sched, Strategy::Stor1, &AssignParams::default());
+    let run = verified_run(&prog, &assignment, policy)?;
+    Ok((run, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROG: &str = "program demo; var a: array[32] of real; i: int; s: real;
+        begin
+          for i := 0 to 31 do a[i] := itor(i) * 0.5;
+          s := 0.0;
+          for i := 0 to 31 do s := s + a[i];
+          print s;
+        end.";
+
+    #[test]
+    fn quick_run_is_conflict_free_and_correct() {
+        let (run, report) = quick_run(PROG, 8, ArrayPlacement::Interleaved).unwrap();
+        assert_eq!(report.residual_conflicts, 0);
+        assert_eq!(run.stats.scalar_conflict_words, 0);
+        assert_eq!(run.stats.output.len(), 1);
+        assert!(run.speedup > 1.0, "LIW should beat sequential: {}", run.speedup);
+    }
+
+    #[test]
+    fn table2_row_orders_policies() {
+        let prog = compile(PROG, MachineSpec::with_modules(8)).unwrap();
+        let (a, _) = assign(&prog.sched, Strategy::Stor1, &AssignParams::default());
+        let row = table2_row("demo", &prog.sched, &a, 42).unwrap();
+        assert!(row.t_min <= row.t_ave_measured);
+        assert!(row.t_ave_measured <= row.t_max);
+        assert!(row.ave_ratio() >= 1.0);
+        assert!(row.max_ratio() >= row.ave_ratio() * 0.99);
+        // Analytic close to measured (one seed, so loose bound).
+        let rel = (row.t_ave_analytic - row.t_ave_measured as f64).abs()
+            / row.t_ave_analytic.max(1.0);
+        assert!(rel < 0.2, "analytic {} vs measured {}", row.t_ave_analytic, row.t_ave_measured);
+    }
+
+    #[test]
+    fn strategies_all_verify() {
+        let prog = compile(PROG, MachineSpec::with_modules(8)).unwrap();
+        for s in [Strategy::Stor1, Strategy::Stor2, Strategy::STOR3] {
+            let (a, r) = assign(&prog.sched, s, &AssignParams::default());
+            assert_eq!(r.residual_conflicts, 0, "{}", s.name());
+            let run = verified_run(&prog, &a, ArrayPlacement::Interleaved).unwrap();
+            assert_eq!(run.stats.scalar_conflict_words, 0, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn fewer_modules_increase_pressure() {
+        let p8 = compile(PROG, MachineSpec::with_modules(8)).unwrap();
+        let p2 = compile(PROG, MachineSpec::with_modules(2)).unwrap();
+        let (a8, _) = assign(&p8.sched, Strategy::Stor1, &AssignParams::default());
+        let (a2, _) = assign(&p2.sched, Strategy::Stor1, &AssignParams::default());
+        let r8 = verified_run(&p8, &a8, ArrayPlacement::Ideal).unwrap();
+        let r2 = verified_run(&p2, &a2, ArrayPlacement::Ideal).unwrap();
+        // A 2-wide machine needs at least as many words.
+        assert!(r2.stats.words >= r8.stats.words);
+    }
+}

@@ -1,0 +1,154 @@
+//! COLOR — greedy graph coloring (paper §3, test case 6: "the graph
+//! coloring algorithm presented in this paper").
+//!
+//! Largest-degree-first greedy coloring of a deterministic pseudo-random
+//! graph on 20 vertices, mirroring the structure of the paper's Fig. 4
+//! heuristic (order by weight, color with the first legal color).
+
+/// MiniLang source of COLOR.
+pub const SRC: &str = r#"
+program color;
+var
+  adj: array[400] of int;
+  colr: array[20] of int;
+  used: array[22] of int;
+  deg: array[20] of int;
+  order: array[20] of int;
+  n, i, j, c, v, best, t, maxc: int;
+begin
+  n := 20;
+
+  { deterministic pseudo-random graph }
+  for i := 0 to n - 1 do
+    for j := 0 to n - 1 do
+      adj[i * n + j] := 0;
+  for i := 0 to n - 1 do begin
+    for j := i + 1 to n - 1 do begin
+      if (i * 7 + j * 11 + i * j) mod 3 = 0 then begin
+        adj[i * n + j] := 1;
+        adj[j * n + i] := 1;
+      end;
+    end;
+  end;
+
+  { degrees and initial ordering }
+  for i := 0 to n - 1 do begin
+    t := 0;
+    for j := 0 to n - 1 do
+      t := t + adj[i * n + j];
+    deg[i] := t;
+    colr[i] := 0;
+    order[i] := i;
+  end;
+
+  { selection sort: descending degree, index tiebreak }
+  for i := 0 to n - 2 do begin
+    best := i;
+    for j := i + 1 to n - 1 do
+      if deg[order[j]] > deg[order[best]] then best := j;
+    t := order[i];
+    order[i] := order[best];
+    order[best] := t;
+  end;
+
+  { greedy coloring in that order }
+  maxc := 0;
+  for i := 0 to n - 1 do begin
+    v := order[i];
+    for c := 1 to n + 1 do used[c] := 0;
+    for j := 0 to n - 1 do
+      if adj[v * n + j] = 1 then
+        if colr[j] > 0 then used[colr[j]] := 1;
+    c := 1;
+    while used[c] = 1 do c := c + 1;
+    colr[v] := c;
+    if c > maxc then maxc := c;
+  end;
+
+  print maxc;
+  for i := 0 to n - 1 do print colr[i];
+end.
+"#;
+
+/// Rust reference: the same greedy algorithm.
+pub fn expected() -> (i64, Vec<i64>) {
+    let n = 20usize;
+    let mut adj = vec![false; n * n];
+    for i in 0..n {
+        for j in i + 1..n {
+            if (i * 7 + j * 11 + i * j) % 3 == 0 {
+                adj[i * n + j] = true;
+                adj[j * n + i] = true;
+            }
+        }
+    }
+    let deg: Vec<usize> = (0..n)
+        .map(|i| (0..n).filter(|&j| adj[i * n + j]).count())
+        .collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    // Selection sort, matching the program's stability behavior exactly.
+    for i in 0..n - 1 {
+        let mut best = i;
+        for j in i + 1..n {
+            if deg[order[j]] > deg[order[best]] {
+                best = j;
+            }
+        }
+        order.swap(i, best);
+    }
+    let mut color = vec![0i64; n];
+    let mut maxc = 0i64;
+    for &v in &order {
+        let mut used = vec![false; n + 2];
+        for j in 0..n {
+            if adj[v * n + j] && color[j] > 0 {
+                used[color[j] as usize] = true;
+            }
+        }
+        let mut c = 1i64;
+        while used[c as usize] {
+            c += 1;
+        }
+        color[v] = c;
+        maxc = maxc.max(c);
+    }
+    (maxc, color)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liw_ir::Value;
+
+    #[test]
+    fn matches_reference_greedy() {
+        let out = liw_ir::run_source(SRC).unwrap().output;
+        let (maxc, colors) = expected();
+        assert_eq!(out[0], Value::Int(maxc));
+        for (i, c) in colors.iter().enumerate() {
+            assert_eq!(out[i + 1], Value::Int(*c), "vertex {i}");
+        }
+    }
+
+    #[test]
+    fn coloring_is_proper() {
+        let out = liw_ir::run_source(SRC).unwrap().output;
+        let n = 20usize;
+        let colors: Vec<i64> = out[1..]
+            .iter()
+            .map(|v| match v {
+                Value::Int(c) => *c,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        for i in 0..n {
+            for j in i + 1..n {
+                if (i * 7 + j * 11 + i * j) % 3 == 0 {
+                    assert_ne!(colors[i], colors[j], "edge ({i},{j}) monochrome");
+                }
+            }
+        }
+        // Every vertex actually got a color.
+        assert!(colors.iter().all(|&c| c >= 1));
+    }
+}

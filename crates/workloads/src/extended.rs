@@ -1,0 +1,191 @@
+//! Extended workloads beyond the paper's six benchmarks — scientific
+//! kernels in the same spirit, used to widen the evaluation sweeps.
+//! Each is validated against a Rust reference like the originals.
+
+/// MATMUL — dense 8×8 integer matrix multiply.
+pub const MATMUL: &str = r#"
+program matmul;
+var
+  a: array[64] of int;
+  b: array[64] of int;
+  c: array[64] of int;
+  n, i, j, kk, s: int;
+begin
+  n := 8;
+  for i := 0 to n - 1 do begin
+    for j := 0 to n - 1 do begin
+      a[i * n + j] := (i * 3 + j * 5 + 1) mod 17;
+      b[i * n + j] := (i * 7 + j * 2 + 3) mod 13;
+    end;
+  end;
+  for i := 0 to n - 1 do begin
+    for j := 0 to n - 1 do begin
+      s := 0;
+      for kk := 0 to n - 1 do
+        s := s + a[i * n + kk] * b[kk * n + j];
+      c[i * n + j] := s;
+    end;
+  end;
+  for i := 0 to n * n - 1 do print c[i];
+end.
+"#;
+
+/// Rust reference for MATMUL.
+pub fn matmul_expected() -> Vec<i64> {
+    let n = 8usize;
+    let mut a = vec![0i64; n * n];
+    let mut b = vec![0i64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = ((i * 3 + j * 5 + 1) % 17) as i64;
+            b[i * n + j] = ((i * 7 + j * 2 + 3) % 13) as i64;
+        }
+    }
+    let mut c = vec![0i64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            c[i * n + j] = (0..n).map(|k| a[i * n + k] * b[k * n + j]).sum();
+        }
+    }
+    c
+}
+
+/// STENCIL — 1-D Jacobi relaxation, 20 sweeps over 64 points.
+pub const STENCIL: &str = r#"
+program stencil;
+var
+  u: array[64] of real;
+  v: array[64] of real;
+  n, i, t: int;
+begin
+  n := 64;
+  for i := 0 to n - 1 do
+    u[i] := sin(itor(i) * 0.2);
+  for t := 1 to 20 do begin
+    for i := 1 to n - 2 do
+      v[i] := (u[i - 1] + u[i] + u[i + 1]) / 3.0;
+    v[0] := u[0];
+    v[n - 1] := u[n - 1];
+    for i := 0 to n - 1 do
+      u[i] := v[i];
+  end;
+  for i := 0 to n - 1 do print u[i];
+end.
+"#;
+
+/// Rust reference for STENCIL.
+pub fn stencil_expected() -> Vec<f64> {
+    let n = 64usize;
+    let mut u: Vec<f64> = (0..n).map(|i| (i as f64 * 0.2).sin()).collect();
+    for _ in 0..20 {
+        let mut v = u.clone();
+        for i in 1..n - 1 {
+            v[i] = (u[i - 1] + u[i] + u[i + 1]) / 3.0;
+        }
+        u = v;
+    }
+    u
+}
+
+/// HIST — histogram of LCG samples with a final prefix-sum.
+pub const HIST: &str = r#"
+program hist;
+var
+  bins: array[16] of int;
+  n, i, seed, b: int;
+begin
+  n := 512;
+  for i := 0 to 15 do bins[i] := 0;
+  seed := 99;
+  for i := 1 to n do begin
+    seed := (seed * 1103515245 + 12345) mod 2147483648;
+    b := seed mod 16;
+    bins[b] := bins[b] + 1;
+  end;
+  { prefix sum }
+  for i := 1 to 15 do
+    bins[i] := bins[i] + bins[i - 1];
+  for i := 0 to 15 do print bins[i];
+end.
+"#;
+
+/// Rust reference for HIST.
+pub fn hist_expected() -> Vec<i64> {
+    let mut bins = [0i64; 16];
+    let mut seed = 99i64;
+    for _ in 0..512 {
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        bins[(seed % 16) as usize] += 1;
+    }
+    for i in 1..16 {
+        bins[i] += bins[i - 1];
+    }
+    bins.to_vec()
+}
+
+/// The extended benchmark list.
+pub fn extended() -> Vec<crate::Benchmark> {
+    vec![
+        crate::Benchmark {
+            name: "MATMUL",
+            source: MATMUL,
+        },
+        crate::Benchmark {
+            name: "STENCIL",
+            source: STENCIL,
+        },
+        crate::Benchmark {
+            name: "HIST",
+            source: HIST,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liw_ir::Value;
+
+    #[test]
+    fn matmul_matches_reference() {
+        let out = liw_ir::run_source(MATMUL).unwrap().output;
+        let exp = matmul_expected();
+        assert_eq!(out.len(), exp.len());
+        for (g, w) in out.iter().zip(&exp) {
+            assert_eq!(*g, Value::Int(*w));
+        }
+    }
+
+    #[test]
+    fn stencil_matches_reference() {
+        let out = liw_ir::run_source(STENCIL).unwrap().output;
+        let exp = stencil_expected();
+        assert_eq!(out.len(), exp.len());
+        for (g, w) in out.iter().zip(&exp) {
+            match g {
+                Value::Real(v) => assert!((v - w).abs() < 1e-9, "{v} vs {w}"),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hist_matches_reference() {
+        let out = liw_ir::run_source(HIST).unwrap().output;
+        let exp = hist_expected();
+        for (g, w) in out.iter().zip(&exp) {
+            assert_eq!(*g, Value::Int(*w));
+        }
+        // The prefix sum must end at the sample count.
+        assert_eq!(out.last(), Some(&Value::Int(512)));
+    }
+
+    #[test]
+    fn extended_list_is_complete() {
+        let e = extended();
+        assert_eq!(e.len(), 3);
+        for b in e {
+            liw_ir::compile(b.source).unwrap_or_else(|err| panic!("{}: {err}", b.name));
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! FFT — iterative radix-2 fast Fourier transform, n = 64
+//! (paper §3, test case 4).
+//!
+//! In-place decimation-in-time: bit-reversal permutation followed by
+//! log₂(n) butterfly stages with recurrence-updated twiddle factors.
+
+/// MiniLang source of FFT.
+pub const SRC: &str = r#"
+program fft;
+var
+  re: array[64] of real;
+  im: array[64] of real;
+  n, i, j, kk, le, le2, ip: int;
+  ur, ui, sr, si_, tr, ti, pi: real;
+begin
+  n := 64;
+  pi := 3.141592653589793;
+
+  { deterministic input signal }
+  for i := 0 to n - 1 do begin
+    re[i] := cos(itor(i) * 0.3) + 0.5 * cos(itor(i) * 1.1);
+    im[i] := 0.0;
+  end;
+
+  { bit-reversal permutation }
+  j := 0;
+  for i := 0 to n - 2 do begin
+    if i < j then begin
+      tr := re[i]; re[i] := re[j]; re[j] := tr;
+      ti := im[i]; im[i] := im[j]; im[j] := ti;
+    end;
+    kk := n div 2;
+    while kk <= j do begin
+      j := j - kk;
+      kk := kk div 2;
+    end;
+    j := j + kk;
+  end;
+
+  { butterfly stages }
+  le := 2;
+  while le <= n do begin
+    le2 := le div 2;
+    ur := 1.0;
+    ui := 0.0;
+    sr := cos(pi / itor(le2));
+    si_ := 0.0 - sin(pi / itor(le2));
+    for j := 0 to le2 - 1 do begin
+      i := j;
+      while i < n do begin
+        ip := i + le2;
+        tr := re[ip] * ur - im[ip] * ui;
+        ti := re[ip] * ui + im[ip] * ur;
+        re[ip] := re[i] - tr;
+        im[ip] := im[i] - ti;
+        re[i] := re[i] + tr;
+        im[i] := im[i] + ti;
+        i := i + le;
+      end;
+      tr := ur;
+      ur := tr * sr - ui * si_;
+      ui := tr * si_ + ui * sr;
+    end;
+    le := le * 2;
+  end;
+
+  for i := 0 to n - 1 do begin
+    print re[i];
+    print im[i];
+  end;
+end.
+"#;
+
+/// Rust reference: naive O(n²) DFT of the same input (independent of the
+/// program's algorithm — validates the FFT against the definition).
+pub fn expected() -> Vec<(f64, f64)> {
+    let n = 64usize;
+    let input: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            (
+                (i as f64 * 0.3).cos() + 0.5 * (i as f64 * 1.1).cos(),
+                0.0,
+            )
+        })
+        .collect();
+    (0..n)
+        .map(|k| {
+            let mut acc = (0.0f64, 0.0f64);
+            for (t, &(xr, xi)) in input.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                let (c, s) = (ang.cos(), ang.sin());
+                acc.0 += xr * c - xi * s;
+                acc.1 += xr * s + xi * c;
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liw_ir::Value;
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let out = liw_ir::run_source(SRC).unwrap().output;
+        let exp = expected();
+        assert_eq!(out.len(), exp.len() * 2);
+        for (k, &(er, ei)) in exp.iter().enumerate() {
+            let gr = match out[2 * k] {
+                Value::Real(v) => v,
+                ref o => panic!("{o:?}"),
+            };
+            let gi = match out[2 * k + 1] {
+                Value::Real(v) => v,
+                ref o => panic!("{o:?}"),
+            };
+            assert!(
+                (gr - er).abs() < 1e-6 && (gi - ei).abs() < 1e-6,
+                "bin {k}: got ({gr},{gi}), want ({er},{ei})"
+            );
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let out = liw_ir::run_source(SRC).unwrap().output;
+        let n = 64usize;
+        let spec_energy: f64 = (0..n)
+            .map(|k| {
+                let r = match out[2 * k] {
+                    Value::Real(v) => v,
+                    _ => unreachable!(),
+                };
+                let i = match out[2 * k + 1] {
+                    Value::Real(v) => v,
+                    _ => unreachable!(),
+                };
+                r * r + i * i
+            })
+            .sum();
+        let time_energy: f64 = (0..n)
+            .map(|i| {
+                let x = (i as f64 * 0.3).cos() + 0.5 * (i as f64 * 1.1).cos();
+                x * x
+            })
+            .sum();
+        assert!(
+            (spec_energy / n as f64 - time_energy).abs() < 1e-6,
+            "Parseval violated: {spec_energy} vs {time_energy}"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+#![warn(missing_docs)]
+
+//! # workloads
+//!
+//! The six benchmark programs of Gupta & Soffa (PPOPP '88 §3), rewritten in
+//! MiniLang: Taylor coefficients for complex (TAYLOR1) and real (TAYLOR2)
+//! analytic functions, a residue-arithmetic linear solver (EXACT), a
+//! radix-2 FFT (FFT), iterative quicksort (SORT), and the paper's own
+//! greedy graph-coloring algorithm (COLOR).
+//!
+//! Every program is validated against an independent Rust reference
+//! implementation; the integration tests additionally check that the
+//! scheduled RLIW execution reproduces the reference output exactly.
+
+pub mod color;
+pub mod extended;
+pub mod exact;
+pub mod fft;
+pub mod sort;
+pub mod taylor1;
+pub mod taylor2;
+
+/// One named benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct Benchmark {
+    /// Display name (paper's Table 1 spelling).
+    pub name: &'static str,
+    /// MiniLang source text.
+    pub source: &'static str,
+}
+
+/// All six benchmarks in the paper's Table 1 order.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "TAYLOR1",
+            source: taylor1::SRC,
+        },
+        Benchmark {
+            name: "TAYLOR2",
+            source: taylor2::SRC,
+        },
+        Benchmark {
+            name: "EXACT",
+            source: exact::SRC,
+        },
+        Benchmark {
+            name: "FFT",
+            source: fft::SRC,
+        },
+        Benchmark {
+            name: "SORT",
+            source: sort::SRC,
+        },
+        Benchmark {
+            name: "COLOR",
+            source: color::SRC,
+        },
+    ]
+}
+
+/// The six paper benchmarks plus the extended kernels (MATMUL, STENCIL,
+/// HIST).
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    let mut v = benchmarks();
+    v.extend(extended::extended());
+    v
+}
+
+/// Look a benchmark up by (case-insensitive) name, searching the extended
+/// set too.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    all_benchmarks()
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_compile() {
+        for b in benchmarks() {
+            liw_ir::compile(b.source).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_run_and_produce_output() {
+        for b in benchmarks() {
+            let r = liw_ir::run_source(b.source).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(!r.output.is_empty(), "{} printed nothing", b.name);
+            assert!(r.steps > 100, "{} is trivially small", b.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("fft").unwrap().name, "FFT");
+        assert!(by_name("nope").is_none());
+        assert_eq!(benchmarks().len(), 6);
+    }
+}

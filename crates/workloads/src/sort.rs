@@ -1,0 +1,102 @@
+//! SORT — quicksort, n = 128 (paper §3, test case 5).
+//!
+//! Iterative Hoare-partition quicksort driven by an explicit segment stack
+//! (MiniLang has no procedures, matching the restricted RLIW source
+//! language). Input comes from an LCG so the run is deterministic.
+
+/// MiniLang source of SORT.
+pub const SRC: &str = r#"
+program sort;
+var
+  a: array[128] of int;
+  stlo: array[64] of int;
+  sthi: array[64] of int;
+  n, i, sp, lo, hi, pivot, li, ri, t, seed: int;
+begin
+  n := 128;
+
+  { LCG-generated input }
+  seed := 12345;
+  for i := 0 to n - 1 do begin
+    seed := (seed * 1103515245 + 12345) mod 2147483648;
+    a[i] := seed mod 1000;
+  end;
+
+  { iterative quicksort }
+  stlo[0] := 0;
+  sthi[0] := n - 1;
+  sp := 1;
+  while sp > 0 do begin
+    sp := sp - 1;
+    lo := stlo[sp];
+    hi := sthi[sp];
+    if lo < hi then begin
+      pivot := a[(lo + hi) div 2];
+      li := lo;
+      ri := hi;
+      while li <= ri do begin
+        while a[li] < pivot do li := li + 1;
+        while a[ri] > pivot do ri := ri - 1;
+        if li <= ri then begin
+          t := a[li]; a[li] := a[ri]; a[ri] := t;
+          li := li + 1;
+          ri := ri - 1;
+        end;
+      end;
+      if lo < ri then begin
+        stlo[sp] := lo; sthi[sp] := ri; sp := sp + 1;
+      end;
+      if li < hi then begin
+        stlo[sp] := li; sthi[sp] := hi; sp := sp + 1;
+      end;
+    end;
+  end;
+
+  for i := 0 to n - 1 do print a[i];
+end.
+"#;
+
+/// Rust reference: same LCG input, sorted.
+pub fn expected() -> Vec<i64> {
+    let n = 128usize;
+    let mut seed = 12345i64;
+    let mut v: Vec<i64> = (0..n)
+        .map(|_| {
+            seed = (seed * 1103515245 + 12345) % 2147483648;
+            seed % 1000
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liw_ir::Value;
+
+    #[test]
+    fn output_is_the_sorted_input() {
+        let out = liw_ir::run_source(SRC).unwrap().output;
+        let exp = expected();
+        assert_eq!(out.len(), exp.len());
+        for (got, want) in out.iter().zip(&exp) {
+            assert_eq!(*got, Value::Int(*want));
+        }
+    }
+
+    #[test]
+    fn output_is_nondecreasing() {
+        let out = liw_ir::run_source(SRC).unwrap().output;
+        let vals: Vec<i64> = out
+            .iter()
+            .map(|v| match v {
+                Value::Int(i) => *i,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+        // Real data, not constant.
+        assert!(vals.first() != vals.last());
+    }
+}

@@ -1,0 +1,109 @@
+//! TAYLOR1 — Taylor coefficients of a *complex* analytic function
+//! (paper §3, test case 1).
+//!
+//! Computes the series of `f(z) = exp(g(z))` for a complex input series
+//! `g`, via the classic recurrence `n·f_n = Σ_{k=1..n} k·g_k·f_{n-k}`
+//! carried out in explicit real/imaginary arithmetic — exactly the kind of
+//! scalar-heavy inner loop the paper's allocator targets.
+
+/// MiniLang source of TAYLOR1.
+pub const SRC: &str = r#"
+program taylor1;
+var
+  gre: array[24] of real;
+  gim: array[24] of real;
+  fre: array[24] of real;
+  fim: array[24] of real;
+  n, i, kk: int;
+  sre, sim_, ar, ai, br, bi, e0: real;
+begin
+  n := 20;
+  { deterministic complex input series }
+  for i := 0 to n do begin
+    gre[i] := 1.0 / itor(i + 1);
+    gim[i] := 0.5 / itor(i + i + 1);
+  end;
+  { f0 = exp(g0):  exp(a+bi) = e^a (cos b + i sin b) }
+  e0 := exp(gre[0]);
+  fre[0] := e0 * cos(gim[0]);
+  fim[0] := e0 * sin(gim[0]);
+  { n*f(n) = sum over k=1..n of k*g(k)*f(n-k) }
+  for i := 1 to n do begin
+    sre := 0.0;
+    sim_ := 0.0;
+    for kk := 1 to i do begin
+      ar := itor(kk) * gre[kk];
+      ai := itor(kk) * gim[kk];
+      br := fre[i - kk];
+      bi := fim[i - kk];
+      sre := sre + ar * br - ai * bi;
+      sim_ := sim_ + ar * bi + ai * br;
+    end;
+    fre[i] := sre / itor(i);
+    fim[i] := sim_ / itor(i);
+  end;
+  for i := 0 to n do begin
+    print fre[i];
+    print fim[i];
+  end;
+end.
+"#;
+
+/// Rust reference: the same recurrence in `f64` complex arithmetic. Returns
+/// interleaved `(re, im)` pairs matching the program's print order.
+pub fn expected() -> Vec<f64> {
+    let n = 20usize;
+    let mut g = vec![(0.0f64, 0.0f64); n + 1];
+    for (i, gi) in g.iter_mut().enumerate() {
+        *gi = (
+            1.0 / (i as f64 + 1.0),
+            0.5 / ((i + i) as f64 + 1.0),
+        );
+    }
+    let mut f = vec![(0.0f64, 0.0f64); n + 1];
+    let e0 = g[0].0.exp();
+    f[0] = (e0 * g[0].1.cos(), e0 * g[0].1.sin());
+    for i in 1..=n {
+        let (mut sre, mut sim) = (0.0, 0.0);
+        for k in 1..=i {
+            let (ar, ai) = (k as f64 * g[k].0, k as f64 * g[k].1);
+            let (br, bi) = f[i - k];
+            sre += ar * br - ai * bi;
+            sim += ar * bi + ai * br;
+        }
+        f[i] = (sre / i as f64, sim / i as f64);
+    }
+    f.into_iter().flat_map(|(r, i)| [r, i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liw_ir::Value;
+
+    #[test]
+    fn matches_reference_implementation() {
+        let out = liw_ir::run_source(SRC).unwrap().output;
+        let exp = expected();
+        assert_eq!(out.len(), exp.len());
+        for (got, want) in out.iter().zip(&exp) {
+            match got {
+                Value::Real(v) => {
+                    assert!((v - want).abs() < 1e-9, "got {v}, want {want}")
+                }
+                other => panic!("expected real, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn first_coefficient_is_exp_g0() {
+        let out = liw_ir::run_source(SRC).unwrap().output;
+        // f0.re = e^{1.0} cos(0.5)
+        let want = 1.0f64.exp() * 0.5f64.cos();
+        match out[0] {
+            Value::Real(v) => assert!((v - want).abs() < 1e-12),
+            ref other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! TAYLOR2 — Taylor coefficients of a *real* analytic function
+//! (paper §3, test case 2).
+//!
+//! Computes the series of two functions of a real input series `g`:
+//! `f = exp(g)` (product recurrence) and `h = 1/(1-g)` (geometric
+//! recurrence), printing both.
+
+/// MiniLang source of TAYLOR2.
+pub const SRC: &str = r#"
+program taylor2;
+var
+  g: array[32] of real;
+  f: array[32] of real;
+  h: array[32] of real;
+  n, i, kk: int;
+  s, t: real;
+begin
+  n := 24;
+  { input series: g(x) with g0 = 0 so 1/(1-g) is well defined }
+  g[0] := 0.0;
+  for i := 1 to n do
+    g[i] := 1.0 / itor(i * i + 1);
+
+  { f = exp(g):  n*f(n) = sum over k=1..n of k*g(k)*f(n-k) }
+  f[0] := exp(g[0]);
+  for i := 1 to n do begin
+    s := 0.0;
+    for kk := 1 to i do
+      s := s + itor(kk) * g[kk] * f[i - kk];
+    f[i] := s / itor(i);
+  end;
+
+  { h = 1/(1-g):  h(n) = sum over k=1..n of g(k)*h(n-k),  h(0) = 1/(1-g(0)) }
+  h[0] := 1.0 / (1.0 - g[0]);
+  for i := 1 to n do begin
+    t := 0.0;
+    for kk := 1 to i do
+      t := t + g[kk] * h[i - kk];
+    h[i] := t * h[0];
+  end;
+
+  for i := 0 to n do print f[i];
+  for i := 0 to n do print h[i];
+end.
+"#;
+
+/// Rust reference for the same two recurrences.
+pub fn expected() -> Vec<f64> {
+    let n = 24usize;
+    let mut g = vec![0.0f64; n + 1];
+    for (i, gi) in g.iter_mut().enumerate().skip(1) {
+        *gi = 1.0 / ((i * i) as f64 + 1.0);
+    }
+    let mut f = vec![0.0f64; n + 1];
+    f[0] = g[0].exp();
+    for i in 1..=n {
+        let s: f64 = (1..=i).map(|k| k as f64 * g[k] * f[i - k]).sum();
+        f[i] = s / i as f64;
+    }
+    let mut h = vec![0.0f64; n + 1];
+    h[0] = 1.0 / (1.0 - g[0]);
+    for i in 1..=n {
+        let t: f64 = (1..=i).map(|k| g[k] * h[i - k]).sum();
+        h[i] = t * h[0];
+    }
+    f.into_iter().chain(h).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liw_ir::Value;
+
+    #[test]
+    fn matches_reference_implementation() {
+        let out = liw_ir::run_source(SRC).unwrap().output;
+        let exp = expected();
+        assert_eq!(out.len(), exp.len());
+        for (got, want) in out.iter().zip(&exp) {
+            match got {
+                Value::Real(v) => {
+                    assert!((v - want).abs() < 1e-9, "got {v}, want {want}")
+                }
+                other => panic!("expected real, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn exp_of_zero_series_head_is_one() {
+        let out = liw_ir::run_source(SRC).unwrap().output;
+        match out[0] {
+            Value::Real(v) => assert!((v - 1.0).abs() < 1e-12, "f0 = e^0 = 1, got {v}"),
+            ref other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Ablation for the paper's §3 closing remark: *"the results would likely
+//! be improved by first applying renaming techniques to the code to remove
+//! storage related dependences ... each renamed definition can be assigned
+//! to a different memory module."*
+//!
+//! Compares the full pipeline with per-definition renaming (webs) against a
+//! one-location-per-variable baseline: conflict-graph size, schedule length
+//! (renaming also removes WAW/WAR serialization), duplication, and cycles.
+//!
+//! ```text
+//! cargo run --example renaming_ablation
+//! ```
+
+use liw_sched::{schedule_with, MachineSpec, ScheduleOptions};
+use parallel_memories::core::graph::ConflictGraph;
+use parallel_memories::core::prelude::*;
+use parallel_memories::sim::{self, ArrayPlacement};
+
+fn main() {
+    let k = 8;
+    println!(
+        "{:<8} | {:>7} {:>6} {:>6} {:>5} {:>7} | {:>7} {:>6} {:>6} {:>5} {:>7}",
+        "", "renamed", "", "", "", "", "1-loc", "", "", "", ""
+    );
+    println!(
+        "{:<8} | {:>7} {:>6} {:>6} {:>5} {:>7} | {:>7} {:>6} {:>6} {:>5} {:>7}",
+        "program", "values", "edges", "words", "dup", "cycles", "values", "edges", "words", "dup", "cycles"
+    );
+    println!("{}", "-".repeat(100));
+
+    for b in workloads::benchmarks() {
+        let tac = liw_ir::compile(b.source).unwrap();
+        let reference = liw_ir::run(&tac).unwrap();
+        let mut cells = Vec::new();
+        for rename in [true, false] {
+            let sp = schedule_with(
+                &tac,
+                MachineSpec::with_modules(k),
+                ScheduleOptions { rename, ..Default::default() },
+            );
+            let trace = sp.access_trace();
+            let g = ConflictGraph::build(&trace);
+            let (a, report) = assign_trace(&trace, &AssignParams::default());
+            assert_eq!(report.residual_conflicts, 0);
+            let run = sim::run(&sp, &a, ArrayPlacement::Interleaved).unwrap();
+            assert_eq!(run.output, reference.output, "semantics must not change");
+            cells.push((
+                g.len(),
+                g.edge_count(),
+                sp.word_count(),
+                report.multi_copy,
+                run.cycles,
+            ));
+        }
+        let (rv, re, rw, rd, rc) = cells[0];
+        let (nv, ne, nw, nd, nc) = cells[1];
+        println!(
+            "{:<8} | {:>7} {:>6} {:>6} {:>5} {:>7} | {:>7} {:>6} {:>6} {:>5} {:>7}",
+            b.name, rv, re, rw, rd, rc, nv, ne, nw, nd, nc
+        );
+    }
+    println!(
+        "\nOn the six benchmarks the two pipelines nearly coincide: the front end\n\
+         already gives every expression a fresh temporary, so there is little\n\
+         storage reuse left to split. The effect the paper predicts appears when\n\
+         a source program *reuses* a scalar across independent computations:"
+    );
+
+    // A kernel that reuses one temporary `t` across independent chains.
+    // Without renaming, `t` is a single location: WAW/WAR dependences
+    // serialize the chains and every use conflicts with every other.
+    let reuse = "program reuse; var a, b, c, d, e, f, g, h, t, x, y, z, w: int;
+        begin
+          a := 1; b := 2; c := 3; d := 4; e := 5; f := 6; g := 7; h := 8;
+          t := a * b;  x := t + c;
+          t := c * d;  y := t + e;
+          t := e * f;  z := t + g;
+          t := g * h;  w := t + a;
+          print x + y + z + w;
+        end.";
+    let tac = liw_ir::compile(reuse).unwrap();
+    let reference = liw_ir::run(&tac).unwrap();
+    println!();
+    for rename in [true, false] {
+        let sp = schedule_with(
+            &tac,
+            MachineSpec::with_modules(k),
+            ScheduleOptions { rename, ..Default::default() },
+        );
+        let trace = sp.access_trace();
+        let (a, report) = assign_trace(&trace, &AssignParams::default());
+        let run = sim::run(&sp, &a, ArrayPlacement::Interleaved).unwrap();
+        assert_eq!(run.output, reference.output);
+        assert_eq!(report.residual_conflicts, 0);
+        println!(
+            "reused-temp kernel, rename={rename}: {} words, {} cycles",
+            sp.word_count(),
+            run.cycles
+        );
+    }
+    println!(
+        "\nrenaming dissolves the reused temporary into one data value per\n\
+         definition, removing the WAW/WAR chain — exactly the improvement the\n\
+         paper's closing remark predicts."
+    );
+}

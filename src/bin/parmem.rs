@@ -1,0 +1,171 @@
+//! `parmem` — command-line front end to the whole reproduction.
+//!
+//! ```text
+//! parmem assign <trace-file> [--backtrack] [--no-atoms]
+//!     Assign memory modules for a text access trace (see
+//!     `parmem_core::trace_io` for the format) and print the module map.
+//!
+//! parmem compile <minilang-file> [-k <modules>] [--unroll <factor>]
+//!                [--no-opt] [--stor 1|2|3]
+//!     Compile a MiniLang program, assign modules, simulate on the RLIW,
+//!     and report cycles / conflicts / speed-up.
+//!
+//! parmem run <minilang-file>
+//!     Interpret a MiniLang program directly and print its output.
+//! ```
+
+use std::process::ExitCode;
+
+use parallel_memories::core::prelude::*;
+use parallel_memories::core::trace_io;
+use parallel_memories::sim::{self, ArrayPlacement, CompileOptions};
+use liw_sched::MachineSpec;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("assign") => cmd_assign(&args[1..]),
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        _ => {
+            eprintln!("usage: parmem <assign|compile|run> <file> [options]");
+            eprintln!("       see crate docs for details");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("parmem: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn opt_value<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn file_arg(args: &[String]) -> Result<String, Box<dyn std::error::Error>> {
+    args.iter()
+        .find(|a| !a.starts_with('-') && a.parse::<f64>().is_err())
+        .cloned()
+        .ok_or_else(|| "missing input file".into())
+}
+
+fn cmd_assign(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = file_arg(args)?;
+    let text = std::fs::read_to_string(&path)?;
+    let named = trace_io::parse_trace(&text)?;
+    let params = AssignParams {
+        duplication: if flag(args, "--backtrack") {
+            DuplicationStrategy::Backtrack
+        } else {
+            DuplicationStrategy::HittingSet
+        },
+        use_atoms: !flag(args, "--no-atoms"),
+        ..AssignParams::default()
+    };
+    let (assignment, report) = assign_trace(&named.trace, &params);
+
+    let k = named.trace.modules;
+    println!(
+        "{} instructions, {} values, {} modules",
+        named.trace.instructions.len(),
+        named.names.len(),
+        k
+    );
+    let header: Vec<String> = (0..k as u16).map(|m| format!("M{}", m + 1)).collect();
+    let width = named.names.iter().map(|n| n.len()).max().unwrap_or(2).max(5);
+    println!("{:>width$}  {}", "value", header.join(" "));
+    for v in named.trace.distinct_values() {
+        let copies = assignment.copies(v);
+        let row: Vec<String> = (0..k as u16)
+            .map(|m| {
+                if copies.contains(ModuleId(m)) {
+                    format!("{:<2}", "x")
+                } else {
+                    format!("{:<2}", "-")
+                }
+            })
+            .collect();
+        println!("{:>width$}  {}", named.name(v), row.join(" "));
+    }
+    println!(
+        "\nsingle-copy {}  duplicated {}  extra copies {}  residual conflicts {}",
+        report.single_copy, report.multi_copy, report.extra_copies, report.residual_conflicts
+    );
+    if report.residual_conflicts > 0 {
+        println!("warning: some instructions have more operands than modules");
+    }
+    Ok(())
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = file_arg(args)?;
+    let src = std::fs::read_to_string(&path)?;
+    let k: usize = opt_value(args, "-k").unwrap_or(8);
+    let opts = CompileOptions {
+        unroll: opt_value::<usize>(args, "--unroll").map(|factor| liw_ir::unroll::UnrollConfig {
+            factor,
+            max_body_stmts: 16,
+        }),
+        optimize: !flag(args, "--no-opt"),
+        rename: true,
+    };
+    let strategy = match opt_value::<u32>(args, "--stor") {
+        Some(2) => Strategy::Stor2,
+        Some(3) => Strategy::STOR3,
+        _ => Strategy::Stor1,
+    };
+
+    let prog = sim::compile_with(&src, MachineSpec::with_modules(k), opts)?;
+    let trace = prog.sched.access_trace();
+    println!(
+        "compiled `{path}`: {} long words (static), {} data values, k={k}",
+        trace.instructions.len(),
+        trace.distinct_values().len()
+    );
+    let (assignment, report) = sim::assign(&prog.sched, strategy, &AssignParams::default());
+    println!(
+        "{}: single-copy {}  duplicated {}  residual conflicts {}",
+        strategy.name(),
+        report.single_copy,
+        report.multi_copy,
+        report.residual_conflicts
+    );
+    let run = sim::verified_run(&prog, &assignment, ArrayPlacement::Interleaved)?;
+    println!(
+        "executed {} words in {} cycles  (transfer time {}Δ, scalar-conflict words {})",
+        run.stats.words, run.stats.cycles, run.stats.transfer_time, run.stats.scalar_conflict_words
+    );
+    println!(
+        "speed-up over sequential: {:.0}%",
+        (run.speedup - 1.0) * 100.0
+    );
+    if !run.stats.output.is_empty() {
+        println!("\noutput ({} values):", run.stats.output.len());
+        for v in &run.stats.output {
+            println!("  {v}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = file_arg(args)?;
+    let src = std::fs::read_to_string(&path)?;
+    let result = liw_ir::run_source(&src)?;
+    for v in &result.output {
+        println!("{v}");
+    }
+    eprintln!("({} steps)", result.steps);
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! # parallel-memories
+//!
+//! Façade crate re-exporting the whole workspace: a full reproduction of
+//! Gupta & Soffa, *Compile-time Techniques for Efficient Utilization of
+//! Parallel Memories* (PPOPP 1988).
+//!
+//! * [`core`] (`parmem-core`) — the paper's contribution: conflict-graph
+//!   construction, clique-separator atoms, the weighted-urgency coloring
+//!   heuristic, and the backtracking / hitting-set duplication+placement
+//!   algorithms.
+//! * [`ir`] (`liw-ir`) — MiniLang front end and three-address IR.
+//! * [`sched`] (`liw-sched`) — long-instruction-word list scheduler.
+//! * [`sim`] (`rliw-sim`) — lock-step RLIW machine simulator with parallel
+//!   memory modules.
+//! * [`workloads`] — the paper's six benchmark programs in MiniLang.
+//!
+//! See the repository `README.md` for a tour and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+pub use liw_ir as ir;
+pub use liw_sched as sched;
+pub use parmem_core as core;
+pub use rliw_sim as sim;
+pub use workloads;
+
+pub use parmem_core::prelude::*;
