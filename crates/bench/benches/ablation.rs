@@ -31,7 +31,11 @@ fn bench_atoms_ablation(c: &mut Criterion) {
 
 fn bench_module_choice(c: &mut Criterion) {
     let mut group = c.benchmark_group("module_choice");
-    let prog = compile(workloads::by_name("EXACT").unwrap().source, MachineSpec::with_modules(8)).unwrap();
+    let prog = compile(
+        workloads::by_name("EXACT").unwrap().source,
+        MachineSpec::with_modules(8),
+    )
+    .unwrap();
     let trace = prog.sched.access_trace();
     for (name, choice) in [
         ("lowest_index", ModuleChoice::LowestIndex),
@@ -48,7 +52,11 @@ fn bench_module_choice(c: &mut Criterion) {
 
 fn bench_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("strategies");
-    let prog = compile(workloads::by_name("FFT").unwrap().source, MachineSpec::with_modules(8)).unwrap();
+    let prog = compile(
+        workloads::by_name("FFT").unwrap().source,
+        MachineSpec::with_modules(8),
+    )
+    .unwrap();
     let rt = prog.sched.regionized_trace();
     for s in [Strategy::Stor1, Strategy::Stor2, Strategy::STOR3] {
         group.bench_function(s.name(), |b| {

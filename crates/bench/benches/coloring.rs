@@ -22,15 +22,9 @@ fn bench_coloring_scaling(c: &mut Criterion) {
         };
         let trace = random_trace(&spec, 42);
         let g = ConflictGraph::build(&trace);
-        group.bench_with_input(
-            BenchmarkId::new("fig4_heuristic", values),
-            &g,
-            |b, g| {
-                b.iter(|| {
-                    color_graph(g, 8, ModuleChoice::LowestIndex, |_| ModuleSet::EMPTY)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("fig4_heuristic", values), &g, |b, g| {
+            b.iter(|| color_graph(g, 8, ModuleChoice::LowestIndex, |_| ModuleSet::EMPTY))
+        });
         group.bench_with_input(BenchmarkId::new("graph_build", values), &trace, |b, t| {
             b.iter(|| ConflictGraph::build(t))
         });

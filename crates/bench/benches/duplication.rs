@@ -20,11 +20,9 @@ fn bench_duplication_strategies(c: &mut Criterion) {
                 duplication: dup,
                 ..AssignParams::default()
             };
-            group.bench_with_input(
-                BenchmarkId::new(name, cliques),
-                &trace,
-                |b, t| b.iter(|| assign_trace(t, &params)),
-            );
+            group.bench_with_input(BenchmarkId::new(name, cliques), &trace, |b, t| {
+                b.iter(|| assign_trace(t, &params))
+            });
         }
     }
     group.finish();
@@ -50,5 +48,9 @@ fn bench_hitting_set_heuristic(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_duplication_strategies, bench_hitting_set_heuristic);
+criterion_group!(
+    benches,
+    bench_duplication_strategies,
+    bench_hitting_set_heuristic
+);
 criterion_main!(benches);

@@ -12,9 +12,11 @@ use rliw_sim::ArrayPlacement;
 fn bench_compile_and_schedule(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile_schedule");
     for b in workloads::benchmarks() {
-        group.bench_with_input(BenchmarkId::from_parameter(b.name), &b.source, |bch, src| {
-            bch.iter(|| compile(src, MachineSpec::with_modules(8)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(b.name),
+            &b.source,
+            |bch, src| bch.iter(|| compile(src, MachineSpec::with_modules(8)).unwrap()),
+        );
     }
     group.finish();
 }
@@ -23,9 +25,11 @@ fn bench_assignment(c: &mut Criterion) {
     let mut group = c.benchmark_group("assignment");
     for b in workloads::benchmarks() {
         let prog = compile(b.source, MachineSpec::with_modules(8)).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(b.name), &prog.sched, |bch, s| {
-            bch.iter(|| assign(s, Strategy::Stor1, &AssignParams::default()))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(b.name),
+            &prog.sched,
+            |bch, s| bch.iter(|| assign(s, Strategy::Stor1, &AssignParams::default())),
+        );
     }
     group.finish();
 }
@@ -44,5 +48,10 @@ fn bench_simulation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compile_and_schedule, bench_assignment, bench_simulation);
+criterion_group!(
+    benches,
+    bench_compile_and_schedule,
+    bench_assignment,
+    bench_simulation
+);
 criterion_main!(benches);

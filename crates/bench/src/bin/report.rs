@@ -25,7 +25,12 @@ fn main() {
 
     // ---- Table 1 ----
     writeln!(w, "## Table 1 — Duplication of Data (k = 8)\n```").unwrap();
-    write!(w, "{}", parmem_bench::format_table1(&parmem_bench::table1(8))).unwrap();
+    write!(
+        w,
+        "{}",
+        parmem_bench::format_table1(&parmem_bench::table1(8))
+    )
+    .unwrap();
     writeln!(w, "```\n").unwrap();
     writeln!(w, "With innermost loops unrolled x4:\n```").unwrap();
     write!(
@@ -62,7 +67,11 @@ fn main() {
 
     // ---- Table 2 ----
     eprintln!("simulating table 2 (k=8 and k=4)...");
-    writeln!(w, "## Table 2 — Memory Conflicts due to Array Accesses\n```").unwrap();
+    writeln!(
+        w,
+        "## Table 2 — Memory Conflicts due to Array Accesses\n```"
+    )
+    .unwrap();
     write!(
         w,
         "{}",

@@ -48,8 +48,13 @@ fn main() {
                 } else {
                     println!(
                         "{:<10} {:>3} {:>7} {:>9} {:>8.2}x {:>13} {:>5}",
-                        b.name, k, unroll, run.stats.cycles, run.speedup,
-                        run.stats.transfer_time, r.multi_copy
+                        b.name,
+                        k,
+                        unroll,
+                        run.stats.cycles,
+                        run.speedup,
+                        run.stats.transfer_time,
+                        r.multi_copy
                     );
                 }
             }

@@ -6,13 +6,12 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "csv");
-    let k = args
-        .iter()
-        .find_map(|a| a.parse().ok())
-        .unwrap_or(8);
+    let k = args.iter().find_map(|a| a.parse().ok()).unwrap_or(8);
     let rows = parmem_bench::table1(k);
     if csv {
-        println!("program,stor1_single,stor1_multi,stor2_single,stor2_multi,stor3_single,stor3_multi");
+        println!(
+            "program,stor1_single,stor1_multi,stor2_single,stor2_multi,stor3_single,stor3_multi"
+        );
         for r in &rows {
             println!(
                 "{},{},{},{},{},{},{}",

@@ -13,14 +13,21 @@ fn main() {
         for r in rows8.iter().chain(&rows4) {
             println!(
                 "{},{},{},{:.2},{},{},{}",
-                r.program, r.modules, r.t_min, r.t_ave_analytic, r.t_ave_measured,
-                r.t_interleaved, r.t_max
+                r.program,
+                r.modules,
+                r.t_min,
+                r.t_ave_analytic,
+                r.t_ave_measured,
+                r.t_interleaved,
+                r.t_max
             );
         }
         return;
     }
     print!("{}", parmem_bench::format_table2(&rows8, &rows4));
-    println!("\ndetail (k=8): program, t_min, t_ave(analytic), t_ave(measured), t_interleaved, t_max");
+    println!(
+        "\ndetail (k=8): program, t_min, t_ave(analytic), t_ave(measured), t_interleaved, t_max"
+    );
     for r in &rows8 {
         println!(
             "  {:<10} {:>8} {:>12.1} {:>10} {:>10} {:>8}",

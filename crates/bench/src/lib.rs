@@ -19,7 +19,9 @@ use liw_ir::unroll::UnrollConfig;
 use liw_sched::MachineSpec;
 use parmem_core::assignment::AssignParams;
 use parmem_core::strategies::Strategy;
-use rliw_sim::pipeline::{assign, compile, compile_unrolled, table2_row, CompiledProgram, Table2Row};
+use rliw_sim::pipeline::{
+    assign, compile, compile_unrolled, table2_row, CompiledProgram, Table2Row,
+};
 use rliw_sim::ArrayPlacement;
 use workloads::benchmarks;
 
@@ -84,11 +86,7 @@ pub struct Table1Row {
     pub stor3: Table1Cell,
 }
 
-fn cell(
-    sched: &liw_sched::SchedProgram,
-    strategy: Strategy,
-    params: &AssignParams,
-) -> Table1Cell {
+fn cell(sched: &liw_sched::SchedProgram, strategy: Strategy, params: &AssignParams) -> Table1Cell {
     let (_, report) = assign(sched, strategy, params);
     Table1Cell {
         single: report.single_copy,

@@ -279,7 +279,7 @@ pub fn assign_trace_into(
     // repaired at all.
     let repair_copies = repair(trace, &unassigned, assignment);
 
-    AssignmentReport {
+    let report = AssignmentReport {
         single_copy: assignment.single_copy_count(),
         multi_copy: assignment.multi_copy_count(),
         extra_copies: assignment.extra_copies(),
@@ -287,7 +287,51 @@ pub fn assign_trace_into(
         atoms: n_atoms,
         residual_conflicts: assignment.residual_conflicts(trace),
         repair_copies,
+    };
+    #[cfg(debug_assertions)]
+    debug_validate(trace, assignment, &report);
+    report
+}
+
+/// Debug-build self-check run on every pipeline exit: the invariants the
+/// heavier `parmem-verify` crate re-derives independently, asserted here in
+/// their cheap form so a violation aborts at the point of construction
+/// rather than surfacing later in a simulator mismatch.
+#[cfg(debug_assertions)]
+fn debug_validate(trace: &AccessTrace, assignment: &Assignment, report: &AssignmentReport) {
+    let k = trace.modules;
+    let in_range = crate::types::ModuleSet((1u64 << k) - 1);
+    let all_fit = trace.instructions.iter().all(|i| i.len() <= k);
+    for v in trace.distinct_values() {
+        let copies = assignment.copies(v);
+        debug_assert_eq!(
+            copies.0 & !in_range.0,
+            0,
+            "value {v:?} has a copy outside modules 0..{k}"
+        );
+        debug_assert!(
+            !all_fit || !copies.is_empty(),
+            "value {v:?} fetched by the trace has no module copy"
+        );
     }
+    // The published residual count must match a recount, and must be zero
+    // whenever every instruction fits in the machine (repair guarantees it).
+    debug_assert_eq!(
+        report.residual_conflicts,
+        assignment.residual_conflicts(trace),
+        "residual_conflicts drifted from a recount"
+    );
+    if all_fit {
+        debug_assert_eq!(
+            report.residual_conflicts, 0,
+            "repair() left a fitting instruction conflicting"
+        );
+    }
+    debug_assert_eq!(
+        report.single_copy + report.multi_copy,
+        assignment.placed_values().count(),
+        "copy bookkeeping does not add up"
+    );
 }
 
 /// Color one connected component atom by atom.
@@ -417,22 +461,26 @@ fn merged_coloring_valid(
         color[v as usize] = Some(m);
     }
     for (u, v, _) in sub.edges() {
-        let cu = color[u as usize].map(ModuleSet::singleton).unwrap_or_else(|| {
-            let s = assignment.copies(sub.value(u));
-            if s.len() == 1 {
-                s
-            } else {
-                ModuleSet::EMPTY
-            }
-        });
-        let cv = color[v as usize].map(ModuleSet::singleton).unwrap_or_else(|| {
-            let s = assignment.copies(sub.value(v));
-            if s.len() == 1 {
-                s
-            } else {
-                ModuleSet::EMPTY
-            }
-        });
+        let cu = color[u as usize]
+            .map(ModuleSet::singleton)
+            .unwrap_or_else(|| {
+                let s = assignment.copies(sub.value(u));
+                if s.len() == 1 {
+                    s
+                } else {
+                    ModuleSet::EMPTY
+                }
+            });
+        let cv = color[v as usize]
+            .map(ModuleSet::singleton)
+            .unwrap_or_else(|| {
+                let s = assignment.copies(sub.value(v));
+                if s.len() == 1 {
+                    s
+                } else {
+                    ModuleSet::EMPTY
+                }
+            });
         if !cu.is_empty() && cu == cv {
             return false;
         }
@@ -541,11 +589,11 @@ mod tests {
     #[test]
     fn fig1_extended_needs_duplication() {
         // Paper §2: adding {V2 V4 V5} makes single copies insufficient.
-        let t = AccessTrace::from_lists(
-            3,
-            &[&[1, 2, 4], &[2, 3, 5], &[2, 3, 4], &[2, 4, 5]],
-        );
-        for dup in [DuplicationStrategy::Backtrack, DuplicationStrategy::HittingSet] {
+        let t = AccessTrace::from_lists(3, &[&[1, 2, 4], &[2, 3, 5], &[2, 3, 4], &[2, 4, 5]]);
+        for dup in [
+            DuplicationStrategy::Backtrack,
+            DuplicationStrategy::HittingSet,
+        ] {
             let params = AssignParams {
                 duplication: dup,
                 ..AssignParams::default()
@@ -569,15 +617,12 @@ mod tests {
         // conflict-free.
         let t = AccessTrace::from_lists(
             3,
-            &[
-                &[1, 2, 4],
-                &[2, 3, 5],
-                &[2, 3, 4],
-                &[2, 4, 5],
-                &[1, 4, 5],
-            ],
+            &[&[1, 2, 4], &[2, 3, 5], &[2, 3, 4], &[2, 4, 5], &[1, 4, 5]],
         );
-        for dup in [DuplicationStrategy::Backtrack, DuplicationStrategy::HittingSet] {
+        for dup in [
+            DuplicationStrategy::Backtrack,
+            DuplicationStrategy::HittingSet,
+        ] {
             let params = AssignParams {
                 duplication: dup,
                 ..AssignParams::default()

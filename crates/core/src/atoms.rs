@@ -13,8 +13,8 @@
 //! higher-numbered neighborhood in the *filled* graph is a clique in the
 //! original graph, it is a clique (minimal) separator that splits off an atom.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::graph::ConflictGraph;
 
@@ -231,10 +231,8 @@ fn sorted(mut v: Vec<u32>) -> Vec<u32> {
 /// Exposed for tests.
 pub fn is_filled_chordal(g: &ConflictGraph, mo: &MinimalOrdering) -> bool {
     let n = g.len();
-    let mut filled: std::collections::HashSet<(u32, u32)> = g
-        .edges()
-        .map(|(u, v, _)| (u.min(v), u.max(v)))
-        .collect();
+    let mut filled: std::collections::HashSet<(u32, u32)> =
+        g.edges().map(|(u, v, _)| (u.min(v), u.max(v))).collect();
     for &(a, b) in &mo.fill {
         filled.insert((a.min(b), a.max(b)));
     }
@@ -268,14 +266,12 @@ mod tests {
     use crate::graph::ConflictGraph;
 
     fn path(n: usize) -> ConflictGraph {
-        let edges: Vec<(u32, u32, u32)> =
-            (0..n as u32 - 1).map(|i| (i, i + 1, 1)).collect();
+        let edges: Vec<(u32, u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1, 1)).collect();
         ConflictGraph::from_edges(n, &edges)
     }
 
     fn cycle(n: usize) -> ConflictGraph {
-        let mut edges: Vec<(u32, u32, u32)> =
-            (0..n as u32 - 1).map(|i| (i, i + 1, 1)).collect();
+        let mut edges: Vec<(u32, u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1, 1)).collect();
         edges.push((n as u32 - 1, 0, 1));
         ConflictGraph::from_edges(n, &edges)
     }
@@ -285,7 +281,11 @@ mod tests {
         // A triangle with a pendant: already chordal.
         let g = ConflictGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (0, 2, 1), (2, 3, 1)]);
         let mo = mcs_m(&g);
-        assert!(mo.fill.is_empty(), "chordal graph needs no fill: {:?}", mo.fill);
+        assert!(
+            mo.fill.is_empty(),
+            "chordal graph needs no fill: {:?}",
+            mo.fill
+        );
         assert!(is_filled_chordal(&g, &mo));
     }
 
@@ -324,10 +324,8 @@ mod tests {
     fn two_triangles_sharing_an_edge_split() {
         // Vertices 0-1-2 and 1-2-3; the shared edge {1,2} is a clique
         // separator, so the atoms are the two triangles.
-        let g = ConflictGraph::from_edges(
-            4,
-            &[(0, 1, 1), (0, 2, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
-        );
+        let g =
+            ConflictGraph::from_edges(4, &[(0, 1, 1), (0, 2, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)]);
         let a = atoms(&g);
         assert_eq!(a.len(), 2, "atoms: {a:?}");
         let mut sets: Vec<Vec<u32>> = a.clone();

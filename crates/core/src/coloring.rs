@@ -66,9 +66,7 @@ impl Ord for Urgency {
             (0, 0) => Ordering::Equal,
             (0, _) => Ordering::Greater,
             (_, 0) => Ordering::Less,
-            (ka, kb) => {
-                (self.num as u128 * kb as u128).cmp(&(other.num as u128 * ka as u128))
-            }
+            (ka, kb) => (self.num as u128 * kb as u128).cmp(&(other.num as u128 * ka as u128)),
         };
         frac.then_with(|| self.s.cmp(&other.s))
             .then_with(|| other.vertex.cmp(&self.vertex))
@@ -341,10 +339,7 @@ mod tests {
         // Star: center 0 adjacent to 1..=4, k=4. Center colored first (max S);
         // leaves then avoid the center's module. LeastUsed should spread the
         // leaves over the remaining modules.
-        let g = ConflictGraph::from_edges(
-            5,
-            &[(0, 1, 5), (0, 2, 5), (0, 3, 5), (0, 4, 5)],
-        );
+        let g = ConflictGraph::from_edges(5, &[(0, 1, 5), (0, 2, 5), (0, 3, 5), (0, 4, 5)]);
         let c = color_graph(&g, 4, ModuleChoice::LeastUsed, no_fixed);
         assert!(c.unassigned.is_empty());
         assert!(coloring_is_valid(&g, &c));

@@ -99,58 +99,52 @@ fn best_instruction_placement(
         }
     });
 
-    let all = ModuleSet::all(k);
-    let mut best_cost = usize::MAX;
-    let mut best_plan: Option<Vec<(ValueId, ModuleId)>> = None;
-    let mut plan: Vec<(ValueId, ModuleId)> = Vec::new();
-
-    fn dfs(
-        ops: &[Op],
-        i: usize,
-        used: ModuleSet,
-        cost: usize,
+    struct Search<'a> {
+        ops: &'a [Op],
         all: ModuleSet,
-        plan: &mut Vec<(ValueId, ModuleId)>,
-        best_cost: &mut usize,
-        best_plan: &mut Option<Vec<(ValueId, ModuleId)>>,
-    ) {
-        if cost >= *best_cost {
-            return; // prune: cannot improve
-        }
-        if i == ops.len() {
-            *best_cost = cost;
-            *best_plan = Some(plan.clone());
-            return;
-        }
-        let op = &ops[i];
-        // Try existing copies first (cost 0), then new copies (cost 1).
-        for m in op.existing.difference(used).iter() {
-            let mut used2 = used;
-            used2.insert(m);
-            dfs(ops, i + 1, used2, cost, all, plan, best_cost, best_plan);
-        }
-        if op.duplicable || op.existing.is_empty() {
-            for m in all.difference(used.union(op.existing)).iter() {
+        plan: Vec<(ValueId, ModuleId)>,
+        best_cost: usize,
+        best_plan: Option<Vec<(ValueId, ModuleId)>>,
+    }
+
+    impl Search<'_> {
+        fn dfs(&mut self, i: usize, used: ModuleSet, cost: usize) {
+            if cost >= self.best_cost {
+                return; // prune: cannot improve
+            }
+            if i == self.ops.len() {
+                self.best_cost = cost;
+                self.best_plan = Some(self.plan.clone());
+                return;
+            }
+            let op = self.ops[i].clone();
+            // Try existing copies first (cost 0), then new copies (cost 1).
+            for m in op.existing.difference(used).iter() {
                 let mut used2 = used;
                 used2.insert(m);
-                plan.push((op.value, m));
-                dfs(ops, i + 1, used2, cost + 1, all, plan, best_cost, best_plan);
-                plan.pop();
+                self.dfs(i + 1, used2, cost);
+            }
+            if op.duplicable || op.existing.is_empty() {
+                for m in self.all.difference(used.union(op.existing)).iter() {
+                    let mut used2 = used;
+                    used2.insert(m);
+                    self.plan.push((op.value, m));
+                    self.dfs(i + 1, used2, cost + 1);
+                    self.plan.pop();
+                }
             }
         }
     }
 
-    dfs(
-        &ops,
-        0,
-        ModuleSet::EMPTY,
-        0,
-        all,
-        &mut plan,
-        &mut best_cost,
-        &mut best_plan,
-    );
-    best_plan
+    let mut search = Search {
+        ops: &ops,
+        all: ModuleSet::all(k),
+        plan: Vec::new(),
+        best_cost: usize::MAX,
+        best_plan: None,
+    };
+    search.dfs(0, ModuleSet::EMPTY, 0);
+    search.best_plan
 }
 
 // ---------------------------------------------------------------------------
@@ -477,12 +471,7 @@ mod tests {
         // heuristics must at least stay conflict-free and within 4 copies.
         let t = AccessTrace::from_lists(
             4,
-            &[
-                &[1, 2, 3, 5],
-                &[4, 2, 3, 5],
-                &[1, 2, 3, 4],
-                &[4, 2, 1, 5],
-            ],
+            &[&[1, 2, 3, 5], &[4, 2, 3, 5], &[1, 2, 3, 4], &[4, 2, 1, 5]],
         );
         let mut a = Assignment::new(4);
         // Paper's coloring: V1→M2, V2→M3, V3→M4, V5→M1 (0-based: 1,2,3,0).

@@ -136,7 +136,13 @@ pub fn makespan_schedule(operands: &[ModuleSet]) -> Option<(Vec<u16>, usize)> {
     }
     let l = fetch_makespan(operands)?;
     let assigned = run_matching(operands, l)?;
-    Some((assigned.into_iter().map(|a| a.expect("feasible at L")).collect(), l))
+    Some((
+        assigned
+            .into_iter()
+            .map(|a| a.expect("feasible at L"))
+            .collect(),
+        l,
+    ))
 }
 
 /// One concrete conflict-free fetch schedule (operand index → module), if the

@@ -70,9 +70,7 @@ pub fn place_values(
         uniq.dedup();
         uniq
     };
-    let count_vector = |v: ValueId,
-                        conflicting: &[bool]|
-     -> Vec<usize> {
+    let count_vector = |v: ValueId, conflicting: &[bool]| -> Vec<usize> {
         let mut counts = vec![0usize; k + 1];
         for (idx, inst) in trace.instructions.iter().enumerate() {
             if conflicting[idx] && group_of[idx] >= 1 && inst.contains(v) {

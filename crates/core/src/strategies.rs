@@ -194,12 +194,7 @@ mod tests {
         let params = AssignParams::default();
         for strategy in [Strategy::Stor1, Strategy::Stor2, Strategy::STOR3] {
             let (a, r) = run_strategy(&rt, strategy, &params);
-            assert_eq!(
-                r.residual_conflicts,
-                0,
-                "{}: {r:?}",
-                strategy.name()
-            );
+            assert_eq!(r.residual_conflicts, 0, "{}: {r:?}", strategy.name());
             assert_eq!(a.residual_conflicts(&rt.flat()), 0);
             // Every used value must be placed.
             for v in rt.flat().distinct_values() {
@@ -219,11 +214,7 @@ mod tests {
     #[test]
     fn stor3_group_count_is_respected() {
         let rt = sample_program();
-        let (a, r) = run_strategy(
-            &rt,
-            Strategy::Stor3 { groups: 3 },
-            &AssignParams::default(),
-        );
+        let (a, r) = run_strategy(&rt, Strategy::Stor3 { groups: 3 }, &AssignParams::default());
         assert_eq!(r.residual_conflicts, 0);
         assert_eq!(a.residual_conflicts(&rt.flat()), 0);
     }

@@ -45,7 +45,11 @@ pub struct TraceParseError {
 
 impl fmt::Display for TraceParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -145,10 +149,7 @@ mod tests {
 
     #[test]
     fn parses_basic_trace() {
-        let t = parse_trace(
-            "# paper Fig. 1\nmodules 3\nV1 V2 V4\nV2 V3 V5\nV2 V3 V4\n",
-        )
-        .unwrap();
+        let t = parse_trace("# paper Fig. 1\nmodules 3\nV1 V2 V4\nV2 V3 V5\nV2 V3 V4\n").unwrap();
         assert_eq!(t.trace.modules, 3);
         assert_eq!(t.trace.instructions.len(), 3);
         assert_eq!(t.names.len(), 5);
@@ -165,10 +166,7 @@ mod tests {
 
     #[test]
     fn comments_and_blanks_ignored() {
-        let t = parse_trace(
-            "; header\nmodules 2\n\n// c1\na b  # trailing\n",
-        )
-        .unwrap();
+        let t = parse_trace("; header\nmodules 2\n\n// c1\na b  # trailing\n").unwrap();
         assert_eq!(t.trace.instructions.len(), 1);
     }
 

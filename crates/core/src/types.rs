@@ -258,7 +258,7 @@ impl AccessTrace {
     /// Build a trace, validating the module count.
     pub fn new(modules: usize, instructions: Vec<OperandSet>) -> AccessTrace {
         assert!(
-            modules >= 1 && modules <= MAX_MODULES,
+            (1..=MAX_MODULES).contains(&modules),
             "module count must be in 1..={MAX_MODULES}"
         );
         AccessTrace {
@@ -281,11 +281,7 @@ impl AccessTrace {
 
     /// All distinct values used anywhere in the trace, ascending.
     pub fn distinct_values(&self) -> Vec<ValueId> {
-        let mut vs: Vec<ValueId> = self
-            .instructions
-            .iter()
-            .flat_map(|i| i.iter())
-            .collect();
+        let mut vs: Vec<ValueId> = self.instructions.iter().flat_map(|i| i.iter()).collect();
         vs.sort_unstable();
         vs.dedup();
         vs
@@ -346,10 +342,7 @@ mod tests {
     fn operand_set_sorts_and_dedups() {
         let s = OperandSet::new(vec![ValueId(5), ValueId(1), ValueId(5), ValueId(3)]);
         assert_eq!(s.len(), 3);
-        assert_eq!(
-            s.values(),
-            &[ValueId(1), ValueId(3), ValueId(5)]
-        );
+        assert_eq!(s.values(), &[ValueId(1), ValueId(3), ValueId(5)]);
         assert!(s.contains(ValueId(3)));
         assert!(!s.contains(ValueId(2)));
     }

@@ -68,8 +68,7 @@ fn is_k_colorable(g: &ConflictGraph, k: usize) -> bool {
             return true;
         }
         for c in 1..=k {
-            if g
-                .neighbors(v as u32)
+            if g.neighbors(v as u32)
                 .iter()
                 .all(|&u| colors[u as usize] != c)
             {
@@ -151,7 +150,11 @@ fn heuristic_is_suboptimal_on_shared_vertex_cliques() {
     );
     let c = color_graph(&g, 3, ModuleChoice::LowestIndex, |_| ModuleSet::EMPTY);
     assert!(coloring_is_valid(&g, &c));
-    assert_eq!(optimal_removals(&g, 3), 1, "removing the cut vertex suffices");
+    assert_eq!(
+        optimal_removals(&g, 3),
+        1,
+        "removing the cut vertex suffices"
+    );
     assert_eq!(
         c.unassigned.len(),
         2,
@@ -161,7 +164,16 @@ fn heuristic_is_suboptimal_on_shared_vertex_cliques() {
     // duplicated and the trace ends conflict-free.
     let t = AccessTrace::from_lists(
         3,
-        &[&[0, 1, 2], &[0, 1, 3], &[0, 2, 3], &[1, 2, 3], &[3, 4, 5], &[3, 4, 6], &[3, 5, 6], &[4, 5, 6]],
+        &[
+            &[0, 1, 2],
+            &[0, 1, 3],
+            &[0, 2, 3],
+            &[1, 2, 3],
+            &[3, 4, 5],
+            &[3, 4, 6],
+            &[3, 5, 6],
+            &[4, 5, 6],
+        ],
     );
     let (_, r) = assign_trace(&t, &AssignParams::default());
     assert_eq!(r.residual_conflicts, 0);
@@ -343,7 +355,10 @@ fn optimality_on_paper_fig3() {
             &[1, 4, 5],
         ],
     );
-    for dup in [DuplicationStrategy::Backtrack, DuplicationStrategy::HittingSet] {
+    for dup in [
+        DuplicationStrategy::Backtrack,
+        DuplicationStrategy::HittingSet,
+    ] {
         let params = AssignParams {
             duplication: dup,
             ..AssignParams::default()

@@ -166,7 +166,10 @@ pub fn natural_loops(cfg: &Cfg) -> Vec<NaturalLoop> {
                 if let Some(existing) = loops.iter_mut().find(|l| l.header == s) {
                     existing.blocks.extend(body);
                 } else {
-                    loops.push(NaturalLoop { header: s, blocks: body });
+                    loops.push(NaturalLoop {
+                        header: s,
+                        blocks: body,
+                    });
                 }
             }
         }
@@ -226,9 +229,7 @@ mod tests {
 
     #[test]
     fn while_loop_is_detected() {
-        let p = compile(
-            "program t; var i: int; begin i := 0; while i < 10 do i := i + 1; end.",
-        );
+        let p = compile("program t; var i: int; begin i := 0; while i < 10 do i := i + 1; end.");
         let cfg = Cfg::build(&p);
         let loops = natural_loops(&cfg);
         assert_eq!(loops.len(), 1);
@@ -274,7 +275,9 @@ mod tests {
         }
         // Neither branch arm dominates the join.
         let (t, e) = match &p.blocks[p.entry.index()].term {
-            crate::tac::Terminator::Branch { then_to, else_to, .. } => (*then_to, *else_to),
+            crate::tac::Terminator::Branch {
+                then_to, else_to, ..
+            } => (*then_to, *else_to),
             other => panic!("{other:?}"),
         };
         let join = match &p.blocks[t.index()].term {

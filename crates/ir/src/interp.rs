@@ -58,11 +58,7 @@ fn zero(ty: Ty) -> Value {
 /// [`run`] with 100M steps).
 pub fn run_with_fuel(p: &TacProgram, mut fuel: u64) -> Result<RunResult, RunError> {
     let mut vars: Vec<Value> = p.vars.iter().map(|v| zero(v.ty)).collect();
-    let mut arrays: Vec<Vec<Value>> = p
-        .arrays
-        .iter()
-        .map(|a| vec![zero(a.elem); a.len])
-        .collect();
+    let mut arrays: Vec<Vec<Value>> = p.arrays.iter().map(|a| vec![zero(a.elem); a.len]).collect();
     let mut output = Vec::new();
     let mut steps = 0u64;
 
@@ -177,9 +173,7 @@ mod tests {
 
     #[test]
     fn arithmetic_and_print() {
-        let o = outputs(
-            "program t; var x: int; begin x := 2 + 3 * 4; print x; print x - 1; end.",
-        );
+        let o = outputs("program t; var x: int; begin x := 2 + 3 * 4; print x; print x - 1; end.");
         assert_eq!(o, vec![Value::Int(14), Value::Int(13)]);
     }
 
@@ -275,10 +269,9 @@ mod tests {
 
     #[test]
     fn infinite_loop_runs_out_of_fuel() {
-        let ast = crate::parser::parse(
-            "program t; var x: int; begin while true do x := x + 1; end.",
-        )
-        .unwrap();
+        let ast =
+            crate::parser::parse("program t; var x: int; begin while true do x := x + 1; end.")
+                .unwrap();
         let tac = crate::lower::lower(&ast).unwrap();
         assert_eq!(run_with_fuel(&tac, 1000), Err(RunError::OutOfFuel));
     }

@@ -51,17 +51,17 @@ pub enum TokenKind {
     Div,
 
     // Operators / punctuation
-    Assign,    // :=
-    Plus,      // +
-    Minus,     // -
-    Star,      // *
-    Slash,     // /
-    Eq,        // =
-    Ne,        // <>
-    Lt,        // <
-    Le,        // <=
-    Gt,        // >
-    Ge,        // >=
+    Assign, // :=
+    Plus,   // +
+    Minus,  // -
+    Star,   // *
+    Slash,  // /
+    Eq,     // =
+    Ne,     // <>
+    Lt,     // <
+    Le,     // <=
+    Gt,     // >
+    Ge,     // >=
     LParen,
     RParen,
     LBracket,
@@ -151,7 +151,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -217,9 +221,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                     col += 1;
                 }
@@ -261,9 +263,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     col += 1;
                 }
                 // Real literal: digits '.' digits (not `..` or `1.`)
-                let is_real = i + 1 < bytes.len()
-                    && bytes[i] == b'.'
-                    && bytes[i + 1].is_ascii_digit();
+                let is_real =
+                    i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit();
                 if is_real {
                     i += 1;
                     col += 1;
@@ -526,6 +527,9 @@ mod tests {
     fn integer_dot_is_not_real() {
         // `1.` at end (e.g. `end.`-style) must lex as IntLit + Dot.
         let k = kinds("1.");
-        assert_eq!(k, vec![TokenKind::IntLit(1), TokenKind::Dot, TokenKind::Eof]);
+        assert_eq!(
+            k,
+            vec![TokenKind::IntLit(1), TokenKind::Dot, TokenKind::Eof]
+        );
     }
 }

@@ -6,8 +6,8 @@ use std::fmt;
 
 use crate::ast::{self, BinOp, Decl, DeclTy, Expr, Intrinsic, LValue, Stmt, Ty, UnOp};
 use crate::tac::{
-    eval_op, ArrayId, ArrayInfo, Block, BlockId, Instr, OpCode, Operand, TacProgram,
-    Terminator, Value, VarId, VarInfo,
+    eval_op, ArrayId, ArrayInfo, Block, BlockId, Instr, OpCode, Operand, TacProgram, Terminator,
+    Value, VarId, VarInfo,
 };
 
 /// A semantic error with the source line it was detected on.
@@ -367,21 +367,13 @@ impl Lowerer {
     // ---- expressions ----
 
     /// Coerce `op: from` to type `to`, inserting a conversion if needed.
-    fn coerce(
-        &mut self,
-        op: Operand,
-        from: Ty,
-        to: Ty,
-        line: u32,
-    ) -> Result<Operand, SemaError> {
+    fn coerce(&mut self, op: Operand, from: Ty, to: Ty, line: u32) -> Result<Operand, SemaError> {
         if from == to {
             return Ok(op);
         }
         match (from, to) {
             (Ty::Int, Ty::Real) => Ok(self.convert(op, OpCode::IntToReal)),
-            (Ty::Real, Ty::Int) => {
-                self.err(line, "cannot assign real to int (use trunc())")
-            }
+            (Ty::Real, Ty::Int) => self.err(line, "cannot assign real to int (use trunc())"),
             _ => self.err(line, format!("type mismatch: {from:?} vs {to:?}")),
         }
     }
@@ -482,9 +474,7 @@ impl Lowerer {
         if let Operand::Const(a) = lhs {
             match rhs {
                 None => return Operand::Const(eval_op(code, a, None)),
-                Some(Operand::Const(b)) => {
-                    return Operand::Const(eval_op(code, a, Some(b)))
-                }
+                Some(Operand::Const(b)) => return Operand::Const(eval_op(code, a, Some(b))),
                 _ => {}
             }
         }
@@ -512,14 +502,22 @@ impl Lowerer {
             if aty != Ty::Bool || bty != Ty::Bool {
                 return self.err(line, "logical operator requires bool operands");
             }
-            let code = if op == BinOp::And { OpCode::And } else { OpCode::Or };
+            let code = if op == BinOp::And {
+                OpCode::And
+            } else {
+                OpCode::Or
+            };
             return Ok((self.apply(code, a, Some(b)), Ty::Bool));
         }
 
         if aty == Ty::Bool || bty == Ty::Bool {
             // Only = and <> make sense on bools.
             if matches!(op, BinOp::Eq | BinOp::Ne) && aty == Ty::Bool && bty == Ty::Bool {
-                let code = if op == BinOp::Eq { OpCode::Eq } else { OpCode::Ne };
+                let code = if op == BinOp::Eq {
+                    OpCode::Eq
+                } else {
+                    OpCode::Ne
+                };
                 return Ok((self.apply(code, a, Some(b)), Ty::Bool));
             }
             return self.err(line, "arithmetic on bool operands");
@@ -602,7 +600,13 @@ mod tests {
                 ..
             }
         ));
-        assert!(matches!(b0.instrs[1], Instr::Compute { op: OpCode::Mul, .. }));
+        assert!(matches!(
+            b0.instrs[1],
+            Instr::Compute {
+                op: OpCode::Mul,
+                ..
+            }
+        ));
         assert!(matches!(b0.term, Terminator::Halt));
     }
 
@@ -612,7 +616,11 @@ mod tests {
         let b0 = &p.blocks[p.entry.index()];
         assert_eq!(b0.instrs.len(), 1, "{}", p.to_text());
         match &b0.instrs[0] {
-            Instr::Compute { dest, op: OpCode::Add, .. } => {
+            Instr::Compute {
+                dest,
+                op: OpCode::Add,
+                ..
+            } => {
                 assert_eq!(p.var(*dest).name, "y");
             }
             other => panic!("{other:?}"),
@@ -621,12 +629,12 @@ mod tests {
 
     #[test]
     fn if_builds_diamond_cfg() {
-        let p = compile(
-            "program t; var x: int; begin if x > 0 then x := 1; else x := 2; end.",
-        );
+        let p = compile("program t; var x: int; begin if x > 0 then x := 1; else x := 2; end.");
         assert_eq!(p.blocks.len(), 4); // entry, then, else, join
         match &p.blocks[p.entry.index()].term {
-            Terminator::Branch { then_to, else_to, .. } => {
+            Terminator::Branch {
+                then_to, else_to, ..
+            } => {
                 assert_ne!(then_to, else_to);
             }
             other => panic!("{other:?}"),
@@ -635,9 +643,7 @@ mod tests {
 
     #[test]
     fn while_builds_loop_cfg() {
-        let p = compile(
-            "program t; var i: int; begin i := 0; while i < 10 do i := i + 1; end.",
-        );
+        let p = compile("program t; var i: int; begin i := 0; while i < 10 do i := i + 1; end.");
         // entry, head, body, exit
         assert_eq!(p.blocks.len(), 4);
         let head = match &p.blocks[p.entry.index()].term {
@@ -645,7 +651,9 @@ mod tests {
             other => panic!("{other:?}"),
         };
         match &p.blocks[head.index()].term {
-            Terminator::Branch { then_to, else_to, .. } => {
+            Terminator::Branch {
+                then_to, else_to, ..
+            } => {
                 // Body jumps back to head.
                 match &p.blocks[then_to.index()].term {
                     Terminator::Jump(back) => assert_eq!(*back, head),
@@ -665,7 +673,10 @@ mod tests {
         );
         let text = p.to_text();
         // The limit `n` is copied to a temp before the loop head.
-        assert!(text.contains("t0 = Copy n") || text.contains("= Copy n"), "{text}");
+        assert!(
+            text.contains("t0 = Copy n") || text.contains("= Copy n"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -680,14 +691,18 @@ mod tests {
         let p = compile("program t; var x: real; begin x := 1 / 4; end.");
         let b0 = &p.blocks[p.entry.index()];
         // Constant folded: 1/4 = 0.25.
-        assert!(matches!(
-            b0.instrs[0],
-            Instr::Compute {
-                op: OpCode::Copy,
-                lhs: Operand::Const(Value::Real(0.25)),
-                ..
-            }
-        ), "{}", p.to_text());
+        assert!(
+            matches!(
+                b0.instrs[0],
+                Instr::Compute {
+                    op: OpCode::Copy,
+                    lhs: Operand::Const(Value::Real(0.25)),
+                    ..
+                }
+            ),
+            "{}",
+            p.to_text()
+        );
     }
 
     #[test]
@@ -733,9 +748,7 @@ mod tests {
 
     #[test]
     fn rejects_non_int_index() {
-        let e = compile_err(
-            "program t; var a: array[4] of int; x: real; begin a[x] := 1; end.",
-        );
+        let e = compile_err("program t; var a: array[4] of int; x: real; begin a[x] := 1; end.");
         assert!(e.message.contains("index"));
     }
 
@@ -747,9 +760,7 @@ mod tests {
 
     #[test]
     fn rejects_for_with_real_var() {
-        let e = compile_err(
-            "program t; var x: real; begin for x := 0 to 3 do print x; end.",
-        );
+        let e = compile_err("program t; var x: real; begin for x := 0 to 3 do print x; end.");
         assert!(e.message.contains("int"));
     }
 
@@ -758,29 +769,29 @@ mod tests {
         let p = compile("program t; var x: real; begin x := sqrt(9); end.");
         // sqrt(9) folds: IntToReal(9) → 9.0, Sqrt(9.0) → 3.0.
         let b0 = &p.blocks[p.entry.index()];
-        assert!(matches!(
-            b0.instrs[0],
-            Instr::Compute {
-                op: OpCode::Copy,
-                lhs: Operand::Const(Value::Real(v)),
-                ..
-            } if v == 3.0
-        ), "{}", p.to_text());
+        assert!(
+            matches!(
+                b0.instrs[0],
+                Instr::Compute {
+                    op: OpCode::Copy,
+                    lhs: Operand::Const(Value::Real(v)),
+                    ..
+                } if v == 3.0
+            ),
+            "{}",
+            p.to_text()
+        );
     }
 
     #[test]
     fn bool_equality_allowed() {
-        let p = compile(
-            "program t; var a, b, c: bool; begin c := a = b; end.",
-        );
+        let p = compile("program t; var a, b, c: bool; begin c := a = b; end.");
         assert!(p.to_text().contains("Eq"));
     }
 
     #[test]
     fn downto_uses_ge_and_sub() {
-        let p = compile(
-            "program t; var i: int; begin for i := 5 downto 1 do print i; end.",
-        );
+        let p = compile("program t; var i: int; begin for i := 5 downto 1 do print i; end.");
         let text = p.to_text();
         assert!(text.contains("Ge"), "{text}");
         assert!(text.contains("Sub"), "{text}");

@@ -182,9 +182,7 @@ impl Parser {
             let len = match self.advance() {
                 TokenKind::IntLit(v) if v > 0 => v as usize,
                 other => {
-                    return self.error(format!(
-                        "expected positive array length, found {other}"
-                    ))
+                    return self.error(format!("expected positive array length, found {other}"))
                 }
             };
             self.expect(TokenKind::RBracket)?;
@@ -455,10 +453,7 @@ impl Parser {
                 } else if *self.peek() == TokenKind::LParen {
                     let func = match Intrinsic::from_name(&name) {
                         Some(f) => f,
-                        None => {
-                            return self
-                                .error(format!("unknown intrinsic function `{name}`"))
-                        }
+                        None => return self.error(format!("unknown intrinsic function `{name}`")),
                     };
                     self.advance(); // (
                     let arg = self.expr()?;
@@ -515,7 +510,11 @@ mod tests {
         let p = parse("program t; var x: int; begin x := 1 + 2 * 3; end.").unwrap();
         match &p.body[0] {
             Stmt::Assign { value, .. } => match value {
-                Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                Expr::Binary {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
                     assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
                 }
                 other => panic!("wrong tree: {other:?}"),
@@ -582,8 +581,7 @@ mod tests {
 
     #[test]
     fn parses_downto_loop() {
-        let p = parse("program t; var i: int; begin for i := 9 downto 0 do print i; end.")
-            .unwrap();
+        let p = parse("program t; var i: int; begin for i := 9 downto 0 do print i; end.").unwrap();
         match &p.body[0] {
             Stmt::For { down, .. } => assert!(*down),
             other => panic!("{other:?}"),

@@ -223,10 +223,12 @@ impl OpCode {
         use OpCode::*;
         match self {
             Add | Sub | Mul | IDiv | Mod | Neg | Trunc | IAbs => Ty::Int,
-            FAdd | FSub | FMul | FDiv | FNeg | IntToReal | Sqrt | Sin | Cos | Exp | Ln
-            | FAbs => Ty::Real,
-            Eq | Ne | Lt | Le | Gt | Ge | FEq | FNe | FLt | FLe | FGt | FGe | And | Or
-            | Not => Ty::Bool,
+            FAdd | FSub | FMul | FDiv | FNeg | IntToReal | Sqrt | Sin | Cos | Exp | Ln | FAbs => {
+                Ty::Real
+            }
+            Eq | Ne | Lt | Le | Gt | Ge | FEq | FNe | FLt | FLe | FGt | FGe | And | Or | Not => {
+                Ty::Bool
+            }
             Copy => Ty::Int, // actual type comes from the operand
         }
     }
@@ -246,11 +248,19 @@ pub fn eval_op(op: OpCode, a: Value, b: Option<Value>) -> Value {
         Mul => Value::Int(a.as_int().wrapping_mul(bi())),
         IDiv => {
             let d = bi();
-            Value::Int(if d == 0 { 0 } else { a.as_int().wrapping_div(d) })
+            Value::Int(if d == 0 {
+                0
+            } else {
+                a.as_int().wrapping_div(d)
+            })
         }
         Mod => {
             let d = bi();
-            Value::Int(if d == 0 { 0 } else { a.as_int().wrapping_rem(d) })
+            Value::Int(if d == 0 {
+                0
+            } else {
+                a.as_int().wrapping_rem(d)
+            })
         }
         Neg => Value::Int(a.as_int().wrapping_neg()),
         FAdd => Value::Real(a.as_real() + br()),
@@ -368,9 +378,9 @@ impl Instr {
     /// The scalar variable this instruction writes, if any.
     pub fn writes(&self) -> Option<VarId> {
         match self {
-            Instr::Compute { dest, .. }
-            | Instr::Load { dest, .. }
-            | Instr::Select { dest, .. } => Some(*dest),
+            Instr::Compute { dest, .. } | Instr::Load { dest, .. } | Instr::Select { dest, .. } => {
+                Some(*dest)
+            }
             Instr::Store { .. } | Instr::Print { .. } => None,
         }
     }
@@ -514,8 +524,7 @@ impl TacProgram {
                         )
                         .unwrap(),
                         None => {
-                            writeln!(s, "  {} = {:?} {}", vname(*dest), op, oname(lhs))
-                                .unwrap()
+                            writeln!(s, "  {} = {:?} {}", vname(*dest), op, oname(lhs)).unwrap()
                         }
                     },
                     Instr::Load { dest, arr, index } => writeln!(
@@ -534,9 +543,7 @@ impl TacProgram {
                         oname(value)
                     )
                     .unwrap(),
-                    Instr::Print { value } => {
-                        writeln!(s, "  print {}", oname(value)).unwrap()
-                    }
+                    Instr::Print { value } => writeln!(s, "  print {}", oname(value)).unwrap(),
                     Instr::Select {
                         cond,
                         if_true,
@@ -580,10 +587,22 @@ mod tests {
 
     #[test]
     fn eval_integer_ops() {
-        assert_eq!(eval_op(OpCode::Add, Value::Int(2), Some(Value::Int(3))), Value::Int(5));
-        assert_eq!(eval_op(OpCode::Mod, Value::Int(7), Some(Value::Int(3))), Value::Int(1));
-        assert_eq!(eval_op(OpCode::IDiv, Value::Int(7), Some(Value::Int(2))), Value::Int(3));
-        assert_eq!(eval_op(OpCode::IDiv, Value::Int(7), Some(Value::Int(0))), Value::Int(0));
+        assert_eq!(
+            eval_op(OpCode::Add, Value::Int(2), Some(Value::Int(3))),
+            Value::Int(5)
+        );
+        assert_eq!(
+            eval_op(OpCode::Mod, Value::Int(7), Some(Value::Int(3))),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval_op(OpCode::IDiv, Value::Int(7), Some(Value::Int(2))),
+            Value::Int(3)
+        );
+        assert_eq!(
+            eval_op(OpCode::IDiv, Value::Int(7), Some(Value::Int(0))),
+            Value::Int(0)
+        );
         assert_eq!(eval_op(OpCode::Neg, Value::Int(4), None), Value::Int(-4));
         assert_eq!(eval_op(OpCode::IAbs, Value::Int(-4), None), Value::Int(4));
     }
@@ -594,12 +613,18 @@ mod tests {
             eval_op(OpCode::FMul, Value::Real(1.5), Some(Value::Real(2.0))),
             Value::Real(3.0)
         );
-        assert_eq!(eval_op(OpCode::Sqrt, Value::Real(9.0), None), Value::Real(3.0));
+        assert_eq!(
+            eval_op(OpCode::Sqrt, Value::Real(9.0), None),
+            Value::Real(3.0)
+        );
         assert_eq!(
             eval_op(OpCode::IntToReal, Value::Int(3), None),
             Value::Real(3.0)
         );
-        assert_eq!(eval_op(OpCode::Trunc, Value::Real(3.9), None), Value::Int(3));
+        assert_eq!(
+            eval_op(OpCode::Trunc, Value::Real(3.9), None),
+            Value::Int(3)
+        );
     }
 
     #[test]
@@ -616,7 +641,10 @@ mod tests {
             eval_op(OpCode::And, Value::Bool(true), Some(Value::Bool(false))),
             Value::Bool(false)
         );
-        assert_eq!(eval_op(OpCode::Not, Value::Bool(false), None), Value::Bool(true));
+        assert_eq!(
+            eval_op(OpCode::Not, Value::Bool(false), None),
+            Value::Bool(true)
+        );
     }
 
     #[test]

@@ -166,11 +166,13 @@ fn writes_var(body: &[Stmt], var: &str) -> bool {
             from,
             to,
             ..
-        } => inner == var || writes_var(body, var) || {
-            // from/to are expressions; they cannot write.
-            let _ = (from, to);
-            false
-        },
+        } => {
+            inner == var || writes_var(body, var) || {
+                // from/to are expressions; they cannot write.
+                let _ = (from, to);
+                false
+            }
+        }
     })
 }
 
@@ -487,9 +489,7 @@ mod tests {
     #[test]
     fn unrolling_benchmarks_preserves_semantics() {
         // The full six-benchmark suite through the unroller.
-        for b in [
-            crate::unroll::tests::helpers::TAYLOR_LIKE,
-        ] {
+        for b in [crate::unroll::tests::helpers::TAYLOR_LIKE] {
             assert_equivalent(b, 4);
         }
     }

@@ -189,11 +189,8 @@ pub fn compute_webs(p: &TacProgram) -> Webs {
     let mut sites: Vec<DefSite> = (0..n_vars as u32)
         .map(|v| DefSite::Entry(VarId(v)))
         .collect();
-    let mut site_id: HashMap<DefSite, usize> = sites
-        .iter()
-        .enumerate()
-        .map(|(i, &s)| (s, i))
-        .collect();
+    let mut site_id: HashMap<DefSite, usize> =
+        sites.iter().enumerate().map(|(i, &s)| (s, i)).collect();
     let mut site_var: Vec<VarId> = (0..n_vars as u32).map(VarId).collect();
     // Per-var list of all site ids (for kill sets).
     let mut sites_of_var: Vec<Vec<usize>> = (0..n_vars).map(|v| vec![v]).collect();
@@ -279,17 +276,11 @@ pub fn compute_webs(p: &TacProgram) -> Webs {
         // Current reaching def per var while walking the block.
         let mut local_last: HashMap<VarId, usize> = HashMap::new();
 
-        let reaching = |v: VarId,
-                        local_last: &HashMap<VarId, usize>,
-                        inb: &BitSet|
-         -> Vec<usize> {
+        let reaching = |v: VarId, local_last: &HashMap<VarId, usize>, inb: &BitSet| -> Vec<usize> {
             if let Some(&d) = local_last.get(&v) {
                 return vec![d];
             }
-            let mut defs: Vec<usize> = inb
-                .iter()
-                .filter(|&d| site_var[d] == v)
-                .collect();
+            let mut defs: Vec<usize> = inb.iter().filter(|&d| site_var[d] == v).collect();
             if defs.is_empty() {
                 // Unreachable block or missing info: fall back to entry def.
                 defs.push(v.index());
@@ -323,9 +314,9 @@ pub fn compute_webs(p: &TacProgram) -> Webs {
     let mut web_of_root: HashMap<u32, u32> = HashMap::new();
     let mut web_var: Vec<VarId> = Vec::new();
     let web_of_site = |uf: &mut UnionFind,
-                           web_of_root: &mut HashMap<u32, u32>,
-                           web_var: &mut Vec<VarId>,
-                           s: usize|
+                       web_of_root: &mut HashMap<u32, u32>,
+                       web_var: &mut Vec<VarId>,
+                       s: usize|
      -> u32 {
         let root = uf.find(s as u32);
         *web_of_root.entry(root).or_insert_with(|| {
@@ -534,7 +525,12 @@ mod tests {
         for (vi, info) in p.vars.iter().enumerate() {
             if info.is_temp {
                 // temp + its entry def can make 2 webs at most.
-                assert!(per_var[vi] <= 2, "temp {} has {} webs", info.name, per_var[vi]);
+                assert!(
+                    per_var[vi] <= 2,
+                    "temp {} has {} webs",
+                    info.name,
+                    per_var[vi]
+                );
             }
         }
     }

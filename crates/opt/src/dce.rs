@@ -128,10 +128,8 @@ mod tests {
 
     #[test]
     fn removes_unused_computation() {
-        let (_, q, n) = opt(
-            "program t; var x, y: int;
-             begin x := 1 + 2; y := 5; print y; end.",
-        );
+        let (_, q, n) = opt("program t; var x, y: int;
+             begin x := 1 + 2; y := 5; print y; end.");
         assert!(n >= 1, "{}", q.to_text());
         // Only the printed value's producer and the print remain.
         assert_eq!(q.instr_count(), 2, "{}", q.to_text());
@@ -139,24 +137,20 @@ mod tests {
 
     #[test]
     fn cascading_dead_chains() {
-        let (_, q, n) = opt(
-            "program t; var a, b, c, d: int;
-             begin a := 1; b := a + 1; c := b * 2; d := 7; print d; end.",
-        );
+        let (_, q, n) = opt("program t; var a, b, c, d: int;
+             begin a := 1; b := a + 1; c := b * 2; d := 7; print d; end.");
         assert!(n >= 3, "removed only {n}: {}", q.to_text());
         assert_eq!(q.instr_count(), 2); // d := 7; print d
     }
 
     #[test]
     fn keeps_values_live_across_blocks() {
-        let (_, q, _) = opt(
-            "program t; var x, c: int;
+        let (_, q, _) = opt("program t; var x, c: int;
              begin
                x := 41;
                if c > 0 then c := 1; else c := 2;
                print x + c;
-             end.",
-        );
+             end.");
         // x := 41 must survive (used after the join).
         let has_x = q
             .blocks
@@ -168,24 +162,20 @@ mod tests {
 
     #[test]
     fn keeps_loop_carried_values() {
-        let (p, q, _) = opt(
-            "program t; var i, s: int;
+        let (p, q, _) = opt("program t; var i, s: int;
              begin
                s := 0;
                i := 0;
                while i < 5 do begin s := s + i; i := i + 1; end;
                print s;
-             end.",
-        );
+             end.");
         assert_eq!(p.instr_count(), q.instr_count(), "nothing here is dead");
     }
 
     #[test]
     fn stores_and_prints_are_never_removed() {
-        let (_, q, _) = opt(
-            "program t; var a: array[4] of int; x: int;
-             begin a[0] := 1; x := 9; print x; end.",
-        );
+        let (_, q, _) = opt("program t; var a: array[4] of int; x: int;
+             begin a[0] := 1; x := 9; print x; end.");
         let stores = q
             .blocks
             .iter()
@@ -197,10 +187,8 @@ mod tests {
 
     #[test]
     fn dead_load_is_removed() {
-        let (_, q, n) = opt(
-            "program t; var a: array[4] of int; x, y: int;
-             begin x := a[2]; y := 3; print y; end.",
-        );
+        let (_, q, n) = opt("program t; var a: array[4] of int; x, y: int;
+             begin x := a[2]; y := 3; print y; end.");
         assert!(n >= 1);
         let loads = q
             .blocks
@@ -213,10 +201,8 @@ mod tests {
 
     #[test]
     fn branch_condition_stays_live() {
-        let (_, q, _) = opt(
-            "program t; var c: int;
-             begin c := 1; if c > 0 then print 1; else print 0; end.",
-        );
+        let (_, q, _) = opt("program t; var c: int;
+             begin c := 1; if c > 0 then print 1; else print 0; end.");
         let has_c = q
             .blocks
             .iter()

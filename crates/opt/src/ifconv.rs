@@ -19,9 +19,7 @@
 //! stores and prints (side effects). One-armed diamonds (`else` empty, or an
 //! arm falling straight to the join) select between the new and old value.
 
-use liw_ir::tac::{
-    BlockId, Instr, Operand, TacProgram, Terminator, VarId, VarInfo,
-};
+use liw_ir::tac::{BlockId, Instr, Operand, TacProgram, Terminator, VarId, VarInfo};
 
 /// Maximum instructions per arm to convert (beyond this, speculating both
 /// arms costs more than the branch).
@@ -34,14 +32,9 @@ pub fn if_convert(p: &TacProgram) -> (TacProgram, usize) {
     let mut total = 0usize;
     // Convert one diamond per pass; repeat until none match (conversions can
     // expose new ones after CFG simplification merges blocks).
-    loop {
-        match convert_one(&cur) {
-            Some(next) => {
-                cur = next;
-                total += 1;
-            }
-            None => break,
-        }
+    while let Some(next) = convert_one(&cur) {
+        cur = next;
+        total += 1;
     }
     (cur, total)
 }
@@ -115,66 +108,63 @@ fn convert_one(p: &TacProgram) -> Option<TacProgram> {
         let mut out = p.clone();
         let cond = *cond;
 
-        let speculate = |arm: &Arm,
-                             vars: &mut Vec<VarInfo>,
-                             instrs: &mut Vec<Instr>|
-         -> Vec<(VarId, VarId)> {
-            // Clone the arm's instructions with every written var renamed to
-            // a fresh temp; reads after a local def see the temp. Returns the
-            // (original, temp) pairs in definition order (last def wins).
-            let mut map: std::collections::HashMap<VarId, VarId> = Default::default();
-            let mut order: Vec<VarId> = Vec::new();
-            let Arm::Block(ab) = arm else {
-                return Vec::new();
-            };
-            for inst in &p.blocks[ab.index()].instrs {
-                let remap = |o: &Operand, map: &std::collections::HashMap<VarId, VarId>| {
-                    match o {
+        let speculate =
+            |arm: &Arm, vars: &mut Vec<VarInfo>, instrs: &mut Vec<Instr>| -> Vec<(VarId, VarId)> {
+                // Clone the arm's instructions with every written var renamed to
+                // a fresh temp; reads after a local def see the temp. Returns the
+                // (original, temp) pairs in definition order (last def wins).
+                let mut map: std::collections::HashMap<VarId, VarId> = Default::default();
+                let mut order: Vec<VarId> = Vec::new();
+                let Arm::Block(ab) = arm else {
+                    return Vec::new();
+                };
+                for inst in &p.blocks[ab.index()].instrs {
+                    let remap = |o: &Operand, map: &std::collections::HashMap<VarId, VarId>| match o
+                    {
                         Operand::Var(v) => Operand::Var(*map.get(v).unwrap_or(v)),
                         c => *c,
+                    };
+                    let mut cloned = match inst {
+                        Instr::Compute { dest, op, lhs, rhs } => Instr::Compute {
+                            dest: *dest,
+                            op: *op,
+                            lhs: remap(lhs, &map),
+                            rhs: rhs.as_ref().map(|r| remap(r, &map)),
+                        },
+                        Instr::Select {
+                            cond,
+                            if_true,
+                            if_false,
+                            dest,
+                        } => Instr::Select {
+                            cond: remap(cond, &map),
+                            if_true: remap(if_true, &map),
+                            if_false: remap(if_false, &map),
+                            dest: *dest,
+                        },
+                        _ => unreachable!("arm checked speculation-safe"),
+                    };
+                    let orig = cloned.writes().expect("compute/select write");
+                    let fresh = VarId(vars.len() as u32);
+                    vars.push(VarInfo {
+                        name: format!("ifc{}", vars.len()),
+                        ty: vars[orig.index()].ty,
+                        is_temp: true,
+                    });
+                    match &mut cloned {
+                        Instr::Compute { dest, .. } | Instr::Select { dest, .. } => {
+                            *dest = fresh;
+                        }
+                        _ => unreachable!(),
                     }
-                };
-                let mut cloned = match inst {
-                    Instr::Compute { dest, op, lhs, rhs } => Instr::Compute {
-                        dest: *dest,
-                        op: *op,
-                        lhs: remap(lhs, &map),
-                        rhs: rhs.as_ref().map(|r| remap(r, &map)),
-                    },
-                    Instr::Select {
-                        cond,
-                        if_true,
-                        if_false,
-                        dest,
-                    } => Instr::Select {
-                        cond: remap(cond, &map),
-                        if_true: remap(if_true, &map),
-                        if_false: remap(if_false, &map),
-                        dest: *dest,
-                    },
-                    _ => unreachable!("arm checked speculation-safe"),
-                };
-                let orig = cloned.writes().expect("compute/select write");
-                let fresh = VarId(vars.len() as u32);
-                vars.push(VarInfo {
-                    name: format!("ifc{}", vars.len()),
-                    ty: vars[orig.index()].ty,
-                    is_temp: true,
-                });
-                match &mut cloned {
-                    Instr::Compute { dest, .. } | Instr::Select { dest, .. } => {
-                        *dest = fresh;
+                    if !order.contains(&orig) {
+                        order.push(orig);
                     }
-                    _ => unreachable!(),
+                    map.insert(orig, fresh);
+                    instrs.push(cloned);
                 }
-                if !order.contains(&orig) {
-                    order.push(orig);
-                }
-                map.insert(orig, fresh);
-                instrs.push(cloned);
-            }
-            order.into_iter().map(|v| (v, map[&v])).collect()
-        };
+                order.into_iter().map(|v| (v, map[&v])).collect()
+            };
 
         let mut appended: Vec<Instr> = Vec::new();
         let t_writes = speculate(&t_arm, &mut out.vars, &mut appended);
@@ -214,8 +204,12 @@ fn convert_one(p: &TacProgram) -> Option<TacProgram> {
             writes.iter().find(|(o, _)| *o == v).map(|&(_, t)| t)
         };
         for v in merged {
-            let t_val = lookup(&t_writes, v).map(Operand::Var).unwrap_or(Operand::Var(v));
-            let e_val = lookup(&e_writes, v).map(Operand::Var).unwrap_or(Operand::Var(v));
+            let t_val = lookup(&t_writes, v)
+                .map(Operand::Var)
+                .unwrap_or(Operand::Var(v));
+            let e_val = lookup(&e_writes, v)
+                .map(Operand::Var)
+                .unwrap_or(Operand::Var(v));
             appended.push(Instr::Select {
                 cond,
                 if_true: t_val,

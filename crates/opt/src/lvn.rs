@@ -202,9 +202,9 @@ pub fn local_value_numbering(p: &TacProgram) -> (TacProgram, usize) {
                     let lv = n.val_of_operand(lhs);
                     let rv = rhs.as_ref().map(|r| n.val_of_operand(r));
                     let lhs2 = n.best_operand(lv, *lhs);
-                    let rhs2 = rhs.as_ref().map(|r| {
-                        n.best_operand(rv.expect("binary"), *r)
-                    });
+                    let rhs2 = rhs
+                        .as_ref()
+                        .map(|r| n.best_operand(rv.expect("binary"), *r));
 
                     if *op == OpCode::Copy {
                         // Copy: dest takes the source's value; keep the
@@ -446,20 +446,16 @@ mod tests {
 
     #[test]
     fn cse_removes_repeated_expression() {
-        let (_, q) = opt(
-            "program t; var a, b, x, y: int;
-             begin a := 3; b := 4; x := a * b; y := a * b; print x + y; end.",
-        );
+        let (_, q) = opt("program t; var a, b, x, y: int;
+             begin a := 3; b := 4; x := a * b; y := a * b; print x + y; end.");
         // After constprop a*b folds entirely; ensure at most one Mul remains.
         assert!(count_op(&q, OpCode::Mul) <= 1, "{}", q.to_text());
     }
 
     #[test]
     fn cse_on_non_constant_values() {
-        let (p, q) = opt(
-            "program t; var a: array[4] of int; x, y, i: int;
-             begin x := a[i] * a[i]; y := a[i] * a[i]; print x + y; end.",
-        );
+        let (p, q) = opt("program t; var a: array[4] of int; x, y, i: int;
+             begin x := a[i] * a[i]; y := a[i] * a[i]; print x + y; end.");
         // Loads of a[i] collapse to one; the second Mul collapses too.
         let loads_before = p
             .blocks
@@ -479,10 +475,8 @@ mod tests {
 
     #[test]
     fn constants_propagate_through_copies() {
-        let (_, q) = opt(
-            "program t; var a, b, c: int;
-             begin a := 5; b := a; c := b + 1; print c; end.",
-        );
+        let (_, q) = opt("program t; var a, b, c: int;
+             begin a := 5; b := a; c := b + 1; print c; end.");
         // c := 6 directly.
         let has_const6 = q.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
             matches!(
@@ -500,10 +494,8 @@ mod tests {
 
     #[test]
     fn store_to_load_forwarding() {
-        let (_, q) = opt(
-            "program t; var a: array[8] of int; i, x: int;
-             begin a[i] := 42; x := a[i]; print x; end.",
-        );
+        let (_, q) = opt("program t; var a: array[8] of int; i, x: int;
+             begin a[i] := 42; x := a[i]; print x; end.");
         let loads = q
             .blocks
             .iter()
@@ -517,8 +509,7 @@ mod tests {
     fn store_invalidates_other_indices() {
         // Store to a[j] (unknown j) between two loads of a[i]: the second
         // load must NOT be forwarded from the first.
-        let (_, q) = opt(
-            "program t; var a: array[8] of int; i, j, x, y: int;
+        let (_, q) = opt("program t; var a: array[8] of int; i, j, x, y: int;
              begin
                i := 1; j := 2;
                a[i] := 10;
@@ -526,8 +517,7 @@ mod tests {
                a[j] := 99;
                y := a[i];
                print x; print y;
-             end.",
-        );
+             end.");
         // Output correctness already checked by opt(); additionally make
         // sure a load survives after the second store.
         let text = q.to_text();
@@ -536,19 +526,15 @@ mod tests {
 
     #[test]
     fn commutative_cse() {
-        let (_, q) = opt(
-            "program t; var a: array[2] of int; p, x, y: int;
-             begin p := a[0]; x := p + 7; y := 7 + p; print x * y; end.",
-        );
+        let (_, q) = opt("program t; var a: array[2] of int; p, x, y: int;
+             begin p := a[0]; x := p + 7; y := 7 + p; print x * y; end.");
         assert_eq!(count_op(&q, OpCode::Add), 1, "{}", q.to_text());
     }
 
     #[test]
     fn copies_collapse_chains() {
-        let (_, q) = opt(
-            "program t; var a: array[2] of int; p, q1, r, s: int;
-             begin p := a[0]; q1 := p; r := q1; s := r + 1; print s; end.",
-        );
+        let (_, q) = opt("program t; var a: array[2] of int; p, q1, r, s: int;
+             begin p := a[0]; q1 := p; r := q1; s := r + 1; print s; end.");
         // s := p + 1 — the chain q1, r is bypassed.
         let uses_p_directly = q.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
             matches!(i, Instr::Compute { op: OpCode::Add, lhs: Operand::Var(v), .. }
@@ -559,10 +545,8 @@ mod tests {
 
     #[test]
     fn branch_condition_is_rewritten() {
-        let (_, q) = opt(
-            "program t; var x: int;
-             begin if 2 > 1 then x := 1; else x := 2; print x; end.",
-        );
+        let (_, q) = opt("program t; var x: int;
+             begin if 2 > 1 then x := 1; else x := 2; print x; end.");
         // Condition folded to a constant operand in the branch.
         match &q.blocks[q.entry.index()].term {
             Terminator::Branch { cond, .. } => {
@@ -574,16 +558,14 @@ mod tests {
 
     #[test]
     fn algebraic_identities_simplify() {
-        let (_, q) = opt(
-            "program t; var a: array[4] of int; x, y, z, w: int;
+        let (_, q) = opt("program t; var a: array[4] of int; x, y, z, w: int;
              begin
                x := a[0];
                y := x + 0;
                z := x * 1;
                w := x - x;
                print y; print z; print w;
-             end.",
-        );
+             end.");
         // y and z become copies of x; w becomes constant 0.
         assert_eq!(count_op(&q, OpCode::Add), 0, "{}", q.to_text());
         assert_eq!(count_op(&q, OpCode::Mul), 0, "{}", q.to_text());
@@ -592,60 +574,55 @@ mod tests {
 
     #[test]
     fn mul_by_zero_is_constant() {
-        let (_, q) = opt(
-            "program t; var a: array[4] of int; x, y: int;
-             begin x := a[1]; y := x * 0; print y; end.",
-        );
+        let (_, q) = opt("program t; var a: array[4] of int; x, y: int;
+             begin x := a[1]; y := x * 0; print y; end.");
         assert_eq!(count_op(&q, OpCode::Mul), 0, "{}", q.to_text());
     }
 
     #[test]
     fn real_identities_preserve_nan_semantics() {
         // x * 1.0 and x + 0.0 fold; x * 0.0 must NOT (NaN).
-        let (_, q) = opt(
-            "program t; var a: array[4] of real; x, y, z, w: real;
+        let (_, q) = opt("program t; var a: array[4] of real; x, y, z, w: real;
              begin
                x := a[0];
                y := x * 1.0;
                z := x + 0.0;
                w := x * 0.0;
                print y; print z; print w;
-             end.",
-        );
+             end.");
         assert_eq!(count_op(&q, OpCode::FAdd), 0, "{}", q.to_text());
-        assert_eq!(count_op(&q, OpCode::FMul), 1, "x*0.0 must survive: {}", q.to_text());
+        assert_eq!(
+            count_op(&q, OpCode::FMul),
+            1,
+            "x*0.0 must survive: {}",
+            q.to_text()
+        );
     }
 
     #[test]
     fn comparisons_of_identical_values_fold() {
-        let (_, q) = opt(
-            "program t; var a: array[4] of int; x: int; b: bool;
-             begin x := a[0]; b := x = x; print b; end.",
-        );
+        let (_, q) = opt("program t; var a: array[4] of int; x: int; b: bool;
+             begin x := a[0]; b := x = x; print b; end.");
         assert_eq!(count_op(&q, OpCode::Eq), 0, "{}", q.to_text());
     }
 
     #[test]
     fn logical_identities() {
-        let (_, q) = opt(
-            "program t; var a: array[2] of int; b, c: bool;
+        let (_, q) = opt("program t; var a: array[2] of int; b, c: bool;
              begin
                b := a[0] > 0;
                c := b and true;
                c := c or false;
                print c;
-             end.",
-        );
+             end.");
         assert_eq!(count_op(&q, OpCode::And), 0, "{}", q.to_text());
         assert_eq!(count_op(&q, OpCode::Or), 0, "{}", q.to_text());
     }
 
     #[test]
     fn print_order_is_preserved() {
-        let (p, q) = opt(
-            "program t; var a: array[2] of int; x: int;
-             begin x := a[0]; print x; print x + 1; print x; end.",
-        );
+        let (p, q) = opt("program t; var a: array[2] of int; x: int;
+             begin x := a[0]; print x; print x + 1; print x; end.");
         assert_eq!(run(&p).unwrap().output, run(&q).unwrap().output);
     }
 }

@@ -69,8 +69,7 @@ fn thread_empty_jumps(p: &mut TacProgram) -> usize {
 
     let mut n = 0;
     let targets: Vec<BlockId> = (0..p.blocks.len() as u32).map(BlockId).collect();
-    let resolved: HashMap<BlockId, BlockId> =
-        targets.iter().map(|&t| (t, resolve(p, t))).collect();
+    let resolved: HashMap<BlockId, BlockId> = targets.iter().map(|&t| (t, resolve(p, t))).collect();
 
     let entry_resolved = resolved[&p.entry];
     if entry_resolved != p.entry {
@@ -207,14 +206,12 @@ mod tests {
 
     #[test]
     fn merges_if_diamond_after_execution_preserved() {
-        let (p, q) = opt(
-            "program t; var x: int;
+        let (p, q) = opt("program t; var x: int;
              begin
                x := 1;
                if x > 0 then x := 2; else x := 3;
                print x;
-             end.",
-        );
+             end.");
         assert!(q.blocks.len() <= p.blocks.len());
     }
 
@@ -222,13 +219,11 @@ mod tests {
     fn constant_branch_folds_and_dead_arm_drops() {
         // The front end folds `2 > 1` to a constant operand; simplify must
         // turn the branch into a jump and drop the dead arm.
-        let (p, q) = opt(
-            "program t; var x: int;
+        let (p, q) = opt("program t; var x: int;
              begin
                if 2 > 1 then x := 1; else x := 2;
                print x;
-             end.",
-        );
+             end.");
         assert!(
             q.blocks.len() < p.blocks.len(),
             "{} -> {} blocks",
@@ -244,26 +239,22 @@ mod tests {
 
     #[test]
     fn linear_chain_collapses_to_one_block() {
-        let (_, q) = opt(
-            "program t; var x: int;
+        let (_, q) = opt("program t; var x: int;
              begin
                if 1 > 2 then x := 9; else x := 7;
                print x;
-             end.",
-        );
+             end.");
         assert_eq!(q.blocks.len(), 1, "{}", q.to_text());
     }
 
     #[test]
     fn loops_survive_simplification() {
-        let (_, q) = opt(
-            "program t; var i, s: int;
+        let (_, q) = opt("program t; var i, s: int;
              begin
                s := 0;
                for i := 1 to 5 do s := s + i;
                print s;
-             end.",
-        );
+             end.");
         // The loop's branch must remain.
         assert!(q
             .blocks
@@ -273,13 +264,11 @@ mod tests {
 
     #[test]
     fn unreachable_blocks_are_dropped() {
-        let (p, q) = opt(
-            "program t; var x: int;
+        let (p, q) = opt("program t; var x: int;
              begin
                while false do x := x + 1;
                print x;
-             end.",
-        );
+             end.");
         assert!(q.blocks.len() < p.blocks.len());
     }
 }

@@ -12,9 +12,7 @@
 pub mod program;
 pub mod schedule;
 
-pub use program::{
-    LongWord, MachineSpec, SOperand, SchedBlock, SchedProgram, SchedTerm, SlotOp,
-};
+pub use program::{LongWord, MachineSpec, SOperand, SchedBlock, SchedProgram, SchedTerm, SlotOp};
 pub use schedule::{schedule, schedule_with, ScheduleOptions, SchedulePriority};
 
 /// Compile MiniLang source and schedule it in one call.

@@ -2,8 +2,8 @@
 //! basic block, with operands renamed to *data values* (webs).
 
 use liw_ir::tac::{ArrayId, ArrayInfo, BlockId, OpCode, Value, VarId};
-use parmem_core::types::{AccessTrace, OperandSet, ValueId};
 use parmem_core::strategies::RegionizedTrace;
+use parmem_core::types::{AccessTrace, OperandSet, ValueId};
 
 /// Machine configuration for scheduling: how much a long word can carry.
 #[derive(Clone, Copy, Debug)]
@@ -339,8 +339,11 @@ impl SchedProgram {
     /// (the paper's Table 1 counts scalars, i.e. placed values).
     pub fn used_values(&self) -> usize {
         let t = self.access_trace();
-        let mut vals: std::collections::HashSet<u32> =
-            t.instructions.iter().flat_map(|i| i.iter().map(|v| v.0)).collect();
+        let mut vals: std::collections::HashSet<u32> = t
+            .instructions
+            .iter()
+            .flat_map(|i| i.iter().map(|v| v.0))
+            .collect();
         for b in &self.blocks {
             for w in &b.words {
                 for op in &w.ops {

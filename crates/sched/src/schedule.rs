@@ -22,10 +22,10 @@
 //! condition is computed in that word or its ports are full, an extra word
 //! is appended (the branch then issues there).
 
-use liw_ir::tac::{Instr, Operand, TacProgram, Terminator};
-use liw_ir::webs::{compute_webs, Webs, TERM_IDX};
 use liw_ir::cfg;
 use liw_ir::tac::BlockId;
+use liw_ir::tac::{Instr, Operand, TacProgram, Terminator};
+use liw_ir::webs::{compute_webs, Webs, TERM_IDX};
 
 use crate::program::{
     LongWord, MachineSpec, SOperand, SchedBlock, SchedProgram, SchedTerm, SlotOp,
@@ -105,22 +105,30 @@ pub fn schedule_with(p: &TacProgram, spec: MachineSpec, opts: ScheduleOptions) -
 fn soperand(webs: &Webs, block: BlockId, idx: u32, o: &Operand) -> SOperand {
     match o {
         Operand::Const(c) => SOperand::Const(*c),
-        Operand::Var(v) => SOperand::Scalar(
-            webs.of_use(block, idx, *v)
-                .expect("every use has a web"),
-        ),
+        Operand::Var(v) => {
+            SOperand::Scalar(webs.of_use(block, idx, *v).expect("every use has a web"))
+        }
     }
 }
 
 fn to_slot_op(webs: &Webs, block: BlockId, idx: u32, inst: &Instr) -> SlotOp {
     match inst {
-        Instr::Compute { dest: _, op, lhs, rhs } => SlotOp::Compute {
+        Instr::Compute {
+            dest: _,
+            op,
+            lhs,
+            rhs,
+        } => SlotOp::Compute {
             dest: webs.of_def(block, idx).expect("def web"),
             op: *op,
             lhs: soperand(webs, block, idx, lhs),
             rhs: rhs.as_ref().map(|r| soperand(webs, block, idx, r)),
         },
-        Instr::Load { dest: _, arr, index } => SlotOp::Load {
+        Instr::Load {
+            dest: _,
+            arr,
+            index,
+        } => SlotOp::Load {
             dest: webs.of_def(block, idx).expect("def web"),
             arr: *arr,
             index: soperand(webs, block, idx, index),
@@ -347,14 +355,10 @@ fn schedule_block(
                 true
             } else {
                 let last = blk.words.len() - 1;
-                let defined_in_last = blk.words[last]
-                    .ops
-                    .iter()
-                    .any(|o| o.writes() == Some(*w));
+                let defined_in_last = blk.words[last].ops.iter().any(|o| o.writes() == Some(*w));
                 let reads = blk.words[last].scalar_read_set();
                 let ports_full = !reads.contains(w)
-                    && reads.len() + blk.words[last].array_access_count() + 1
-                        > spec.mem_ports;
+                    && reads.len() + blk.words[last].array_access_count() + 1 > spec.mem_ports;
                 defined_in_last || ports_full
             };
             if needs_new_word {
@@ -407,12 +411,16 @@ mod tests {
             if let Some(cw) = b.term.cond_web() {
                 if let Some(&dw) = def_word.get(&cw) {
                     assert!(
-                        dw < b.words.len() - 1 || b.words[b.words.len() - 1].ops.is_empty()
+                        dw < b.words.len() - 1
+                            || b.words[b.words.len() - 1].ops.is_empty()
                             || dw < b.words.len() - 1,
                         "branch cond defined in its own fetch word"
                     );
-                    assert!(dw + 1 <= b.words.len() - 1 || dw < b.words.len() - 1,
-                        "cond def word {dw} vs words {}", b.words.len());
+                    assert!(
+                        dw + 1 <= b.words.len() - 1 || dw < b.words.len() - 1,
+                        "cond def word {dw} vs words {}",
+                        b.words.len()
+                    );
                 }
             }
         }
@@ -564,8 +572,7 @@ mod tests {
         for b in &sp.blocks {
             if let Some(cw) = b.term.cond_web() {
                 let last = b.words.len() - 1;
-                let defined_in_last =
-                    b.words[last].ops.iter().any(|o| o.writes() == Some(cw));
+                let defined_in_last = b.words[last].ops.iter().any(|o| o.writes() == Some(cw));
                 assert!(!defined_in_last);
             }
         }
@@ -595,8 +602,22 @@ mod tests {
             end.";
         let tac = compile(src).unwrap();
         let spec = MachineSpec::with_modules(8);
-        let renamed = schedule_with(&tac, spec, ScheduleOptions { rename: true, ..Default::default() });
-        let flat = schedule_with(&tac, spec, ScheduleOptions { rename: false, ..Default::default() });
+        let renamed = schedule_with(
+            &tac,
+            spec,
+            ScheduleOptions {
+                rename: true,
+                ..Default::default()
+            },
+        );
+        let flat = schedule_with(
+            &tac,
+            spec,
+            ScheduleOptions {
+                rename: false,
+                ..Default::default()
+            },
+        );
         assert!(
             renamed.word_count() < flat.word_count(),
             "renamed {} vs flat {}",
@@ -693,11 +714,14 @@ mod tests {
         };
         // Both selects share their 3 source values → they fit one word on a
         // 3-port machine; the dependent add goes in the next word.
-        let sp = schedule(&p, MachineSpec {
-            width: 4,
-            mem_ports: 3,
-            modules: 4,
-        });
+        let sp = schedule(
+            &p,
+            MachineSpec {
+                width: 4,
+                mem_ports: 3,
+                modules: 4,
+            },
+        );
         assert_valid(&sp);
         let b0 = &sp.blocks[0];
         assert_eq!(b0.words.len(), 2, "{:?}", b0.words);
@@ -713,7 +737,10 @@ mod tests {
         let sp = schedule_with(
             &tac,
             MachineSpec::with_modules(4),
-            ScheduleOptions { rename: false, ..Default::default() },
+            ScheduleOptions {
+                rename: false,
+                ..Default::default()
+            },
         );
         assert_eq!(sp.n_values, tac.vars.len());
     }

@@ -60,9 +60,7 @@ impl ArrayModuleMap {
         match &self.policy {
             ArrayPlacement::Ideal => None,
             ArrayPlacement::SameModule(m) => Some((*m as usize % self.modules) as u16),
-            ArrayPlacement::Interleaved => {
-                Some(((array_id as i64 + index).rem_euclid(k)) as u16)
-            }
+            ArrayPlacement::Interleaved => Some(((array_id as i64 + index).rem_euclid(k)) as u16),
             ArrayPlacement::UniformRandom(_) => {
                 let r = self.rng.as_mut().expect("rng for uniform policy");
                 Some(r.gen_range(0..self.modules) as u16)
@@ -110,8 +108,7 @@ mod tests {
         }
         let mut c = ArrayModuleMap::new(ArrayPlacement::UniformRandom(8), 8);
         let diff = (0..100).any(|i| {
-            let x = ArrayModuleMap::new(ArrayPlacement::UniformRandom(7), 8)
-                .module_for(0, i);
+            let x = ArrayModuleMap::new(ArrayPlacement::UniformRandom(7), 8).module_for(0, i);
             x != c.module_for(0, i)
         });
         assert!(diff);

@@ -22,7 +22,6 @@ pub mod pipeline;
 pub use arrays::ArrayPlacement;
 pub use machine::{run, run_with_fuel, SimError, SimStats};
 pub use pipeline::{
-    compile_with, CompileOptions,
-    assign, compile, quick_run, table2_row, verified_run, CompiledProgram, Table2Row,
-    VerifiedRun,
+    assign, compile, compile_with, quick_run, table2_row, verified_run, CompileOptions,
+    CompiledProgram, Table2Row, VerifiedRun,
 };

@@ -29,7 +29,7 @@ pub fn maxload_distribution(base: &[u32], a: usize) -> Vec<f64> {
     let mut cur: HashMap<(usize, u32), f64> = HashMap::new();
     cur.insert((a, 0), 1.0);
 
-    for j in 0..k {
+    for (j, &base_j) in base.iter().enumerate() {
         let remaining_modules = (k - j) as f64;
         let p_here = 1.0 / remaining_modules;
         let mut next: HashMap<(usize, u32), f64> = HashMap::new();
@@ -42,8 +42,7 @@ pub fn maxload_distribution(base: &[u32], a: usize) -> Vec<f64> {
                     // Incremental binomial update:
                     // P(c) = P(c-1) * (r-c+1)/c * p/(1-p)
                     if p_here < 1.0 {
-                        p_c = p_c * ((r - c + 1) as f64) / (c as f64) * p_here
-                            / (1.0 - p_here);
+                        p_c = p_c * ((r - c + 1) as f64) / (c as f64) * p_here / (1.0 - p_here);
                     } else {
                         p_c = if c == r { 1.0 } else { 0.0 };
                     }
@@ -51,7 +50,7 @@ pub fn maxload_distribution(base: &[u32], a: usize) -> Vec<f64> {
                 if p_c == 0.0 {
                     continue;
                 }
-                let load = base[j] + c as u32;
+                let load = base_j + c as u32;
                 let entry = next.entry((r - c, mx.max(load))).or_insert(0.0);
                 *entry += prob * p_c;
             }

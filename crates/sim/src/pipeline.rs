@@ -5,7 +5,7 @@
 
 use liw_ir::tac::TacProgram;
 use liw_sched::{schedule, MachineSpec, SchedProgram};
-use parmem_core::assignment::{Assignment, AssignmentReport, AssignParams};
+use parmem_core::assignment::{AssignParams, Assignment, AssignmentReport};
 use parmem_core::strategies::{run_strategy, Strategy};
 
 use crate::arrays::ArrayPlacement;
@@ -22,7 +22,10 @@ pub struct CompiledProgram {
 }
 
 /// Compile MiniLang source for a machine with the given spec.
-pub fn compile(src: &str, spec: MachineSpec) -> Result<CompiledProgram, Box<dyn std::error::Error>> {
+pub fn compile(
+    src: &str,
+    spec: MachineSpec,
+) -> Result<CompiledProgram, Box<dyn std::error::Error>> {
     let tac = liw_ir::compile(src)?;
     let sched = schedule(&tac, spec);
     Ok(CompiledProgram { tac, sched })
@@ -236,7 +239,11 @@ mod tests {
         assert_eq!(report.residual_conflicts, 0);
         assert_eq!(run.stats.scalar_conflict_words, 0);
         assert_eq!(run.stats.output.len(), 1);
-        assert!(run.speedup > 1.0, "LIW should beat sequential: {}", run.speedup);
+        assert!(
+            run.speedup > 1.0,
+            "LIW should beat sequential: {}",
+            run.speedup
+        );
     }
 
     #[test]
@@ -249,9 +256,14 @@ mod tests {
         assert!(row.ave_ratio() >= 1.0);
         assert!(row.max_ratio() >= row.ave_ratio() * 0.99);
         // Analytic close to measured (one seed, so loose bound).
-        let rel = (row.t_ave_analytic - row.t_ave_measured as f64).abs()
-            / row.t_ave_analytic.max(1.0);
-        assert!(rel < 0.2, "analytic {} vs measured {}", row.t_ave_analytic, row.t_ave_measured);
+        let rel =
+            (row.t_ave_analytic - row.t_ave_measured as f64).abs() / row.t_ave_analytic.max(1.0);
+        assert!(
+            rel < 0.2,
+            "analytic {} vs measured {}",
+            row.t_ave_analytic,
+            row.t_ave_measured
+        );
     }
 
     #[test]

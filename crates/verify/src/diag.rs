@@ -1,0 +1,301 @@
+//! Structured diagnostics with stable error codes.
+//!
+//! Every invariant the verifier checks has a fixed `PMxxx` code so tests,
+//! scripts, and CI can match on failures without parsing prose. Codes in the
+//! `PM0xx` range concern the module assignment; `PM1xx` codes concern the
+//! renaming/dataflow invariants of the compiled program.
+
+use std::fmt;
+
+/// Stable identifier of one verified invariant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Code {
+    /// An instruction fetches more distinct scalars than there are modules.
+    PM001,
+    /// An instruction operand has no copy in any module.
+    PM002,
+    /// An instruction is not conflict-free: its operands cannot be matched to
+    /// distinct modules holding their copies.
+    PM003,
+    /// The report's `residual_conflicts` disagrees with an independent
+    /// recount over the trace.
+    PM004,
+    /// Two single-copy values that co-occur in an instruction share their
+    /// only module (proper-coloring violation).
+    PM005,
+    /// The report's copy bookkeeping (`single_copy` / `multi_copy` /
+    /// `extra_copies`) disagrees with a recount over the assignment.
+    PM006,
+    /// A value has a copy in a module outside `0..k`.
+    PM007,
+    /// The statically predicted conflict count disagrees with what the
+    /// simulator measured cycle-by-cycle.
+    PM008,
+    /// The scheduled program's published access trace disagrees with an
+    /// independent reconstruction from its long words.
+    PM009,
+    /// A use reads a web that differs from a definition reaching it
+    /// (renaming/fresh-value violation — a stale read).
+    PM101,
+    /// One web renames more than one program variable.
+    PM102,
+    /// A long word reads a data value that is not defined on every path from
+    /// entry.
+    PM103,
+    /// A long word writes the same data value twice (nondeterministic
+    /// commit).
+    PM104,
+}
+
+impl Code {
+    /// The stable textual form, e.g. `"PM003"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::PM001 => "PM001",
+            Code::PM002 => "PM002",
+            Code::PM003 => "PM003",
+            Code::PM004 => "PM004",
+            Code::PM005 => "PM005",
+            Code::PM006 => "PM006",
+            Code::PM007 => "PM007",
+            Code::PM008 => "PM008",
+            Code::PM009 => "PM009",
+            Code::PM101 => "PM101",
+            Code::PM102 => "PM102",
+            Code::PM103 => "PM103",
+            Code::PM104 => "PM104",
+        }
+    }
+
+    /// One-line summary of the invariant this code guards.
+    pub fn description(self) -> &'static str {
+        match self {
+            Code::PM001 => "instruction has more operands than memory modules",
+            Code::PM002 => "operand value has no copy in any module",
+            Code::PM003 => "instruction is not conflict-free",
+            Code::PM004 => "residual-conflict count disagrees with recount",
+            Code::PM005 => "adjacent single-copy values share a module",
+            Code::PM006 => "copy bookkeeping disagrees with recount",
+            Code::PM007 => "copy placed in an out-of-range module",
+            Code::PM008 => "static conflict prediction disagrees with simulation",
+            Code::PM009 => "published access trace disagrees with reconstruction",
+            Code::PM101 => "use reads a different web than a reaching definition",
+            Code::PM102 => "one web renames multiple variables",
+            Code::PM103 => "read of a possibly-undefined data value",
+            Code::PM104 => "data value written twice in one long word",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One verified-invariant violation, with enough context to locate it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which invariant failed.
+    pub code: Code,
+    /// Human-readable detail.
+    pub message: String,
+    /// Offending instruction (index into the access trace), if applicable.
+    pub instruction: Option<usize>,
+    /// Offending data value, if applicable.
+    pub value: Option<u32>,
+    /// Offending basic block, if applicable.
+    pub block: Option<u32>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with only a code and message.
+    pub fn new(code: Code, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            message: message.into(),
+            instruction: None,
+            value: None,
+            block: None,
+        }
+    }
+
+    /// Attach the offending instruction index.
+    pub fn at_instruction(mut self, i: usize) -> Diagnostic {
+        self.instruction = Some(i);
+        self
+    }
+
+    /// Attach the offending data value.
+    pub fn with_value(mut self, v: u32) -> Diagnostic {
+        self.value = Some(v);
+        self
+    }
+
+    /// Attach the offending basic block.
+    pub fn in_block(mut self, b: u32) -> Diagnostic {
+        self.block = Some(b);
+        self
+    }
+
+    /// Render as a JSON object (hand-rolled; the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"code\":\"{}\"", self.code));
+        s.push_str(&format!(",\"message\":\"{}\"", escape_json(&self.message)));
+        if let Some(i) = self.instruction {
+            s.push_str(&format!(",\"instruction\":{i}"));
+        }
+        if let Some(v) = self.value {
+            s.push_str(&format!(",\"value\":{v}"));
+        }
+        if let Some(b) = self.block {
+            s.push_str(&format!(",\"block\":{b}"));
+        }
+        s.push('}');
+        s
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)?;
+        if let Some(i) = self.instruction {
+            write!(f, " (instruction {i})")?;
+        }
+        if let Some(v) = self.value {
+            write!(f, " (value V{v})")?;
+        }
+        if let Some(b) = self.block {
+            write!(f, " (block B{b})")?;
+        }
+        Ok(())
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The outcome of a verification run: every violation found, plus which
+/// checker passes ran (so "clean" is distinguishable from "skipped").
+#[derive(Clone, Debug, Default)]
+pub struct VerifyReport {
+    /// All violations, in discovery order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Names of the checker passes that ran.
+    pub checks_run: Vec<&'static str>,
+}
+
+impl VerifyReport {
+    /// True if no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Diagnostics carrying the given code.
+    pub fn with_code(&self, code: Code) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code == code).collect()
+    }
+
+    /// True if some diagnostic carries `code`.
+    pub fn has_code(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Merge another report's findings into this one.
+    pub fn merge(&mut self, other: VerifyReport) {
+        self.diagnostics.extend(other.diagnostics);
+        self.checks_run.extend(other.checks_run);
+    }
+
+    /// Render the whole report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let diags: Vec<String> = self.diagnostics.iter().map(|d| d.to_json()).collect();
+        let checks: Vec<String> = self
+            .checks_run
+            .iter()
+            .map(|c| format!("\"{}\"", escape_json(c)))
+            .collect();
+        format!(
+            "{{\"clean\":{},\"checks_run\":[{}],\"diagnostics\":[{}]}}",
+            self.is_clean(),
+            checks.join(","),
+            diags.join(",")
+        )
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            writeln!(f, "verified: {} checks clean", self.checks_run.len())
+        } else {
+            writeln!(f, "{} violation(s):", self.diagnostics.len())?;
+            for d in &self.diagnostics {
+                writeln!(f, "  {d}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_strings() {
+        assert_eq!(Code::PM001.as_str(), "PM001");
+        assert_eq!(Code::PM104.as_str(), "PM104");
+        assert!(!Code::PM008.description().is_empty());
+    }
+
+    #[test]
+    fn diagnostic_display_includes_context() {
+        let d = Diagnostic::new(Code::PM003, "cannot match operands")
+            .at_instruction(7)
+            .with_value(3);
+        let s = d.to_string();
+        assert!(s.contains("PM003"));
+        assert!(s.contains("instruction 7"));
+        assert!(s.contains("V3"));
+    }
+
+    #[test]
+    fn json_escapes_and_nests() {
+        let d = Diagnostic::new(Code::PM004, "count \"7\" != 8\n").at_instruction(1);
+        let j = d.to_json();
+        assert!(j.contains("\\\"7\\\""));
+        assert!(j.contains("\\n"));
+        let mut r = VerifyReport::default();
+        r.checks_run.push("assignment");
+        r.diagnostics.push(d);
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"clean\":false"));
+        assert!(j.contains("\"assignment\""));
+    }
+
+    #[test]
+    fn report_queries() {
+        let mut r = VerifyReport::default();
+        assert!(r.is_clean());
+        r.diagnostics.push(Diagnostic::new(Code::PM001, "too wide"));
+        assert!(r.has_code(Code::PM001));
+        assert!(!r.has_code(Code::PM002));
+        assert_eq!(r.with_code(Code::PM001).len(), 1);
+    }
+}

@@ -1,0 +1,342 @@
+//! Differential checks: the scheduled program's published access trace
+//! against an independent reconstruction (PM009), and the statically
+//! predicted conflict count against what the cycle-level simulator actually
+//! measures (PM008).
+
+use liw_sched::{SOperand, SchedProgram, SchedTerm, SlotOp};
+use parmem_core::assignment::Assignment;
+use parmem_core::types::{AccessTrace, OperandSet, ValueId};
+use rliw_sim::ArrayPlacement;
+
+use crate::assignment_check::min_makespan;
+use crate::diag::{Code, Diagnostic};
+
+/// Rebuild the access trace directly from the long words, without calling
+/// `SchedProgram::access_trace` or any of its helpers. One operand set per
+/// word; a `Branch` condition is fetched during its block's final word.
+pub fn rebuild_trace(sched: &SchedProgram) -> AccessTrace {
+    let mut insts = Vec::new();
+    for b in &sched.blocks {
+        for (wi, word) in b.words.iter().enumerate() {
+            let mut reads: Vec<ValueId> = Vec::new();
+            let mut push = |o: &SOperand| {
+                if let SOperand::Scalar(w) = o {
+                    reads.push(ValueId(*w));
+                }
+            };
+            for op in &word.ops {
+                match op {
+                    SlotOp::Compute { lhs, rhs, .. } => {
+                        push(lhs);
+                        if let Some(r) = rhs {
+                            push(r);
+                        }
+                    }
+                    SlotOp::Load { index, .. } => push(index),
+                    SlotOp::Store { index, value, .. } => {
+                        push(index);
+                        push(value);
+                    }
+                    SlotOp::Print { value } => push(value),
+                    SlotOp::Select {
+                        cond,
+                        if_true,
+                        if_false,
+                        ..
+                    } => {
+                        push(cond);
+                        push(if_true);
+                        push(if_false);
+                    }
+                }
+            }
+            if wi + 1 == b.words.len() {
+                if let SchedTerm::Branch { cond, .. } = &b.term {
+                    push(cond);
+                }
+            }
+            insts.push(OperandSet::new(reads));
+        }
+    }
+    AccessTrace::new(sched.spec.modules, insts)
+}
+
+/// PM009: compare a caller-supplied trace (e.g. the one the assignment was
+/// actually computed from) against the reconstruction, word by word. Catches
+/// both bugs in `SchedProgram::access_trace` and stale traces that no longer
+/// describe the program being verified.
+pub fn check_trace_against(published: &AccessTrace, sched: &SchedProgram) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let rebuilt = rebuild_trace(sched);
+    if published.modules != rebuilt.modules {
+        diags.push(Diagnostic::new(
+            Code::PM009,
+            format!(
+                "trace claims k={}, machine spec says k={}",
+                published.modules, rebuilt.modules
+            ),
+        ));
+    }
+    if published.instructions.len() != rebuilt.instructions.len() {
+        diags.push(Diagnostic::new(
+            Code::PM009,
+            format!(
+                "trace has {} words, reconstruction from the program has {}",
+                published.instructions.len(),
+                rebuilt.instructions.len()
+            ),
+        ));
+        return diags;
+    }
+    for (i, (p, r)) in published
+        .instructions
+        .iter()
+        .zip(&rebuilt.instructions)
+        .enumerate()
+    {
+        if p != r {
+            diags.push(
+                Diagnostic::new(
+                    Code::PM009,
+                    format!("trace word reads {p:?}, reconstruction reads {r:?}"),
+                )
+                .at_instruction(i),
+            );
+        }
+    }
+    diags
+}
+
+/// PM009 self-check: the program's own published trace against the
+/// reconstruction. Only fails if `access_trace`/`word_operands` are buggy.
+pub fn check_trace_reconstruction(sched: &SchedProgram) -> Vec<Diagnostic> {
+    check_trace_against(&sched.access_trace(), sched)
+}
+
+/// What the verifier can predict about conflicts without executing.
+pub struct StaticPrediction {
+    /// Indices of static words whose scalar fetches must stall.
+    pub conflicting_words: Vec<usize>,
+    /// Exact dynamic conflict-word count, when control flow permits a static
+    /// answer (straight-line chain from entry to halt: every reachable word
+    /// executes exactly once).
+    pub exact_dynamic: Option<u64>,
+}
+
+/// Predict scalar conflicts from the trace and assignment alone, using the
+/// simulator's exact accounting: an unplaced value is fetched from module 0,
+/// and a word with no scalar reads can never conflict.
+pub fn predict(sched: &SchedProgram, assignment: &Assignment) -> StaticPrediction {
+    let trace = rebuild_trace(sched);
+    let mut conflicting = Vec::new();
+    for (i, inst) in trace.instructions.iter().enumerate() {
+        if inst.is_empty() {
+            continue;
+        }
+        let masks: Vec<u64> = inst
+            .iter()
+            .map(|v| match assignment.copies(v).0 {
+                0 => 1, // the machine falls back to module 0
+                m => m,
+            })
+            .collect();
+        if min_makespan(&masks).unwrap_or(usize::MAX) > 1 {
+            conflicting.push(i);
+        }
+    }
+
+    // Straight-line check: from entry, each block jumps to at most one
+    // successor and no block repeats → every reached word executes once.
+    let mut visited = vec![false; sched.blocks.len()];
+    let mut chain = Vec::new();
+    let mut cur = Some(sched.entry.index());
+    let mut linear = true;
+    while let Some(b) = cur {
+        if visited[b] {
+            linear = false;
+            break;
+        }
+        visited[b] = true;
+        chain.push(b);
+        cur = match &sched.blocks[b].term {
+            SchedTerm::Jump(t) => Some(t.index()),
+            SchedTerm::Halt => None,
+            SchedTerm::Branch { .. } => {
+                linear = false;
+                break;
+            }
+        };
+    }
+
+    let exact_dynamic = if linear {
+        let mut word_start = vec![0usize; sched.blocks.len()];
+        let mut acc = 0usize;
+        for (bi, b) in sched.blocks.iter().enumerate() {
+            word_start[bi] = acc;
+            acc += b.words.len();
+        }
+        let executed: std::collections::HashSet<usize> = chain
+            .iter()
+            .flat_map(|&bi| word_start[bi]..word_start[bi] + sched.blocks[bi].words.len())
+            .collect();
+        Some(conflicting.iter().filter(|w| executed.contains(w)).count() as u64)
+    } else {
+        None
+    };
+
+    StaticPrediction {
+        conflicting_words: conflicting,
+        exact_dynamic,
+    }
+}
+
+/// PM008: run the simulator under ideal array placement and compare its
+/// measured scalar-conflict count against the static prediction.
+///
+/// Three mutually checkable facts:
+/// * no static conflicts ⇒ the machine must measure zero stalls;
+/// * every value placed ⇒ the machine must observe zero unplaced reads;
+/// * on straight-line programs the counts must agree exactly.
+pub fn check_differential(sched: &SchedProgram, assignment: &Assignment) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let prediction = predict(sched, assignment);
+    let stats = match rliw_sim::run(sched, assignment, ArrayPlacement::Ideal) {
+        Ok(s) => s,
+        // A runtime fault (out-of-bounds index, fuel) is a program property,
+        // not an assignment property — nothing to differentiate against.
+        Err(_) => return diags,
+    };
+
+    if prediction.conflicting_words.is_empty() && stats.scalar_conflict_words != 0 {
+        diags.push(Diagnostic::new(
+            Code::PM008,
+            format!(
+                "static analysis predicts zero conflict words but the simulator \
+                 measured {}",
+                stats.scalar_conflict_words
+            ),
+        ));
+    }
+    if let Some(exact) = prediction.exact_dynamic {
+        if exact != stats.scalar_conflict_words {
+            diags.push(Diagnostic::new(
+                Code::PM008,
+                format!(
+                    "straight-line program: static analysis predicts exactly {exact} \
+                     conflict words, simulator measured {}",
+                    stats.scalar_conflict_words
+                ),
+            ));
+        }
+    }
+
+    // Unplaced scalar reads are also statically known.
+    let trace = rebuild_trace(sched);
+    let all_placed = trace
+        .distinct_values()
+        .iter()
+        .all(|&v| !assignment.copies(v).is_empty());
+    if all_placed && stats.unplaced_reads != 0 {
+        diags.push(Diagnostic::new(
+            Code::PM008,
+            format!(
+                "every value has a copy, yet the simulator counted {} unplaced reads",
+                stats.unplaced_reads
+            ),
+        ));
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liw_sched::{compile_and_schedule, MachineSpec};
+    use parmem_core::assignment::{assign_trace, AssignParams};
+    use parmem_core::baseline::single_module;
+
+    const STRAIGHT: &str = "program t; var a, b, c, d, e: int;
+        begin
+          a := 1; b := 2; c := a + b; d := b + c; e := c + d;
+          print a + e;
+        end.";
+
+    const LOOPY: &str = "program t; var i, s: int;
+        begin s := 0; for i := 1 to 20 do s := s + i; print s; end.";
+
+    fn setup(src: &str, k: usize) -> (SchedProgram, Assignment) {
+        let sp = compile_and_schedule(src, MachineSpec::with_modules(k)).unwrap();
+        let (a, _) = assign_trace(&sp.access_trace(), &AssignParams::default());
+        (sp, a)
+    }
+
+    #[test]
+    fn reconstruction_matches_published_trace() {
+        for src in [STRAIGHT, LOOPY] {
+            for k in [2, 4, 8] {
+                let sp = compile_and_schedule(src, MachineSpec::with_modules(k)).unwrap();
+                assert!(check_trace_reconstruction(&sp).is_empty());
+                let rebuilt = rebuild_trace(&sp);
+                let published = sp.access_trace();
+                assert_eq!(rebuilt.instructions, published.instructions);
+            }
+        }
+    }
+
+    #[test]
+    fn stale_trace_is_pm009() {
+        let (sp, _) = setup(STRAIGHT, 4);
+        let stale = sp.access_trace();
+        // The program grows a word after the trace was taken.
+        let mut sp2 = sp.clone();
+        sp2.blocks[0].words.push(liw_sched::LongWord::default());
+        let diags = check_trace_against(&stale, &sp2);
+        assert!(
+            diags.iter().any(|d| d.code == Code::PM009),
+            "expected PM009, got {diags:?}"
+        );
+    }
+
+    #[test]
+    fn verified_assignment_differentially_clean() {
+        for src in [STRAIGHT, LOOPY] {
+            let (sp, a) = setup(src, 4);
+            let diags = check_differential(&sp, &a);
+            assert!(diags.is_empty(), "{src}: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn straight_line_baseline_predicts_exactly() {
+        // Single-module baseline on a straight-line program: the static
+        // conflict count equals the dynamic one exactly, so the differential
+        // check still passes even with a conflict-ridden layout.
+        let (sp, _) = setup(STRAIGHT, 4);
+        let baseline = single_module(&sp.access_trace());
+        let prediction = predict(&sp, &baseline);
+        assert!(
+            prediction.exact_dynamic.is_some(),
+            "program is straight-line"
+        );
+        assert!(!prediction.conflicting_words.is_empty());
+        let diags = check_differential(&sp, &baseline);
+        assert!(diags.is_empty(), "{diags:?}");
+        let stats = rliw_sim::run(&sp, &baseline, ArrayPlacement::Ideal).unwrap();
+        assert_eq!(
+            prediction.exact_dynamic.unwrap(),
+            stats.scalar_conflict_words
+        );
+    }
+
+    #[test]
+    fn loops_defeat_exact_prediction_but_not_the_check() {
+        let (sp, a) = setup(LOOPY, 2);
+        let prediction = predict(&sp, &a);
+        assert!(
+            prediction.exact_dynamic.is_none(),
+            "loop is not straight-line"
+        );
+        assert!(check_differential(&sp, &a).is_empty());
+    }
+}

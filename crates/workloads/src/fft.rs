@@ -76,12 +76,7 @@ end.
 pub fn expected() -> Vec<(f64, f64)> {
     let n = 64usize;
     let input: Vec<(f64, f64)> = (0..n)
-        .map(|i| {
-            (
-                (i as f64 * 0.3).cos() + 0.5 * (i as f64 * 1.1).cos(),
-                0.0,
-            )
-        })
+        .map(|i| ((i as f64 * 0.3).cos() + 0.5 * (i as f64 * 1.1).cos(), 0.0))
         .collect();
     (0..n)
         .map(|k| {

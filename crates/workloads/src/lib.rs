@@ -13,8 +13,8 @@
 //! scheduled RLIW execution reproduces the reference output exactly.
 
 pub mod color;
-pub mod extended;
 pub mod exact;
+pub mod extended;
 pub mod fft;
 pub mod sort;
 pub mod taylor1;

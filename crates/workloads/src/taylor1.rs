@@ -55,10 +55,7 @@ pub fn expected() -> Vec<f64> {
     let n = 20usize;
     let mut g = vec![(0.0f64, 0.0f64); n + 1];
     for (i, gi) in g.iter_mut().enumerate() {
-        *gi = (
-            1.0 / (i as f64 + 1.0),
-            0.5 / ((i + i) as f64 + 1.0),
-        );
+        *gi = (1.0 / (i as f64 + 1.0), 0.5 / ((i + i) as f64 + 1.0));
     }
     let mut f = vec![(0.0f64, 0.0f64); n + 1];
     let e0 = g[0].0.exp();

@@ -9,18 +9,20 @@
 //! `<benchmark>` is one of TAYLOR1, TAYLOR2, EXACT, FFT, SORT, COLOR
 //! (default FFT).
 
+use liw_sched::MachineSpec;
 use parallel_memories::core::baseline;
 use parallel_memories::core::prelude::*;
 use parallel_memories::sim::{self, ArrayPlacement};
-use liw_sched::MachineSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "FFT".to_string());
-    let bench = workloads::by_name(&name)
-        .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+    let bench = workloads::by_name(&name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
 
     let k = 8;
-    println!("compiling {} for an RLIW with {k} memory modules...", bench.name);
+    println!(
+        "compiling {} for an RLIW with {k} memory modules...",
+        bench.name
+    );
     let prog = sim::compile(bench.source, MachineSpec::with_modules(k))?;
     let trace = prog.sched.access_trace();
     println!(
@@ -40,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smart_run = sim::verified_run(&prog, &smart, ArrayPlacement::Interleaved)?;
     println!("\nconflict-aware layout (interleaved arrays):");
     print_stats(&smart_run.stats);
-    println!("  speed-up over sequential: {:.0}%", (smart_run.speedup - 1.0) * 100.0);
+    println!(
+        "  speed-up over sequential: {:.0}%",
+        (smart_run.speedup - 1.0) * 100.0
+    );
 
     // Baselines.
     for (label, assignment) in [
@@ -48,11 +53,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("single-module", baseline::single_module(&trace)),
     ] {
         let run = sim::run(&prog.sched, &assignment, ArrayPlacement::Interleaved)?;
-        assert_eq!(run.output, smart_run.stats.output, "layout must not change results");
+        assert_eq!(
+            run.output, smart_run.stats.output,
+            "layout must not change results"
+        );
         println!("\n{label} baseline:");
         print_stats(&run);
-        let slowdown =
-            run.cycles as f64 / smart_run.stats.cycles as f64;
+        let slowdown = run.cycles as f64 / smart_run.stats.cycles as f64;
         println!("  cycles vs conflict-aware: {slowdown:.2}x");
     }
 

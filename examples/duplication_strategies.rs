@@ -10,8 +10,15 @@ use parallel_memories::core::prelude::*;
 use parallel_memories::core::synth;
 
 fn run_both(label: &str, trace: &AccessTrace) {
-    println!("{label}  ({} instructions, k={})", trace.instructions.len(), trace.modules);
-    for dup in [DuplicationStrategy::Backtrack, DuplicationStrategy::HittingSet] {
+    println!(
+        "{label}  ({} instructions, k={})",
+        trace.instructions.len(),
+        trace.modules
+    );
+    for dup in [
+        DuplicationStrategy::Backtrack,
+        DuplicationStrategy::HittingSet,
+    ] {
         let params = AssignParams {
             duplication: dup,
             ..AssignParams::default()
@@ -46,19 +53,17 @@ fn main() {
     // copies of V4, bad placement needs 4.
     let fig8 = AccessTrace::from_lists(
         4,
-        &[
-            &[1, 2, 3, 5],
-            &[4, 2, 3, 5],
-            &[1, 2, 3, 4],
-            &[4, 2, 1, 5],
-        ],
+        &[&[1, 2, 3, 5], &[4, 2, 3, 5], &[1, 2, 3, 4], &[4, 2, 1, 5]],
     );
     run_both("paper Fig. 8 (k=4)", &fig8);
 
     // Synthetic adversaries: co-scheduled cliques larger than k.
     for (k, cliques, extra) in [(4, 2, 2), (8, 3, 3)] {
         let t = synth::clique_trace(k, cliques, extra, 42);
-        run_both(&format!("clique_trace(k={k}, {cliques} cliques, +{extra})"), &t);
+        run_both(
+            &format!("clique_trace(k={k}, {cliques} cliques, +{extra})"),
+            &t,
+        );
     }
 
     // A skewed random workload.

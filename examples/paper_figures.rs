@@ -15,7 +15,13 @@ fn print_assignment(trace: &AccessTrace, a: &Assignment) {
     for v in trace.distinct_values() {
         let copies = a.copies(v);
         let row: Vec<&str> = (0..k as u16)
-            .map(|m| if copies.contains(ModuleId(m)) { "x " } else { "- " })
+            .map(|m| {
+                if copies.contains(ModuleId(m)) {
+                    "x "
+                } else {
+                    "- "
+                }
+            })
             .collect();
         println!("  {v:>3}  {}", row.join(" "));
     }
@@ -74,12 +80,7 @@ fn main() {
     println!("== Fig. 8: placement choice affects copy count (k=4) ==");
     let fig8 = AccessTrace::from_lists(
         4,
-        &[
-            &[1, 2, 3, 5],
-            &[4, 2, 3, 5],
-            &[1, 2, 3, 4],
-            &[4, 2, 1, 5],
-        ],
+        &[&[1, 2, 3, 5], &[4, 2, 3, 5], &[1, 2, 3, 4], &[4, 2, 1, 5]],
     );
     let (a, r) = assign_trace(&fig8, &AssignParams::default());
     print_assignment(&fig8, &a);

@@ -28,15 +28,15 @@ fn main() {
 
     // Now extend the trace the way §2 does: adding {V2 V4 V5} makes a
     // single-copy assignment impossible, so a value gets duplicated.
-    let extended = AccessTrace::from_lists(
-        3,
-        &[&[1, 2, 4], &[2, 3, 5], &[2, 3, 4], &[2, 4, 5]],
-    );
+    let extended = AccessTrace::from_lists(3, &[&[1, 2, 4], &[2, 3, 5], &[2, 3, 4], &[2, 4, 5]]);
     let (assignment, report) = assign_trace(&extended, &AssignParams::default());
     println!();
     println!("extended with {{V2 V4 V5}} (paper §2):");
     println!("conflict-free: {}", report.residual_conflicts == 0);
-    println!("values duplicated: {} (extra copies: {})", report.multi_copy, report.extra_copies);
+    println!(
+        "values duplicated: {} (extra copies: {})",
+        report.multi_copy, report.extra_copies
+    );
     for (value, modules) in assignment.placed_values() {
         if modules.len() > 1 {
             let slots: Vec<String> = modules.iter().map(|m| m.to_string()).collect();

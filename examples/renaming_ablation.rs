@@ -24,7 +24,17 @@ fn main() {
     );
     println!(
         "{:<8} | {:>7} {:>6} {:>6} {:>5} {:>7} | {:>7} {:>6} {:>6} {:>5} {:>7}",
-        "program", "values", "edges", "words", "dup", "cycles", "values", "edges", "words", "dup", "cycles"
+        "program",
+        "values",
+        "edges",
+        "words",
+        "dup",
+        "cycles",
+        "values",
+        "edges",
+        "words",
+        "dup",
+        "cycles"
     );
     println!("{}", "-".repeat(100));
 
@@ -36,7 +46,10 @@ fn main() {
             let sp = schedule_with(
                 &tac,
                 MachineSpec::with_modules(k),
-                ScheduleOptions { rename, ..Default::default() },
+                ScheduleOptions {
+                    rename,
+                    ..Default::default()
+                },
             );
             let trace = sp.access_trace();
             let g = ConflictGraph::build(&trace);
@@ -85,7 +98,10 @@ fn main() {
         let sp = schedule_with(
             &tac,
             MachineSpec::with_modules(k),
-            ScheduleOptions { rename, ..Default::default() },
+            ScheduleOptions {
+                rename,
+                ..Default::default()
+            },
         );
         let trace = sp.access_trace();
         let (a, report) = assign_trace(&trace, &AssignParams::default());

@@ -93,10 +93,7 @@ fn main() {
             next += 1;
         }
     }
-    let t_ff = report(
-        &format!("first-fit coloring ({failed} uncolorable)"),
-        &ff,
-    );
+    let t_ff = report(&format!("first-fit coloring ({failed} uncolorable)"), &ff);
 
     // The paper's full pipeline: coloring + replication of hot items.
     let (smart, r) = assign_trace(&trace, &AssignParams::default());

@@ -12,14 +12,23 @@
 //!
 //! parmem run <minilang-file>
 //!     Interpret a MiniLang program directly and print its output.
+//!
+//! parmem verify <file> [-k <modules>] [--json] [--backtrack] [--no-atoms]
+//!                [--stor 1|2|3]
+//!     Statically re-derive and check every pipeline invariant. The file is
+//!     either a MiniLang program (full pipeline, all checks including the
+//!     renaming proof and the static-vs-simulated differential) or a text
+//!     access trace (assignment checks only). Violations are printed as
+//!     stable `PMxxx` diagnostics; exit status is nonzero unless clean.
 //! ```
 
 use std::process::ExitCode;
 
+use liw_sched::MachineSpec;
 use parallel_memories::core::prelude::*;
 use parallel_memories::core::trace_io;
 use parallel_memories::sim::{self, ArrayPlacement, CompileOptions};
-use liw_sched::MachineSpec;
+use parallel_memories::verify;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,8 +36,9 @@ fn main() -> ExitCode {
         Some("assign") => cmd_assign(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         _ => {
-            eprintln!("usage: parmem <assign|compile|run> <file> [options]");
+            eprintln!("usage: parmem <assign|compile|run|verify> <file> [options]");
             eprintln!("       see crate docs for details");
             return ExitCode::from(2);
         }
@@ -83,7 +93,13 @@ fn cmd_assign(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         k
     );
     let header: Vec<String> = (0..k as u16).map(|m| format!("M{}", m + 1)).collect();
-    let width = named.names.iter().map(|n| n.len()).max().unwrap_or(2).max(5);
+    let width = named
+        .names
+        .iter()
+        .map(|n| n.len())
+        .max()
+        .unwrap_or(2)
+        .max(5);
     println!("{:>width$}  {}", "value", header.join(" "));
     for v in named.trace.distinct_values() {
         let copies = assignment.copies(v);
@@ -157,6 +173,49 @@ fn cmd_compile(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = file_arg(args)?;
+    let text = std::fs::read_to_string(&path)?;
+    let params = AssignParams {
+        duplication: if flag(args, "--backtrack") {
+            DuplicationStrategy::Backtrack
+        } else {
+            DuplicationStrategy::HittingSet
+        },
+        use_atoms: !flag(args, "--no-atoms"),
+        ..AssignParams::default()
+    };
+
+    let report = if text.trim_start().starts_with("program") {
+        // MiniLang source: run the whole pipeline and check all invariants.
+        let k: usize = opt_value(args, "-k").unwrap_or(8);
+        let strategy = match opt_value::<u32>(args, "--stor") {
+            Some(2) => Strategy::Stor2,
+            Some(3) => Strategy::STOR3,
+            _ => Strategy::Stor1,
+        };
+        let prog = sim::compile(&text, MachineSpec::with_modules(k))?;
+        let (assignment, areport) = sim::assign(&prog.sched, strategy, &params);
+        verify::verify_all(&prog.tac, &prog.sched, &assignment, Some(&areport))
+    } else {
+        // Text access trace: assignment-level checks only.
+        let named = trace_io::parse_trace(&text)?;
+        let (assignment, areport) = assign_trace(&named.trace, &params);
+        verify::verify_trace(&named.trace, &assignment, Some(&areport))
+    };
+
+    if flag(args, "--json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{report}");
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("{} invariant violation(s)", report.diagnostics.len()).into())
+    }
 }
 
 fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {

@@ -12,6 +12,8 @@
 //! * [`sched`] (`liw-sched`) — long-instruction-word list scheduler.
 //! * [`sim`] (`rliw-sim`) — lock-step RLIW machine simulator with parallel
 //!   memory modules.
+//! * [`verify`] (`parmem-verify`) — independent static checker for every
+//!   pipeline invariant, reporting violations as stable `PMxxx` diagnostics.
 //! * [`workloads`] — the paper's six benchmark programs in MiniLang.
 //!
 //! See the repository `README.md` for a tour and `EXPERIMENTS.md` for the
@@ -20,6 +22,7 @@
 pub use liw_ir as ir;
 pub use liw_sched as sched;
 pub use parmem_core as core;
+pub use parmem_verify as verify;
 pub use rliw_sim as sim;
 pub use workloads;
 

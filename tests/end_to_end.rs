@@ -39,8 +39,7 @@ fn all_benchmarks_verify_on_small_machines() {
     for b in workloads::benchmarks() {
         for k in [2, 3, 4] {
             let prog = sim::compile(b.source, MachineSpec::with_modules(k)).unwrap();
-            let (a, report) =
-                sim::assign(&prog.sched, Strategy::Stor1, &AssignParams::default());
+            let (a, report) = sim::assign(&prog.sched, Strategy::Stor1, &AssignParams::default());
             assert_eq!(report.residual_conflicts, 0, "{} k={k}", b.name);
             let run = sim::verified_run(&prog, &a, ArrayPlacement::Interleaved)
                 .unwrap_or_else(|e| panic!("{} k={k}: {e}", b.name, k = k));
@@ -79,7 +78,7 @@ fn output_is_invariant_under_layout_and_policy() {
     let reference = liw_ir::run_source(b.source).unwrap().output;
 
     let trace = prog.sched.access_trace();
-    let layouts = vec![
+    let layouts = [
         sim::assign(&prog.sched, Strategy::Stor1, &AssignParams::default()).0,
         parallel_memories::core::baseline::round_robin(&trace),
         parallel_memories::core::baseline::single_module(&trace),
@@ -104,7 +103,10 @@ fn duplication_strategies_agree_on_feasibility() {
     for b in workloads::benchmarks() {
         let prog = sim::compile(b.source, MachineSpec::with_modules(4)).unwrap();
         let trace = prog.sched.access_trace();
-        for dup in [DuplicationStrategy::Backtrack, DuplicationStrategy::HittingSet] {
+        for dup in [
+            DuplicationStrategy::Backtrack,
+            DuplicationStrategy::HittingSet,
+        ] {
             let params = AssignParams {
                 duplication: dup,
                 ..AssignParams::default()
@@ -153,7 +155,11 @@ fn copy_transfer_overhead_is_small() {
         let (a, _) = sim::assign(&prog.sched, Strategy::Stor1, &AssignParams::default());
         let run = sim::run(&prog.sched, &a, ArrayPlacement::Interleaved).unwrap();
         let frac = run.copy_write_transfers as f64 / run.transfer_time.max(1) as f64;
-        assert!(frac < 0.10, "{}: copy transfers are {frac:.2} of traffic", b.name);
+        assert!(
+            frac < 0.10,
+            "{}: copy transfers are {frac:.2} of traffic",
+            b.name
+        );
     }
 }
 
@@ -187,10 +193,8 @@ fn optimizer_and_unroller_preserve_benchmark_semantics() {
                 rename: false,
             },
         ] {
-            let prog =
-                sim::compile_with(b.source, MachineSpec::with_modules(8), opts).unwrap();
-            let (a, report) =
-                sim::assign(&prog.sched, Strategy::Stor1, &AssignParams::default());
+            let prog = sim::compile_with(b.source, MachineSpec::with_modules(8), opts).unwrap();
+            let (a, report) = sim::assign(&prog.sched, Strategy::Stor1, &AssignParams::default());
             assert_eq!(report.residual_conflicts, 0, "{} {opts:?}", b.name);
             let run = sim::run(&prog.sched, &a, ArrayPlacement::Interleaved).unwrap();
             assert_eq!(run.output, reference, "{} {opts:?}", b.name);
@@ -224,7 +228,9 @@ fn optimizer_never_increases_cycles_materially() {
         .unwrap();
         let run = |p: &sim::CompiledProgram| {
             let (a, _) = sim::assign(&p.sched, Strategy::Stor1, &AssignParams::default());
-            sim::run(&p.sched, &a, ArrayPlacement::Ideal).unwrap().cycles
+            sim::run(&p.sched, &a, ArrayPlacement::Ideal)
+                .unwrap()
+                .cycles
         };
         let (c_plain, c_opt) = (run(&plain), run(&opt));
         assert!(
@@ -241,8 +247,7 @@ fn extended_workloads_run_conflict_free() {
         let reference = liw_ir::run_source(b.source).unwrap().output;
         for k in [4, 8] {
             let prog = sim::compile(b.source, MachineSpec::with_modules(k)).unwrap();
-            let (a, report) =
-                sim::assign(&prog.sched, Strategy::Stor1, &AssignParams::default());
+            let (a, report) = sim::assign(&prog.sched, Strategy::Stor1, &AssignParams::default());
             assert_eq!(report.residual_conflicts, 0, "{} k={k}", b.name);
             let run = sim::run(&prog.sched, &a, ArrayPlacement::Interleaved).unwrap();
             assert_eq!(run.output, reference, "{} k={k}", b.name);

@@ -241,7 +241,6 @@ mod rich_fuzz {
             .join("\n")
     }
 
-
     /// Output equality that treats NaN as equal to NaN (bitwise compare for
     /// reals) — fuzzing can produce NaN, and NaN != NaN under PartialEq.
     fn outputs_equal(a: &[liw_ir::Value], b: &[liw_ir::Value]) -> bool {
@@ -347,6 +346,60 @@ mod rich_fuzz {
             let run = sim::run(&prog.sched, &a, ArrayPlacement::Interleaved).unwrap();
             prop_assert!(outputs_equal(&run.output, &reference.output));
             prop_assert_eq!(run.scalar_conflict_words, 0);
+        }
+    }
+}
+
+/// The independent verifier (`parmem-verify`) as a property: everything the
+/// pipeline produces must pass every re-derived invariant check.
+mod verification {
+    use super::*;
+    use liw_sched::MachineSpec;
+    use parallel_memories::sim::{self, ArrayPlacement};
+    use parallel_memories::verify;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// On random synthetic traces (k in 2..=8, so in particular
+        /// k ∈ {2,4,8}) the assignment the pipeline produces passes the
+        /// verifier's independent checks under both duplication strategies.
+        #[test]
+        fn verifier_is_clean_on_random_traces(trace in arb_trace()) {
+            for dup in [DuplicationStrategy::Backtrack, DuplicationStrategy::HittingSet] {
+                let params = AssignParams { duplication: dup, ..Default::default() };
+                let (a, r) = assign_trace(&trace, &params);
+                let report = verify::verify_trace(&trace, &a, Some(&r));
+                prop_assert!(report.is_clean(), "{:?}: {}", dup, report);
+            }
+        }
+    }
+
+    /// Static conflict prediction equals what the simulator measures on all
+    /// six paper workloads: zero predicted, zero observed, at every machine
+    /// size the paper considers.
+    #[test]
+    fn static_prediction_matches_simulator_stalls_on_paper_workloads() {
+        for bench in workloads::benchmarks() {
+            for k in [2, 4, 8] {
+                let prog = sim::compile(bench.source, MachineSpec::with_modules(k)).unwrap();
+                let (a, r) = assign_trace(&prog.sched.access_trace(), &AssignParams::default());
+                let prediction = verify::differential::predict(&prog.sched, &a);
+                let stats = sim::run(&prog.sched, &a, ArrayPlacement::Ideal).unwrap();
+                assert!(
+                    prediction.conflicting_words.is_empty(),
+                    "{} k={k}: statically predicted conflicts {:?}",
+                    bench.name,
+                    prediction.conflicting_words
+                );
+                assert_eq!(
+                    stats.scalar_conflict_words, 0,
+                    "{} k={k}: simulator disagrees with static prediction",
+                    bench.name
+                );
+                let vreport = verify::verify_all(&prog.tac, &prog.sched, &a, Some(&r));
+                assert!(vreport.is_clean(), "{} k={k}: {vreport}", bench.name);
+            }
         }
     }
 }
