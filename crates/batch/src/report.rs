@@ -1,0 +1,457 @@
+//! Batch run reports: deterministic text/JSON/CSV rendering plus the golden
+//! snapshot format.
+//!
+//! Everything rendered with `include_timings == false` is a pure function of
+//! the job results in job order — byte-identical across worker counts and
+//! runs. Wall times, allocation counts, and the worker count only appear
+//! when timings are explicitly requested (they necessarily differ run to
+//! run).
+
+use std::fmt::Write as _;
+
+use parmem_verify::BatchSummary;
+
+use crate::job::{JobError, JobResult};
+
+/// The outcome of one batch run.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-job results, in submission order (independent of scheduling).
+    pub results: Vec<JobResult>,
+    /// Wall time of the whole batch, nanoseconds (non-deterministic; only
+    /// rendered with timings).
+    pub wall_ns: u64,
+    /// Worker threads used (ditto).
+    pub workers: usize,
+}
+
+impl BatchReport {
+    /// Jobs that succeeded.
+    pub fn ok_count(&self) -> usize {
+        self.results.iter().filter(|r| r.outcome.is_ok()).count()
+    }
+
+    /// Jobs that failed (any structured error except skips).
+    pub fn failed_count(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(&r.outcome, Err(e) if !matches!(e, JobError::Skipped)))
+            .count()
+    }
+
+    /// Jobs cancelled by fail-fast.
+    pub fn skipped_count(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(&r.outcome, Err(JobError::Skipped)))
+            .count()
+    }
+
+    /// True if every job succeeded.
+    pub fn is_clean(&self) -> bool {
+        self.ok_count() == self.results.len()
+    }
+
+    /// Fold every job's verifier findings into one [`BatchSummary`] —
+    /// successful jobs contribute their clean reports, verify-failed jobs
+    /// their violation lists.
+    pub fn verify_summary(&self) -> BatchSummary {
+        let mut s = BatchSummary::default();
+        for r in &self.results {
+            match &r.outcome {
+                Ok(out) => s.add(&job_label(r), &out.verify),
+                Err(JobError::Verify { report }) => s.add(&job_label(r), report),
+                Err(_) => {}
+            }
+        }
+        s
+    }
+
+    /// Deterministic human-readable report.
+    pub fn format_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<10} {:>2} {:<5} | {:>8} {:>12} {:>8} {:>8} {:>8} | {:>6} {:>5} {:>8} | {:<6}",
+            "program",
+            "k",
+            "stor",
+            "t_min",
+            "t_ave",
+            "t_rand",
+            "t_inter",
+            "t_max",
+            "single",
+            "multi",
+            "speedup",
+            "status"
+        );
+        let _ = writeln!(s, "{}", "-".repeat(108));
+        for r in &self.results {
+            match &r.outcome {
+                Ok(o) => {
+                    let _ = writeln!(
+                        s,
+                        "{:<10} {:>2} {:<5} | {:>8} {:>12.4} {:>8} {:>8} {:>8} | {:>6} {:>5} {:>7.2}x | ok",
+                        r.spec.program,
+                        r.spec.k,
+                        r.spec.strategy.name(),
+                        o.table2.t_min,
+                        o.table2.t_ave_analytic,
+                        o.table2.t_ave_measured,
+                        o.table2.t_interleaved,
+                        o.table2.t_max,
+                        o.assign_report.single_copy,
+                        o.assign_report.multi_copy,
+                        o.speedup,
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(
+                        s,
+                        "{:<10} {:>2} {:<5} | {:>62} | {}",
+                        r.spec.program,
+                        r.spec.k,
+                        r.spec.strategy.name(),
+                        "-",
+                        e
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            s,
+            "\n{} job(s): {} ok, {} failed, {} skipped; verify: {}",
+            self.results.len(),
+            self.ok_count(),
+            self.failed_count(),
+            self.skipped_count(),
+            self.verify_summary()
+        );
+        s
+    }
+
+    /// Render as JSON. With `include_timings`, per-job stage metrics, the
+    /// batch wall time, and the worker count are included (making the output
+    /// run-dependent).
+    pub fn to_json(&self, include_timings: bool) -> String {
+        let mut s = String::from("{\"schema\":\"parmem-batch/v1\"");
+        let _ = write!(
+            s,
+            ",\"total\":{},\"ok\":{},\"failed\":{},\"skipped\":{}",
+            self.results.len(),
+            self.ok_count(),
+            self.failed_count(),
+            self.skipped_count()
+        );
+        if include_timings {
+            let _ = write!(
+                s,
+                ",\"wall_ns\":{},\"workers\":{}",
+                self.wall_ns, self.workers
+            );
+        }
+        s.push_str(",\"jobs\":[");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&job_json(r, include_timings));
+        }
+        s.push(']');
+        let _ = write!(s, ",\"verify\":{}", self.verify_summary().to_json());
+        s.push('}');
+        s
+    }
+
+    /// Render as CSV, one row per job. With `include_timings`, per-stage
+    /// nanosecond/allocation columns are appended.
+    pub fn to_csv(&self, include_timings: bool) -> String {
+        let mut s = String::from(
+            "program,k,strategy,seed,status,t_min,t_ave_analytic,t_ave_measured,\
+             t_interleaved,t_max,single_copy,multi_copy,extra_copies,residual_conflicts,\
+             values,static_words,words,cycles,reference_steps,speedup,output_len,\
+             output_hash,verify_checks,error",
+        );
+        if include_timings {
+            for k in crate::metrics::StageKind::ALL {
+                let _ = write!(s, ",{}_ns,{}_alloc_bytes", k.as_str(), k.as_str());
+            }
+        }
+        s.push('\n');
+        for r in &self.results {
+            let _ = write!(
+                s,
+                "{},{},{},{},{}",
+                csv_escape(&r.spec.program),
+                r.spec.k,
+                r.spec.strategy.name(),
+                r.spec.seed,
+                r.status()
+            );
+            match &r.outcome {
+                Ok(o) => {
+                    let _ = write!(
+                        s,
+                        ",{},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{},{:016x},{},",
+                        o.table2.t_min,
+                        o.table2.t_ave_analytic,
+                        o.table2.t_ave_measured,
+                        o.table2.t_interleaved,
+                        o.table2.t_max,
+                        o.assign_report.single_copy,
+                        o.assign_report.multi_copy,
+                        o.assign_report.extra_copies,
+                        o.assign_report.residual_conflicts,
+                        o.values,
+                        o.static_words,
+                        o.words,
+                        o.cycles,
+                        o.reference_steps,
+                        o.speedup,
+                        o.output_len,
+                        o.output_hash,
+                        o.verify.checks_run.len(),
+                    );
+                }
+                Err(e) => {
+                    let _ = write!(s, ",,,,,,,,,,,,,,,,,,{}", csv_escape(&e.to_string()));
+                }
+            }
+            if include_timings {
+                for k in crate::metrics::StageKind::ALL {
+                    match r.metrics.stage(k) {
+                        Some(m) => {
+                            let _ = write!(s, ",{},{}", m.wall_ns, m.alloc_bytes);
+                        }
+                        None => s.push_str(",,"),
+                    }
+                }
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Canonical one-line-per-job snapshot used by the golden tests: every
+    /// deterministic measurement, no timings.
+    pub fn golden_lines(&self) -> String {
+        let mut s = String::new();
+        for r in &self.results {
+            match &r.outcome {
+                Ok(o) => {
+                    let _ = writeln!(
+                        s,
+                        "{:<10} k={} {:<5} | t_min={} t_ave={:.4} t_rand={} t_inter={} t_max={} \
+                         | single={} multi={} extra={} residual={} \
+                         | values={} swords={} words={} cycles={} steps={} out={} hash={:016x}",
+                        r.spec.program,
+                        r.spec.k,
+                        r.spec.strategy.name(),
+                        o.table2.t_min,
+                        o.table2.t_ave_analytic,
+                        o.table2.t_ave_measured,
+                        o.table2.t_interleaved,
+                        o.table2.t_max,
+                        o.assign_report.single_copy,
+                        o.assign_report.multi_copy,
+                        o.assign_report.extra_copies,
+                        o.assign_report.residual_conflicts,
+                        o.values,
+                        o.static_words,
+                        o.words,
+                        o.cycles,
+                        o.reference_steps,
+                        o.output_len,
+                        o.output_hash,
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(
+                        s,
+                        "{:<10} k={} {:<5} | {}",
+                        r.spec.program,
+                        r.spec.k,
+                        r.spec.strategy.name(),
+                        e
+                    );
+                }
+            }
+        }
+        s
+    }
+}
+
+fn job_label(r: &JobResult) -> String {
+    format!(
+        "{} k={} {}",
+        r.spec.program,
+        r.spec.k,
+        r.spec.strategy.name()
+    )
+}
+
+fn job_json(r: &JobResult, include_timings: bool) -> String {
+    let mut s = String::from("{");
+    let _ = write!(
+        s,
+        "\"program\":\"{}\",\"k\":{},\"strategy\":\"{}\",\"seed\":{},\"status\":\"{}\"",
+        json_escape(&r.spec.program),
+        r.spec.k,
+        r.spec.strategy.name(),
+        r.spec.seed,
+        r.status()
+    );
+    match &r.outcome {
+        Ok(o) => {
+            let _ = write!(
+                s,
+                ",\"t_min\":{},\"t_ave_analytic\":{:.4},\"t_ave_measured\":{},\
+                 \"t_interleaved\":{},\"t_max\":{},\
+                 \"single_copy\":{},\"multi_copy\":{},\"extra_copies\":{},\
+                 \"residual_conflicts\":{},\"values\":{},\"static_words\":{},\
+                 \"words\":{},\"cycles\":{},\"reference_steps\":{},\"speedup\":{:.4},\
+                 \"output_len\":{},\"output_hash\":\"{:016x}\",\"verify_checks\":{}",
+                o.table2.t_min,
+                o.table2.t_ave_analytic,
+                o.table2.t_ave_measured,
+                o.table2.t_interleaved,
+                o.table2.t_max,
+                o.assign_report.single_copy,
+                o.assign_report.multi_copy,
+                o.assign_report.extra_copies,
+                o.assign_report.residual_conflicts,
+                o.values,
+                o.static_words,
+                o.words,
+                o.cycles,
+                o.reference_steps,
+                o.speedup,
+                o.output_len,
+                o.output_hash,
+                o.verify.checks_run.len(),
+            );
+        }
+        Err(e) => {
+            let _ = write!(s, ",\"error\":\"{}\"", json_escape(&e.to_string()));
+            if let JobError::Verify { report } = e {
+                let _ = write!(s, ",\"verify\":{}", report.to_json());
+            }
+        }
+    }
+    if include_timings {
+        s.push_str(",\"metrics\":{");
+        for (i, (k, m)) in r.metrics.stages.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\"{}\":{{\"wall_ns\":{},\"alloc_bytes\":{},\"allocs\":{}}}",
+                k.as_str(),
+                m.wall_ns,
+                m.alloc_bytes,
+                m.allocs
+            );
+        }
+        let t = r.metrics.total();
+        if !r.metrics.stages.is_empty() {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\"total\":{{\"wall_ns\":{},\"alloc_bytes\":{},\"allocs\":{}}}",
+            t.wall_ns, t.alloc_bytes, t.allocs
+        );
+        s.push('}');
+    }
+    s.push('}');
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{run_job, JobSpec};
+
+    fn tiny_report() -> BatchReport {
+        let specs = vec![
+            JobSpec::new(
+                "A",
+                "program a; var i, s: int; begin s := 0; for i := 1 to 5 do s := s + i; print s; end.",
+                4,
+            ),
+            JobSpec::new("B", "program broken(", 4),
+        ];
+        BatchReport {
+            results: specs.iter().map(run_job).collect(),
+            wall_ns: 123,
+            workers: 1,
+        }
+    }
+
+    #[test]
+    fn json_marks_statuses_and_hides_timings_by_default() {
+        let r = tiny_report();
+        let j = r.to_json(false);
+        assert!(j.contains("\"status\":\"ok\""));
+        assert!(j.contains("\"status\":\"compile-error\""));
+        assert!(!j.contains("wall_ns"), "{j}");
+        let jt = r.to_json(true);
+        assert!(jt.contains("wall_ns") && jt.contains("\"metrics\""));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_job_plus_header() {
+        let r = tiny_report();
+        let csv = r.to_csv(false);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .starts_with("program,k,strategy"));
+        let timed = r.to_csv(true);
+        assert!(timed.lines().next().unwrap().contains("frontend_ns"));
+    }
+
+    #[test]
+    fn text_report_summarizes_counts() {
+        let r = tiny_report();
+        let t = r.format_text();
+        assert!(t.contains("2 job(s): 1 ok, 1 failed, 0 skipped"), "{t}");
+    }
+
+    #[test]
+    fn golden_lines_are_stable_across_renders() {
+        let r = tiny_report();
+        assert_eq!(r.golden_lines(), r.golden_lines());
+        assert!(r.golden_lines().contains("hash="));
+    }
+}

@@ -14,15 +14,18 @@
 //! The `benches/` directory adds criterion microbenchmarks and ablations
 //! (coloring heuristic vs. first-fit, backtracking vs. hitting-set, atom
 //! decomposition on/off, end-to-end pipeline cost).
+//!
+//! All three table generators run on the `parmem-batch` work-stealing
+//! engine: each benchmark × configuration becomes one job, executed
+//! concurrently with results merged back in submission order, so the
+//! rendered tables are byte-identical to the old serial harness.
 
 use liw_ir::unroll::UnrollConfig;
 use liw_sched::MachineSpec;
-use parmem_core::assignment::AssignParams;
+use parmem_batch::{BatchOptions, JobResult, JobSpec};
 use parmem_core::strategies::Strategy;
-use rliw_sim::pipeline::{
-    assign, compile, compile_unrolled, table2_row, CompiledProgram, Table2Row,
-};
-use rliw_sim::ArrayPlacement;
+use rliw_sim::pipeline::{compile, compile_unrolled, CompiledProgram, Table2Row};
+use rliw_sim::CompileOptions;
 use workloads::benchmarks;
 
 /// Shared harness configuration.
@@ -69,6 +72,43 @@ pub fn compile_bench(source: &str, cfg: BenchConfig) -> CompiledProgram {
     }
 }
 
+/// The batch-engine front-end options matching [`compile_bench`]: no scalar
+/// optimizer (the tables measure the paper's pipeline as scheduled), with
+/// renaming, unrolled when the configuration says so.
+fn compile_options(cfg: BenchConfig) -> CompileOptions {
+    CompileOptions {
+        unroll: cfg.unroll.map(|factor| UnrollConfig {
+            factor,
+            max_body_stmts: 16,
+        }),
+        optimize: false,
+        rename: true,
+    }
+}
+
+/// Run one batch-engine job per benchmark under `cfg` and hand each
+/// successful output to `f`, panicking (like the old serial harness) on any
+/// structured job failure.
+fn batch_rows<R>(
+    cfg: BenchConfig,
+    f: impl Fn(&JobResult, &parmem_batch::JobOutput) -> R,
+) -> Vec<R> {
+    let opts = compile_options(cfg);
+    let specs: Vec<JobSpec> = benchmarks()
+        .iter()
+        .map(|b| JobSpec::new(b.name, b.source, cfg.modules).with_opts(opts))
+        .collect();
+    let report = parmem_batch::run_batch(specs, &BatchOptions::default());
+    report
+        .results
+        .iter()
+        .map(|r| match &r.outcome {
+            Ok(out) => f(r, out),
+            Err(e) => panic!("{}: {e}", r.spec.program),
+        })
+        .collect()
+}
+
 /// One Table 1 cell: scalars with exactly one copy vs. more than one.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Table1Cell {
@@ -86,12 +126,15 @@ pub struct Table1Row {
     pub stor3: Table1Cell,
 }
 
-fn cell(sched: &liw_sched::SchedProgram, strategy: Strategy, params: &AssignParams) -> Table1Cell {
-    let (_, report) = assign(sched, strategy, params);
-    Table1Cell {
-        single: report.single_copy,
-        multi: report.multi_copy,
-        residual_conflicts: report.residual_conflicts,
+/// One Table 1 cell straight from a batch job's assignment statistics.
+fn cell(r: &JobResult) -> Table1Cell {
+    match &r.outcome {
+        Ok(out) => Table1Cell {
+            single: out.assign_report.single_copy,
+            multi: out.assign_report.multi_copy,
+            residual_conflicts: out.assign_report.residual_conflicts,
+        },
+        Err(e) => panic!("{}: {e}", r.spec.program),
     }
 }
 
@@ -101,19 +144,30 @@ pub fn table1(k: usize) -> Vec<Table1Row> {
     table1_with(BenchConfig::new(k))
 }
 
-/// Table 1 under an explicit harness configuration.
+/// Table 1 under an explicit harness configuration: one batch job per
+/// benchmark × strategy (18 jobs), regrouped into rows afterwards.
 pub fn table1_with(cfg: BenchConfig) -> Vec<Table1Row> {
-    let params = AssignParams::default();
-    benchmarks()
+    const STRATEGIES: [Strategy; 3] = [Strategy::Stor1, Strategy::Stor2, Strategy::STOR3];
+    let opts = compile_options(cfg);
+    let specs: Vec<JobSpec> = benchmarks()
         .iter()
-        .map(|b| {
-            let prog = compile_bench(b.source, cfg);
-            Table1Row {
-                program: b.name.to_string(),
-                stor1: cell(&prog.sched, Strategy::Stor1, &params),
-                stor2: cell(&prog.sched, Strategy::Stor2, &params),
-                stor3: cell(&prog.sched, Strategy::STOR3, &params),
-            }
+        .flat_map(|b| {
+            STRATEGIES.map(|s| {
+                JobSpec::new(b.name, b.source, cfg.modules)
+                    .with_opts(opts)
+                    .with_strategy(s)
+            })
+        })
+        .collect();
+    let report = parmem_batch::run_batch(specs, &BatchOptions::default());
+    report
+        .results
+        .chunks(STRATEGIES.len())
+        .map(|row| Table1Row {
+            program: row[0].spec.program.clone(),
+            stor1: cell(&row[0]),
+            stor2: cell(&row[1]),
+            stor3: cell(&row[2]),
         })
         .collect()
 }
@@ -152,23 +206,18 @@ pub fn table2(k: usize) -> Vec<Table2Row> {
     table2_with(BenchConfig::new(k))
 }
 
-/// Table 2 under an explicit harness configuration.
+/// Table 2 under an explicit harness configuration (one batch job per
+/// benchmark; the engine already fails jobs whose scalar assignment keeps
+/// residual conflicts).
 pub fn table2_with(cfg: BenchConfig) -> Vec<Table2Row> {
-    let params = AssignParams::default();
-    benchmarks()
-        .iter()
-        .map(|b| {
-            let prog = compile_bench(b.source, cfg);
-            let (a, report) = assign(&prog.sched, Strategy::Stor1, &params);
-            assert_eq!(
-                report.residual_conflicts, 0,
-                "{}: scalar assignment must be conflict-free",
-                b.name
-            );
-            table2_row(b.name, &prog.sched, &a, 0xC0FFEE)
-                .unwrap_or_else(|e| panic!("{}: {e}", b.name))
-        })
-        .collect()
+    batch_rows(cfg, |r, out| {
+        assert_eq!(
+            out.assign_report.residual_conflicts, 0,
+            "{}: scalar assignment must be conflict-free",
+            r.spec.program
+        );
+        out.table2.clone()
+    })
 }
 
 /// Render Table 2 (both module counts) in the paper's layout.
@@ -217,32 +266,24 @@ pub fn speedup(k: usize) -> Vec<SpeedupRow> {
     speedup_with(BenchConfig::unrolled(k, 4))
 }
 
-/// Speed-up rows under an explicit harness configuration.
+/// Speed-up rows under an explicit harness configuration. The batch job
+/// already simulated every array placement, so the conflict overhead is
+/// `t_interleaved / t_min - 1` straight from its Table 2 measurements.
 pub fn speedup_with(cfg: BenchConfig) -> Vec<SpeedupRow> {
-    let params = AssignParams::default();
-    benchmarks()
-        .iter()
-        .map(|b| {
-            let prog = compile_bench(b.source, cfg);
-            let (a, _) = assign(&prog.sched, Strategy::Stor1, &params);
-            let run = rliw_sim::pipeline::verified_run(&prog, &a, ArrayPlacement::Interleaved)
-                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
-            let ideal = rliw_sim::run(&prog.sched, &a, ArrayPlacement::Ideal)
-                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
-            let overhead = if ideal.transfer_time > 0 {
-                run.stats.transfer_time as f64 / ideal.transfer_time as f64 - 1.0
-            } else {
-                0.0
-            };
-            SpeedupRow {
-                program: b.name.to_string(),
-                seq_steps: run.reference_steps,
-                liw_cycles: run.stats.cycles,
-                speedup: run.speedup,
-                array_conflict_overhead: overhead,
-            }
-        })
-        .collect()
+    batch_rows(cfg, |r, out| {
+        let overhead = if out.table2.t_min > 0 {
+            out.table2.t_interleaved as f64 / out.table2.t_min as f64 - 1.0
+        } else {
+            0.0
+        };
+        SpeedupRow {
+            program: r.spec.program.clone(),
+            seq_steps: out.reference_steps,
+            liw_cycles: out.cycles,
+            speedup: out.speedup,
+            array_conflict_overhead: overhead,
+        }
+    })
 }
 
 /// Render the speed-up report.

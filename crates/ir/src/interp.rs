@@ -157,7 +157,7 @@ pub fn run(p: &TacProgram) -> Result<RunResult, RunError> {
 }
 
 /// Convenience: parse, lower and run MiniLang source.
-pub fn run_source(src: &str) -> Result<RunResult, Box<dyn std::error::Error>> {
+pub fn run_source(src: &str) -> Result<RunResult, crate::Error> {
     let ast = crate::parser::parse(src)?;
     let tac = crate::lower::lower(&ast)?;
     Ok(run(&tac)?)

@@ -35,17 +35,18 @@ pub use parser::parse;
 pub use tac::{BlockId, TacProgram, Value, VarId};
 pub use webs::{compute_webs, Webs};
 
+/// Boxed error that can cross thread boundaries (the batch engine runs the
+/// front end on worker threads).
+pub type Error = Box<dyn std::error::Error + Send + Sync>;
+
 /// Parse and lower MiniLang source to TAC in one call.
-pub fn compile(src: &str) -> Result<TacProgram, Box<dyn std::error::Error>> {
+pub fn compile(src: &str) -> Result<TacProgram, Error> {
     let ast = parser::parse(src)?;
     Ok(lower::lower(&ast)?)
 }
 
 /// Parse, unroll innermost loops, and lower in one call.
-pub fn compile_unrolled(
-    src: &str,
-    cfg: unroll::UnrollConfig,
-) -> Result<TacProgram, Box<dyn std::error::Error>> {
+pub fn compile_unrolled(src: &str, cfg: unroll::UnrollConfig) -> Result<TacProgram, Error> {
     let ast = parser::parse(src)?;
     let ast = unroll::unroll_program(&ast, cfg);
     Ok(lower::lower(&ast)?)

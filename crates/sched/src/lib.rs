@@ -19,7 +19,7 @@ pub use schedule::{schedule, schedule_with, ScheduleOptions, SchedulePriority};
 pub fn compile_and_schedule(
     src: &str,
     spec: MachineSpec,
-) -> Result<SchedProgram, Box<dyn std::error::Error>> {
+) -> Result<SchedProgram, Box<dyn std::error::Error + Send + Sync>> {
     let tac = liw_ir::compile(src)?;
     Ok(schedule(&tac, spec))
 }

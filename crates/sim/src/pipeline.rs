@@ -1,15 +1,21 @@
 //! End-to-end glue: MiniLang source → TAC → scheduled long words → memory
 //! module assignment → simulated execution. This is the programmatic API the
-//! benchmark harness and examples drive; each step is also usable on its
-//! own.
+//! benchmark harness, the batch engine, and examples drive; each stage is
+//! also individually invokable ([`frontend`], [`optimize_stage`],
+//! [`schedule_stage`], [`assign`]) so callers can time and instrument them
+//! separately.
 
 use liw_ir::tac::TacProgram;
-use liw_sched::{schedule, MachineSpec, SchedProgram};
+use liw_sched::{MachineSpec, SchedProgram};
 use parmem_core::assignment::{AssignParams, Assignment, AssignmentReport};
 use parmem_core::strategies::{run_strategy, Strategy};
 
 use crate::arrays::ArrayPlacement;
 use crate::machine::{self, SimError, SimStats};
+
+/// Boxed error that can cross thread boundaries — every pipeline entry point
+/// returns this so the batch engine can run stages on worker threads.
+pub type PipelineError = Box<dyn std::error::Error + Send + Sync>;
 
 /// A compiled program: the TAC (for the reference interpreter) plus the
 /// scheduled long-word form (for the RLIW).
@@ -22,12 +28,9 @@ pub struct CompiledProgram {
 }
 
 /// Compile MiniLang source for a machine with the given spec.
-pub fn compile(
-    src: &str,
-    spec: MachineSpec,
-) -> Result<CompiledProgram, Box<dyn std::error::Error>> {
+pub fn compile(src: &str, spec: MachineSpec) -> Result<CompiledProgram, PipelineError> {
     let tac = liw_ir::compile(src)?;
-    let sched = schedule(&tac, spec);
+    let sched = liw_sched::schedule(&tac, spec);
     Ok(CompiledProgram { tac, sched })
 }
 
@@ -38,7 +41,7 @@ pub fn compile_unrolled(
     src: &str,
     spec: MachineSpec,
     cfg: liw_ir::unroll::UnrollConfig,
-) -> Result<CompiledProgram, Box<dyn std::error::Error>> {
+) -> Result<CompiledProgram, PipelineError> {
     compile_with(
         src,
         spec,
@@ -73,39 +76,55 @@ impl Default for CompileOptions {
     }
 }
 
-/// Compile with explicit front-end options.
-pub fn compile_with(
-    src: &str,
-    spec: MachineSpec,
-    opts: CompileOptions,
-) -> Result<CompiledProgram, Box<dyn std::error::Error>> {
-    let tac = match opts.unroll {
-        None => liw_ir::compile(src)?,
-        Some(cfg) => liw_ir::compile_unrolled(src, cfg)?,
-    };
-    let tac = if opts.optimize {
-        // A `select` reads three scalars, so if-conversion is only legal on
-        // machines with at least three memory ports (on a 2-port machine a
-        // select word could never be conflict-free).
+/// Stage 1 — front end: parse (and optionally unroll) MiniLang source, lower
+/// to TAC.
+pub fn frontend(src: &str, opts: &CompileOptions) -> Result<TacProgram, PipelineError> {
+    match opts.unroll {
+        None => liw_ir::compile(src),
+        Some(cfg) => liw_ir::compile_unrolled(src, cfg),
+    }
+}
+
+/// Stage 2 — scalar optimizer. A no-op clone when `opts.optimize` is false.
+/// A `select` reads three scalars, so if-conversion is only legal on
+/// machines with at least three memory ports (on a 2-port machine a select
+/// word could never be conflict-free).
+pub fn optimize_stage(tac: &TacProgram, spec: MachineSpec, opts: &CompileOptions) -> TacProgram {
+    if opts.optimize {
         let cfg = liw_opt::OptConfig {
             if_convert: spec.mem_ports >= 3,
         };
-        liw_opt::optimize_with(&tac, cfg).0
+        liw_opt::optimize_with(tac, cfg).0
     } else {
-        tac
-    };
-    let sched = liw_sched::schedule_with(
-        &tac,
+        tac.clone()
+    }
+}
+
+/// Stage 3 — long-instruction-word list scheduling.
+pub fn schedule_stage(tac: &TacProgram, spec: MachineSpec, opts: &CompileOptions) -> SchedProgram {
+    liw_sched::schedule_with(
+        tac,
         spec,
         liw_sched::ScheduleOptions {
             rename: opts.rename,
             priority: liw_sched::SchedulePriority::CriticalPath,
         },
-    );
+    )
+}
+
+/// Compile with explicit front-end options (stages 1–3 chained).
+pub fn compile_with(
+    src: &str,
+    spec: MachineSpec,
+    opts: CompileOptions,
+) -> Result<CompiledProgram, PipelineError> {
+    let tac = frontend(src, &opts)?;
+    let tac = optimize_stage(&tac, spec, &opts);
+    let sched = schedule_stage(&tac, spec, &opts);
     Ok(CompiledProgram { tac, sched })
 }
 
-/// Run a storage strategy over the scheduled program's trace.
+/// Stage 4 — run a storage strategy over the scheduled program's trace.
 pub fn assign(
     sched: &SchedProgram,
     strategy: Strategy,
@@ -187,20 +206,64 @@ pub struct VerifiedRun {
     pub speedup: f64,
 }
 
-/// Simulate and cross-check against the reference interpreter. Panics if the
-/// simulated output diverges from the reference semantics (that would be a
-/// compiler/simulator bug, never a data-layout effect).
-pub fn verified_run(
+/// The scheduled execution produced different output than the reference
+/// interpreter — a compiler/simulator bug, never a data-layout effect.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Divergence {
+    /// Reference interpreter output.
+    pub expected: Vec<liw_ir::Value>,
+    /// Simulated output.
+    pub actual: Vec<liw_ir::Value>,
+    /// Index of the first differing value (None when only the lengths
+    /// differ).
+    pub first_mismatch: Option<usize>,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scheduled execution diverged from reference semantics: \
+             expected {} output value(s), got {}",
+            self.expected.len(),
+            self.actual.len()
+        )?;
+        if let Some(i) = self.first_mismatch {
+            write!(
+                f,
+                "; first mismatch at index {i} ({} != {})",
+                self.expected[i], self.actual[i]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Divergence {}
+
+/// Simulate and cross-check against the reference interpreter, reporting a
+/// divergence as a structured [`Divergence`] error instead of panicking —
+/// the batch engine uses this so a miscompiled job degrades into a per-job
+/// failure.
+pub fn checked_run(
     prog: &CompiledProgram,
     assignment: &Assignment,
     policy: ArrayPlacement,
-) -> Result<VerifiedRun, Box<dyn std::error::Error>> {
+) -> Result<VerifiedRun, PipelineError> {
     let reference = liw_ir::run(&prog.tac)?;
     let stats = machine::run(&prog.sched, assignment, policy)?;
-    assert_eq!(
-        stats.output, reference.output,
-        "scheduled execution diverged from reference semantics"
-    );
+    if stats.output != reference.output {
+        let first_mismatch = reference
+            .output
+            .iter()
+            .zip(&stats.output)
+            .position(|(a, b)| a != b);
+        return Err(Box::new(Divergence {
+            expected: reference.output,
+            actual: stats.output,
+            first_mismatch,
+        }));
+    }
     let speedup = reference.steps as f64 / stats.cycles as f64;
     Ok(VerifiedRun {
         stats,
@@ -209,12 +272,28 @@ pub fn verified_run(
     })
 }
 
+/// Simulate and cross-check against the reference interpreter. Panics if the
+/// simulated output diverges from the reference semantics (use
+/// [`checked_run`] to get a structured error instead).
+pub fn verified_run(
+    prog: &CompiledProgram,
+    assignment: &Assignment,
+    policy: ArrayPlacement,
+) -> Result<VerifiedRun, PipelineError> {
+    checked_run(prog, assignment, policy).map_err(|e| {
+        if e.is::<Divergence>() {
+            panic!("{e}");
+        }
+        e
+    })
+}
+
 /// Convenience: compile, assign with STOR1 + defaults, and run verified.
 pub fn quick_run(
     src: &str,
     k: usize,
     policy: ArrayPlacement,
-) -> Result<(VerifiedRun, AssignmentReport), Box<dyn std::error::Error>> {
+) -> Result<(VerifiedRun, AssignmentReport), PipelineError> {
     let prog = compile(src, MachineSpec::with_modules(k))?;
     let (assignment, report) = assign(&prog.sched, Strategy::Stor1, &AssignParams::default());
     let run = verified_run(&prog, &assignment, policy)?;
@@ -287,5 +366,42 @@ mod tests {
         let r2 = verified_run(&p2, &a2, ArrayPlacement::Ideal).unwrap();
         // A 2-wide machine needs at least as many words.
         assert!(r2.stats.words >= r8.stats.words);
+    }
+
+    #[test]
+    fn staged_compile_equals_compile_with() {
+        let opts = CompileOptions::default();
+        let spec = MachineSpec::with_modules(4);
+        let tac = frontend(PROG, &opts).unwrap();
+        let tac = optimize_stage(&tac, spec, &opts);
+        let sched = schedule_stage(&tac, spec, &opts);
+        let whole = compile_with(PROG, spec, opts).unwrap();
+        assert_eq!(
+            sched.access_trace().instructions,
+            whole.sched.access_trace().instructions
+        );
+    }
+
+    #[test]
+    fn checked_run_matches_verified_run() {
+        let prog = compile(PROG, MachineSpec::with_modules(8)).unwrap();
+        let (a, _) = assign(&prog.sched, Strategy::Stor1, &AssignParams::default());
+        let c = checked_run(&prog, &a, ArrayPlacement::Interleaved).unwrap();
+        let v = verified_run(&prog, &a, ArrayPlacement::Interleaved).unwrap();
+        assert_eq!(c.stats.cycles, v.stats.cycles);
+        assert_eq!(c.stats.output, v.stats.output);
+    }
+
+    #[test]
+    fn divergence_error_is_structured_and_downcastable() {
+        let d = Divergence {
+            expected: vec![liw_ir::Value::Int(1), liw_ir::Value::Int(2)],
+            actual: vec![liw_ir::Value::Int(1), liw_ir::Value::Int(3)],
+            first_mismatch: Some(1),
+        };
+        let s = d.to_string();
+        assert!(s.contains("diverged") && s.contains("index 1"), "{s}");
+        let boxed: PipelineError = Box::new(d);
+        assert!(boxed.downcast_ref::<Divergence>().is_some());
     }
 }

@@ -238,6 +238,80 @@ impl VerifyReport {
     }
 }
 
+/// Aggregate of many verification runs (batch mode): per-code violation
+/// counts across every report, plus which labelled runs were dirty. The
+/// batch engine folds one [`VerifyReport`] per job into this so a fleet-wide
+/// run summarizes as "N clean / M dirty, PMxxx×c" instead of N full reports.
+#[derive(Clone, Debug, Default)]
+pub struct BatchSummary {
+    /// Reports folded in.
+    pub reports: usize,
+    /// How many of them were clean.
+    pub clean: usize,
+    /// Violation count per diagnostic code, across all reports.
+    pub counts: std::collections::BTreeMap<Code, usize>,
+    /// Labels of the dirty reports, with their violation counts, in fold
+    /// order.
+    pub dirty: Vec<(String, usize)>,
+}
+
+impl BatchSummary {
+    /// Fold one labelled report into the aggregate.
+    pub fn add(&mut self, label: &str, report: &VerifyReport) {
+        self.reports += 1;
+        if report.is_clean() {
+            self.clean += 1;
+        } else {
+            self.dirty
+                .push((label.to_string(), report.diagnostics.len()));
+        }
+        for d in &report.diagnostics {
+            *self.counts.entry(d.code).or_insert(0) += 1;
+        }
+    }
+
+    /// True if every folded report was clean.
+    pub fn is_clean(&self) -> bool {
+        self.clean == self.reports
+    }
+
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        let counts: Vec<String> = self
+            .counts
+            .iter()
+            .map(|(c, n)| format!("\"{c}\":{n}"))
+            .collect();
+        let dirty: Vec<String> = self
+            .dirty
+            .iter()
+            .map(|(l, n)| format!("{{\"label\":\"{}\",\"violations\":{n}}}", escape_json(l)))
+            .collect();
+        format!(
+            "{{\"reports\":{},\"clean\":{},\"counts\":{{{}}},\"dirty\":[{}]}}",
+            self.reports,
+            self.clean,
+            counts.join(","),
+            dirty.join(",")
+        )
+    }
+}
+
+impl fmt::Display for BatchSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} verification runs clean", self.clean, self.reports)?;
+        if !self.counts.is_empty() {
+            let parts: Vec<String> = self
+                .counts
+                .iter()
+                .map(|(c, n)| format!("{c}×{n}"))
+                .collect();
+            write!(f, " ({})", parts.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
 impl fmt::Display for VerifyReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_clean() {
@@ -287,6 +361,28 @@ mod tests {
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"clean\":false"));
         assert!(j.contains("\"assignment\""));
+    }
+
+    #[test]
+    fn batch_summary_aggregates_codes_and_labels() {
+        let mut clean = VerifyReport::default();
+        clean.checks_run.push("assignment");
+        let mut dirty = VerifyReport::default();
+        dirty.diagnostics.push(Diagnostic::new(Code::PM003, "a"));
+        dirty.diagnostics.push(Diagnostic::new(Code::PM003, "b"));
+        dirty.diagnostics.push(Diagnostic::new(Code::PM008, "c"));
+
+        let mut s = BatchSummary::default();
+        s.add("FFT k=8", &clean);
+        s.add("SORT k=2", &dirty);
+        assert!(!s.is_clean());
+        assert_eq!((s.reports, s.clean), (2, 1));
+        assert_eq!(s.counts[&Code::PM003], 2);
+        assert_eq!(s.dirty, vec![("SORT k=2".to_string(), 3)]);
+        let text = s.to_string();
+        assert!(text.contains("1/2") && text.contains("PM003×2"), "{text}");
+        let j = s.to_json();
+        assert!(j.contains("\"PM008\":1") && j.contains("SORT k=2"), "{j}");
     }
 
     #[test]

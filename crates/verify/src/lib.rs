@@ -41,7 +41,7 @@ pub mod dataflow;
 pub mod diag;
 pub mod differential;
 
-pub use diag::{Code, Diagnostic, VerifyReport};
+pub use diag::{BatchSummary, Code, Diagnostic, VerifyReport};
 
 use liw_ir::tac::TacProgram;
 use liw_sched::SchedProgram;

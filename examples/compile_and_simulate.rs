@@ -14,7 +14,7 @@ use parallel_memories::core::baseline;
 use parallel_memories::core::prelude::*;
 use parallel_memories::sim::{self, ArrayPlacement};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "FFT".to_string());
     let bench = workloads::by_name(&name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
 

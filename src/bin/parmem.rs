@@ -20,15 +20,34 @@
 //!     renaming proof and the static-vs-simulated differential) or a text
 //!     access trace (assignment checks only). Violations are printed as
 //!     stable `PMxxx` diagnostics; exit status is nonzero unless clean.
+//!
+//! parmem batch [workload ...] [--all] [-k 2,4,8] [--stor 1|2|3|all]
+//!              [--jobs N] [--json|--csv] [--timings] [--out <file>]
+//!              [--fail-fast] [--seed S] [--unroll <factor>] [--no-opt]
+//!     Run the full compile→assign→verify→simulate pipeline over every
+//!     (workload, k, strategy) job on a work-stealing thread pool and print
+//!     a deterministic report (text, JSON, or CSV). Without workload names,
+//!     runs the paper's six benchmarks; `--all` adds the extended kernels.
+//!     Stdout is byte-identical across `--jobs` settings; wall-time and
+//!     allocation metrics appear only with `--timings` (stdout) or in the
+//!     `--out` JSON file, and the batch wall time goes to stderr.
 //! ```
 
 use std::process::ExitCode;
 
 use liw_sched::MachineSpec;
+use parallel_memories::batch::{self, BatchOptions, ErrorPolicy};
 use parallel_memories::core::prelude::*;
 use parallel_memories::core::trace_io;
 use parallel_memories::sim::{self, ArrayPlacement, CompileOptions};
 use parallel_memories::verify;
+
+// Per-stage allocation metrics are measured by the batch engine's counting
+// allocator; installing it here is what makes the `alloc_bytes`/`allocs`
+// fields of `--timings` reports nonzero.
+#[global_allocator]
+static ALLOC: parallel_memories::batch::metrics::CountingAlloc =
+    parallel_memories::batch::metrics::CountingAlloc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,8 +56,9 @@ fn main() -> ExitCode {
         Some("compile") => cmd_compile(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         _ => {
-            eprintln!("usage: parmem <assign|compile|run|verify> <file> [options]");
+            eprintln!("usage: parmem <assign|compile|run|verify|batch> [file|workloads] [options]");
             eprintln!("       see crate docs for details");
             return ExitCode::from(2);
         }
@@ -63,14 +83,14 @@ fn opt_value<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
         .and_then(|v| v.parse().ok())
 }
 
-fn file_arg(args: &[String]) -> Result<String, Box<dyn std::error::Error>> {
+fn file_arg(args: &[String]) -> Result<String, Box<dyn std::error::Error + Send + Sync>> {
     args.iter()
         .find(|a| !a.starts_with('-') && a.parse::<f64>().is_err())
         .cloned()
         .ok_or_else(|| "missing input file".into())
 }
 
-fn cmd_assign(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+fn cmd_assign(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let path = file_arg(args)?;
     let text = std::fs::read_to_string(&path)?;
     let named = trace_io::parse_trace(&text)?;
@@ -124,7 +144,7 @@ fn cmd_assign(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn cmd_compile(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+fn cmd_compile(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let path = file_arg(args)?;
     let src = std::fs::read_to_string(&path)?;
     let k: usize = opt_value(args, "-k").unwrap_or(8);
@@ -175,7 +195,7 @@ fn cmd_compile(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn cmd_verify(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+fn cmd_verify(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let path = file_arg(args)?;
     let text = std::fs::read_to_string(&path)?;
     let params = AssignParams {
@@ -218,7 +238,7 @@ fn cmd_verify(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
 }
 
-fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let path = file_arg(args)?;
     let src = std::fs::read_to_string(&path)?;
     let result = liw_ir::run_source(&src)?;
@@ -227,4 +247,115 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     eprintln!("({} steps)", result.steps);
     Ok(())
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    // Options that consume the following argument.
+    const VALUE_OPTS: [&str; 6] = ["-k", "--stor", "--jobs", "--out", "--seed", "--unroll"];
+
+    let mut names: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if VALUE_OPTS.contains(&a.as_str()) {
+            i += 2;
+            continue;
+        }
+        if !a.starts_with('-') {
+            names.push(a.clone());
+        }
+        i += 1;
+    }
+
+    let benches: Vec<workloads::Benchmark> = if !names.is_empty() {
+        names
+            .iter()
+            .map(|n| workloads::by_name(n).ok_or_else(|| format!("unknown workload `{n}`")))
+            .collect::<Result<_, _>>()?
+    } else if flag(args, "--all") {
+        workloads::all_benchmarks()
+    } else {
+        workloads::benchmarks()
+    };
+
+    let ks: Vec<usize> = match opt_value::<String>(args, "-k") {
+        None => vec![2, 4, 8],
+        Some(list) => list
+            .split(',')
+            .map(|p| p.trim().parse::<usize>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| format!("bad -k list `{list}` (expected e.g. 2,4,8)"))?,
+    };
+
+    let strategies: Vec<Strategy> = match opt_value::<String>(args, "--stor").as_deref() {
+        None | Some("1") => vec![Strategy::Stor1],
+        Some("2") => vec![Strategy::Stor2],
+        Some("3") => vec![Strategy::STOR3],
+        Some("all") => vec![Strategy::Stor1, Strategy::Stor2, Strategy::STOR3],
+        Some(other) => return Err(format!("bad --stor `{other}` (1|2|3|all)").into()),
+    };
+
+    let seed: u64 = opt_value(args, "--seed").unwrap_or(0xC0FFEE);
+    let opts = CompileOptions {
+        unroll: opt_value::<usize>(args, "--unroll").map(|factor| liw_ir::unroll::UnrollConfig {
+            factor,
+            max_body_stmts: 16,
+        }),
+        optimize: !flag(args, "--no-opt"),
+        rename: true,
+    };
+    let params = AssignParams {
+        duplication: if flag(args, "--backtrack") {
+            DuplicationStrategy::Backtrack
+        } else {
+            DuplicationStrategy::HittingSet
+        },
+        use_atoms: !flag(args, "--no-atoms"),
+        ..AssignParams::default()
+    };
+
+    let mut specs = batch::sweep_jobs(&benches, &ks, &strategies, seed);
+    for s in &mut specs {
+        s.opts = opts;
+        s.params = params;
+    }
+
+    let batch_opts = BatchOptions {
+        jobs: opt_value(args, "--jobs").unwrap_or(0),
+        policy: if flag(args, "--fail-fast") {
+            ErrorPolicy::FailFast
+        } else {
+            ErrorPolicy::CollectAll
+        },
+    };
+    let n_jobs = specs.len();
+    let report = batch::run_batch(specs, &batch_opts);
+
+    let timings = flag(args, "--timings");
+    if flag(args, "--json") {
+        println!("{}", report.to_json(timings));
+    } else if flag(args, "--csv") {
+        print!("{}", report.to_csv(timings));
+    } else {
+        print!("{}", report.format_text());
+    }
+    if let Some(path) = opt_value::<String>(args, "--out") {
+        // The file report always carries timings — it is the CI artifact.
+        std::fs::write(&path, report.to_json(true))?;
+    }
+    eprintln!(
+        "batch: {n_jobs} job(s) on {} worker(s) in {:.1} ms",
+        report.workers,
+        report.wall_ns as f64 / 1e6
+    );
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} job(s) failed, {} skipped",
+            report.failed_count(),
+            report.skipped_count()
+        )
+        .into())
+    }
 }

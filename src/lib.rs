@@ -14,6 +14,9 @@
 //!   memory modules.
 //! * [`verify`] (`parmem-verify`) — independent static checker for every
 //!   pipeline invariant, reporting violations as stable `PMxxx` diagnostics.
+//! * [`batch`] (`parmem-batch`) — parallel batch pipeline engine: runs many
+//!   (program, k, strategy) jobs on a work-stealing pool with per-stage
+//!   metrics, panic isolation, and deterministic reports.
 //! * [`workloads`] — the paper's six benchmark programs in MiniLang.
 //!
 //! See the repository `README.md` for a tour and `EXPERIMENTS.md` for the
@@ -21,6 +24,7 @@
 
 pub use liw_ir as ir;
 pub use liw_sched as sched;
+pub use parmem_batch as batch;
 pub use parmem_core as core;
 pub use parmem_verify as verify;
 pub use rliw_sim as sim;

@@ -1,0 +1,121 @@
+//! Differential tests for the batch engine.
+//!
+//! The engine's contract is that concurrency is *unobservable*: a batch
+//! report (minus timings) is byte-identical whether jobs ran serially,
+//! on one worker, or on eight — and identical to running each job by hand
+//! without any pool at all. These tests check that contract three ways:
+//!
+//! 1. a proptest over random MiniLang programs comparing the no-pool serial
+//!    pipeline against `run_batch` at several worker counts;
+//! 2. an output-hash cross-check against the reference interpreter;
+//! 3. a CLI-level byte comparison of `parmem batch --jobs 1` vs `--jobs 8`
+//!    over the full paper sweep (the acceptance criterion).
+
+use proptest::prelude::*;
+
+use parallel_memories::batch::{self, job, BatchOptions, BatchReport, JobSpec};
+
+/// Small random programs: cheap enough to push through the full pipeline
+/// many times per proptest case.
+fn arb_program() -> impl Strategy<Value = String> {
+    let stmt = (0usize..4, 0usize..4, 0usize..4, 0usize..3).prop_map(|(a, b, c, op)| {
+        let ops = ["+", "-", "*"];
+        format!("v{a} := v{b} {} v{c};", ops[op])
+    });
+    (proptest::collection::vec(stmt, 1..6), 1i64..6).prop_map(|(stmts, n)| {
+        format!(
+            "program diff;
+             var v0, v1, v2, v3, i: int;
+             begin
+               v0 := 2; v1 := 3; v2 := 5; v3 := 7;
+               for i := 0 to {n} do begin
+                 {}
+               end;
+               print v0; print v1; print v2; print v3;
+             end.",
+            stmts.join("\n                 ")
+        )
+    })
+}
+
+fn specs_for(srcs: &[String]) -> Vec<JobSpec> {
+    srcs.iter()
+        .enumerate()
+        .flat_map(|(i, src)| [2usize, 4].map(|k| JobSpec::new(format!("P{i}"), src.clone(), k)))
+        .collect()
+}
+
+/// The pool-free baseline: run every job inline, in order.
+fn serial_report(specs: Vec<JobSpec>) -> BatchReport {
+    BatchReport {
+        results: specs.iter().map(job::run_job).collect(),
+        wall_ns: 0,
+        workers: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batch results are byte-identical to the serial pipeline and
+    /// independent of the worker count.
+    #[test]
+    fn batch_equals_serial_at_every_worker_count(
+        srcs in proptest::collection::vec(arb_program(), 1..4)
+    ) {
+        let baseline = serial_report(specs_for(&srcs));
+        for jobs in [1usize, 2, 8] {
+            let batched = batch::run_batch(
+                specs_for(&srcs),
+                &BatchOptions { jobs, ..Default::default() },
+            );
+            prop_assert_eq!(
+                baseline.to_json(false),
+                batched.to_json(false),
+                "jobs={} diverges from serial",
+                jobs
+            );
+            prop_assert_eq!(baseline.golden_lines(), batched.golden_lines());
+        }
+    }
+
+    /// The output hash a batch job reports is the hash of what the reference
+    /// interpreter prints — the simulator path cannot drift unnoticed.
+    #[test]
+    fn job_output_hash_matches_reference_interpreter(src in arb_program()) {
+        let reference = liw_ir::run_source(&src).unwrap();
+        let expected = job::hash_output(&reference.output);
+        for k in [2usize, 4, 8] {
+            let r = job::run_job(&JobSpec::new("P", src.clone(), k));
+            let out = r.outcome.as_ref().expect("pipeline succeeds");
+            prop_assert_eq!(out.output_hash, expected, "k={}", k);
+            prop_assert_eq!(out.output_len, reference.output.len());
+        }
+    }
+}
+
+/// Acceptance criterion: the CLI over all paper workloads at k ∈ {2,4,8}
+/// prints byte-identical reports with `--jobs 8` and `--jobs 1`.
+#[test]
+fn cli_batch_report_is_independent_of_jobs() {
+    let run = |jobs: &str, fmt: &str| {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_parmem"))
+            .args(["batch", "--jobs", jobs, fmt])
+            .output()
+            .expect("parmem batch runs");
+        assert!(
+            out.status.success(),
+            "parmem batch --jobs {jobs} {fmt} failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    for fmt in ["--json", "--csv"] {
+        let eight = run("8", fmt);
+        let one = run("1", fmt);
+        assert!(
+            eight == one,
+            "`parmem batch {fmt}` differs between --jobs 8 and --jobs 1"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Golden snapshot tests for the batch pipeline engine.
+//!
+//! Runs every paper workload at `k ∈ {2, 4, 8}` through the full
+//! compile → assign → verify → simulate pipeline and compares the canonical
+//! per-job summary lines against `tests/golden/paper_workloads.txt`.
+//!
+//! The snapshot pins every externally observable number of the pipeline:
+//! transfer times under all four array placements, the analytic `t_ave`,
+//! duplication statistics, word/cycle/step counts, and the FNV-1a hash of
+//! the printed output. Any change to the front end, scheduler, assignment
+//! heuristics, or simulator timing model shows up as a diff here.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+//!
+//! then review the diff of `tests/golden/paper_workloads.txt` like any other
+//! code change. To extend the corpus, add the workload to
+//! `crates/workloads` (`benchmarks()` for the paper set) or widen the sweep
+//! in `paper_jobs()`, then regenerate.
+
+use parallel_memories::batch::{self, BatchOptions};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/paper_workloads.txt")
+}
+
+fn paper_golden_lines() -> String {
+    let report = batch::run_batch(batch::paper_jobs(), &BatchOptions::default());
+    assert!(
+        report.is_clean(),
+        "paper sweep must run clean before snapshotting:\n{}",
+        report.format_text()
+    );
+    report.golden_lines()
+}
+
+#[test]
+fn paper_workloads_match_golden_snapshot() {
+    let actual = paper_golden_lines();
+    let path = golden_path();
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("golden: rewrote {}", path.display());
+        return;
+    }
+
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run `UPDATE_GOLDEN=1 cargo test --test golden`",
+            path.display()
+        )
+    });
+    if expected == actual {
+        return;
+    }
+    let mut diff = String::new();
+    for (i, (want, got)) in expected.lines().zip(actual.lines()).enumerate() {
+        if want != got {
+            diff.push_str(&format!("line {}:\n  -{want}\n  +{got}\n", i + 1));
+        }
+    }
+    let (ne, na) = (expected.lines().count(), actual.lines().count());
+    if ne != na {
+        diff.push_str(&format!("line count: expected {ne}, got {na}\n"));
+    }
+    panic!(
+        "batch results diverge from {}:\n{diff}\
+         if the change is intentional, regenerate with \
+         `UPDATE_GOLDEN=1 cargo test --test golden` and review the diff",
+        path.display()
+    );
+}
+
+#[test]
+fn golden_corpus_covers_the_full_sweep() {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        // The snapshot test is rewriting the file concurrently; checking it
+        // mid-write would race. The next plain run validates coverage.
+        return;
+    }
+    let text = std::fs::read_to_string(golden_path()).expect("golden file present");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 18, "6 workloads x k in {{2,4,8}}");
+    for b in workloads::benchmarks() {
+        for k in [2, 4, 8] {
+            assert!(
+                lines
+                    .iter()
+                    .any(|l| l.starts_with(b.name) && l.contains(&format!("k={k} "))),
+                "missing {} k={k}",
+                b.name
+            );
+        }
+    }
+    // Every line is a success line (carries the output hash), so the corpus
+    // never silently pins an error message as "golden".
+    assert!(lines.iter().all(|l| l.contains("hash=")));
+}
