@@ -299,30 +299,46 @@ pub fn run_job(spec: &JobSpec) -> JobResult {
 
 fn run_stages(spec: &JobSpec, metrics: &mut JobMetrics) -> Result<JobOutput, JobError> {
     let mach = MachineSpec::with_modules(spec.k);
+    let mut job_span = parmem_obs::span("job");
+    job_span.attr("program", spec.program.as_str());
+    job_span.attr("k", spec.k);
+    job_span.attr("stor", spec.strategy.name());
 
     // --- Stage 1: front end ---
     maybe_panic(spec, StageKind::Frontend);
     let t = StageTimer::start();
-    let tac = pipeline::frontend(&spec.source, &spec.opts)
-        .map_err(|e| JobError::Compile(e.to_string()))?;
+    let tac = {
+        let _sp = parmem_obs::span(StageKind::Frontend.span_name());
+        pipeline::frontend(&spec.source, &spec.opts)
+            .map_err(|e| JobError::Compile(e.to_string()))?
+    };
     metrics.push(StageKind::Frontend, t.stop());
 
     // --- Stage 2: optimizer ---
     maybe_panic(spec, StageKind::Optimize);
     let t = StageTimer::start();
-    let tac = pipeline::optimize_stage(&tac, mach, &spec.opts);
+    let tac = {
+        let _sp = parmem_obs::span(StageKind::Optimize.span_name());
+        pipeline::optimize_stage(&tac, mach, &spec.opts)
+    };
     metrics.push(StageKind::Optimize, t.stop());
 
     // --- Stage 3: scheduler ---
     maybe_panic(spec, StageKind::Schedule);
     let t = StageTimer::start();
-    let sched = pipeline::schedule_stage(&tac, mach, &spec.opts);
+    let sched = {
+        let _sp = parmem_obs::span(StageKind::Schedule.span_name());
+        pipeline::schedule_stage(&tac, mach, &spec.opts)
+    };
     metrics.push(StageKind::Schedule, t.stop());
 
     // --- Stage 4: module assignment ---
     maybe_panic(spec, StageKind::Assign);
     let t = StageTimer::start();
-    let (mut assignment, assign_report) = pipeline::assign(&sched, spec.strategy, &spec.params);
+    let (mut assignment, assign_report) = {
+        let _sp = parmem_obs::span(StageKind::Assign.span_name());
+        pipeline::assign(&sched, spec.strategy, &spec.params)
+    };
     metrics.push(StageKind::Assign, t.stop());
     if assign_report.residual_conflicts > 0 {
         return Err(JobError::Assign {
@@ -341,7 +357,10 @@ fn run_stages(spec: &JobSpec, metrics: &mut JobMetrics) -> Result<JobOutput, Job
     // --- Stage 5: independent verification ---
     maybe_panic(spec, StageKind::Verify);
     let t = StageTimer::start();
-    let verify = parmem_verify::verify_all(&tac, &sched, &assignment, Some(&assign_report));
+    let verify = {
+        let _sp = parmem_obs::span(StageKind::Verify.span_name());
+        parmem_verify::verify_all(&tac, &sched, &assignment, Some(&assign_report))
+    };
     metrics.push(StageKind::Verify, t.stop());
     if !verify.is_clean() {
         return Err(JobError::Verify { report: verify });
@@ -350,12 +369,16 @@ fn run_stages(spec: &JobSpec, metrics: &mut JobMetrics) -> Result<JobOutput, Job
     // --- Stage 6: reference interpreter ---
     maybe_panic(spec, StageKind::Reference);
     let t = StageTimer::start();
-    let reference = liw_ir::run(&tac).map_err(|e| JobError::Sim(e.to_string()))?;
+    let reference = {
+        let _sp = parmem_obs::span(StageKind::Reference.span_name());
+        liw_ir::run(&tac).map_err(|e| JobError::Sim(e.to_string()))?
+    };
     metrics.push(StageKind::Reference, t.stop());
 
     // --- Stage 7: RLIW simulation under the four array policies ---
     maybe_panic(spec, StageKind::Simulate);
     let t = StageTimer::start();
+    let _sim_span = parmem_obs::span(StageKind::Simulate.span_name());
     let sim = |policy: ArrayPlacement| {
         rliw_sim::run(&sched, &assignment, policy).map_err(|e| JobError::Sim(e.to_string()))
     };
@@ -363,6 +386,7 @@ fn run_stages(spec: &JobSpec, metrics: &mut JobMetrics) -> Result<JobOutput, Job
     let rand = sim(ArrayPlacement::UniformRandom(spec.seed))?;
     let inter = sim(ArrayPlacement::Interleaved)?;
     let worst = sim(ArrayPlacement::SameModule(0))?;
+    drop(_sim_span);
     metrics.push(StageKind::Simulate, t.stop());
 
     let mut simulated = inter.output.clone();

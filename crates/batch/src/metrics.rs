@@ -1,257 +1,11 @@
-//! Per-stage wall-time and allocation metrics.
+//! Per-stage metrics vocabulary — now a thin re-export of [`parmem_obs`].
 //!
-//! Wall time comes from [`std::time::Instant`]. Allocation counts come from
-//! the optional [`CountingAlloc`] global allocator: a thin wrapper over the
-//! system allocator that bumps thread-local counters on every `alloc`/
-//! `realloc`. Binaries opt in with
-//!
-//! ```ignore
-//! #[global_allocator]
-//! static ALLOC: parmem_batch::metrics::CountingAlloc = parmem_batch::metrics::CountingAlloc;
-//! ```
-//!
-//! (the `parmem` CLI does). When it is not installed the allocation fields
-//! of [`StageMetrics`] simply stay zero — timing still works. Counters are
-//! thread-local, so a stage's delta measured on a worker thread counts only
-//! that job's allocations, not its neighbours'.
+//! The types lived here before the observability crate existed; they moved
+//! to `parmem-obs` so the whole workspace can share them, and this module
+//! re-exports them verbatim, keeping `parmem_batch::metrics::{StageKind,
+//! StageMetrics, StageTimer, JobMetrics, CountingAlloc, alloc_counters}`
+//! source-compatible for existing callers such as the `parmem` binary's
+//! `#[global_allocator]` declaration.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::cell::Cell;
-use std::time::Instant;
-
-thread_local! {
-    static ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
-    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
-}
-
-/// Counting wrapper over the system allocator (see module docs).
-pub struct CountingAlloc;
-
-// SAFETY: defers entirely to `System`; the counter bumps use const-initialized
-// thread-locals (no lazy init, hence no allocation inside the allocator), and
-// `try_with` tolerates access during TLS teardown.
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        record(layout.size() as u64);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        record(layout.size() as u64);
-        System.alloc_zeroed(layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        // Count only growth, so repeated doubling reads as net new bytes.
-        record(new_size.saturating_sub(layout.size()) as u64);
-        System.realloc(ptr, layout, new_size)
-    }
-}
-
-fn record(bytes: u64) {
-    let _ = ALLOC_BYTES.try_with(|b| b.set(b.get().wrapping_add(bytes)));
-    let _ = ALLOC_COUNT.try_with(|c| c.set(c.get().wrapping_add(1)));
-}
-
-/// Current thread's cumulative (bytes, count) allocation counters. Zeros
-/// unless [`CountingAlloc`] is installed as the global allocator.
-pub fn alloc_counters() -> (u64, u64) {
-    (
-        ALLOC_BYTES.try_with(Cell::get).unwrap_or(0),
-        ALLOC_COUNT.try_with(Cell::get).unwrap_or(0),
-    )
-}
-
-/// The pipeline stages the batch engine times individually.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-pub enum StageKind {
-    /// Parse (+ optional unrolling) and lowering to TAC.
-    Frontend,
-    /// The `liw-opt` scalar optimizer.
-    Optimize,
-    /// Long-instruction-word list scheduling.
-    Schedule,
-    /// Storage-strategy module assignment.
-    Assign,
-    /// The independent `parmem-verify` invariant checks.
-    Verify,
-    /// Reference-interpreter execution of the TAC.
-    Reference,
-    /// RLIW simulation under the four array policies.
-    Simulate,
-}
-
-impl StageKind {
-    /// All stages, in pipeline order.
-    pub const ALL: [StageKind; 7] = [
-        StageKind::Frontend,
-        StageKind::Optimize,
-        StageKind::Schedule,
-        StageKind::Assign,
-        StageKind::Verify,
-        StageKind::Reference,
-        StageKind::Simulate,
-    ];
-
-    /// Stable lowercase name (used as JSON/CSV keys).
-    pub fn as_str(self) -> &'static str {
-        match self {
-            StageKind::Frontend => "frontend",
-            StageKind::Optimize => "optimize",
-            StageKind::Schedule => "schedule",
-            StageKind::Assign => "assign",
-            StageKind::Verify => "verify",
-            StageKind::Reference => "reference",
-            StageKind::Simulate => "simulate",
-        }
-    }
-}
-
-impl std::fmt::Display for StageKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.as_str())
-    }
-}
-
-/// Wall time and allocation pressure of one stage execution.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct StageMetrics {
-    /// Wall-clock nanoseconds.
-    pub wall_ns: u64,
-    /// Bytes newly allocated on this thread during the stage (0 when the
-    /// counting allocator is not installed).
-    pub alloc_bytes: u64,
-    /// Allocation calls on this thread during the stage (ditto).
-    pub allocs: u64,
-}
-
-impl StageMetrics {
-    /// Component-wise sum.
-    pub fn add(&mut self, other: StageMetrics) {
-        self.wall_ns += other.wall_ns;
-        self.alloc_bytes += other.alloc_bytes;
-        self.allocs += other.allocs;
-    }
-}
-
-/// Measures one stage: captures an [`Instant`] and the thread's allocation
-/// counters at `start`, returns the deltas at `stop`.
-pub struct StageTimer {
-    start: Instant,
-    bytes0: u64,
-    count0: u64,
-}
-
-impl StageTimer {
-    /// Begin measuring.
-    #[allow(clippy::new_without_default)]
-    pub fn start() -> StageTimer {
-        let (bytes0, count0) = alloc_counters();
-        StageTimer {
-            start: Instant::now(),
-            bytes0,
-            count0,
-        }
-    }
-
-    /// Finish measuring.
-    pub fn stop(self) -> StageMetrics {
-        let (bytes1, count1) = alloc_counters();
-        StageMetrics {
-            wall_ns: self.start.elapsed().as_nanos() as u64,
-            alloc_bytes: bytes1.wrapping_sub(self.bytes0),
-            allocs: count1.wrapping_sub(self.count0),
-        }
-    }
-}
-
-/// Per-stage metrics of one batch job, in execution order.
-#[derive(Clone, Debug, Default)]
-pub struct JobMetrics {
-    /// `(stage, metrics)` for every stage that ran (a job that fails early
-    /// records only the stages it reached).
-    pub stages: Vec<(StageKind, StageMetrics)>,
-}
-
-impl JobMetrics {
-    /// Record one stage.
-    pub fn push(&mut self, kind: StageKind, m: StageMetrics) {
-        self.stages.push((kind, m));
-    }
-
-    /// Metrics for one stage, if it ran.
-    pub fn stage(&self, kind: StageKind) -> Option<StageMetrics> {
-        self.stages
-            .iter()
-            .find(|(k, _)| *k == kind)
-            .map(|(_, m)| *m)
-    }
-
-    /// Sum over all recorded stages.
-    pub fn total(&self) -> StageMetrics {
-        let mut t = StageMetrics::default();
-        for (_, m) in &self.stages {
-            t.add(*m);
-        }
-        t
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn timer_measures_wall_time() {
-        let t = StageTimer::start();
-        std::thread::sleep(std::time::Duration::from_millis(5));
-        let m = t.stop();
-        assert!(m.wall_ns >= 4_000_000, "{}", m.wall_ns);
-    }
-
-    #[test]
-    fn job_metrics_total_sums_stages() {
-        let mut jm = JobMetrics::default();
-        jm.push(
-            StageKind::Frontend,
-            StageMetrics {
-                wall_ns: 10,
-                alloc_bytes: 100,
-                allocs: 3,
-            },
-        );
-        jm.push(
-            StageKind::Assign,
-            StageMetrics {
-                wall_ns: 5,
-                alloc_bytes: 50,
-                allocs: 2,
-            },
-        );
-        let t = jm.total();
-        assert_eq!((t.wall_ns, t.alloc_bytes, t.allocs), (15, 150, 5));
-        assert_eq!(jm.stage(StageKind::Assign).unwrap().allocs, 2);
-        assert!(jm.stage(StageKind::Verify).is_none());
-    }
-
-    #[test]
-    fn stage_names_are_stable() {
-        let names: Vec<&str> = StageKind::ALL.iter().map(|s| s.as_str()).collect();
-        assert_eq!(
-            names,
-            [
-                "frontend",
-                "optimize",
-                "schedule",
-                "assign",
-                "verify",
-                "reference",
-                "simulate"
-            ]
-        );
-    }
-}
+pub use parmem_obs::alloc::{alloc_counters, CountingAlloc};
+pub use parmem_obs::{JobMetrics, StageKind, StageMetrics, StageTimer};

@@ -67,8 +67,19 @@ impl BatchReport {
         s
     }
 
-    /// Deterministic human-readable report.
+    /// Deterministic human-readable report (no timings).
     pub fn format_text(&self) -> String {
+        self.format_text_with(false)
+    }
+
+    /// Human-readable report; with `include_timings`, a per-stage aggregate
+    /// table is appended. Its rows iterate [`StageKind::ALL`]
+    /// (pipeline order), never a hash-map order, so two runs of the same
+    /// batch differ only in the measured numbers — the row set and order
+    /// are stable and diffable.
+    ///
+    /// [`StageKind::ALL`]: crate::metrics::StageKind::ALL
+    pub fn format_text_with(&self, include_timings: bool) -> String {
         let mut s = String::new();
         let _ = writeln!(
             s,
@@ -128,6 +139,39 @@ impl BatchReport {
             self.skipped_count(),
             self.verify_summary()
         );
+        if include_timings {
+            let _ = writeln!(
+                s,
+                "\nper-stage totals ({} worker(s), {:.3}ms wall):",
+                self.workers,
+                self.wall_ns as f64 / 1e6
+            );
+            let _ = writeln!(
+                s,
+                "{:<10} {:>5} {:>12} {:>14} {:>10} {:>8}",
+                "stage", "jobs", "wall_ms", "alloc_bytes", "allocs", "spans"
+            );
+            for k in crate::metrics::StageKind::ALL {
+                let mut total = crate::metrics::StageMetrics::default();
+                let mut jobs = 0usize;
+                for r in &self.results {
+                    if let Some(m) = r.metrics.stage(k) {
+                        total.add(m);
+                        jobs += 1;
+                    }
+                }
+                let _ = writeln!(
+                    s,
+                    "{:<10} {:>5} {:>12.3} {:>14} {:>10} {:>8}",
+                    k.as_str(),
+                    jobs,
+                    total.wall_ns as f64 / 1e6,
+                    total.alloc_bytes,
+                    total.allocs,
+                    total.spans
+                );
+            }
+        }
         s
     }
 
@@ -175,7 +219,13 @@ impl BatchReport {
         );
         if include_timings {
             for k in crate::metrics::StageKind::ALL {
-                let _ = write!(s, ",{}_ns,{}_alloc_bytes", k.as_str(), k.as_str());
+                let _ = write!(
+                    s,
+                    ",{}_ns,{}_alloc_bytes,{}_spans",
+                    k.as_str(),
+                    k.as_str(),
+                    k.as_str()
+                );
             }
         }
         s.push('\n');
@@ -222,9 +272,9 @@ impl BatchReport {
                 for k in crate::metrics::StageKind::ALL {
                     match r.metrics.stage(k) {
                         Some(m) => {
-                            let _ = write!(s, ",{},{}", m.wall_ns, m.alloc_bytes);
+                            let _ = write!(s, ",{},{},{}", m.wall_ns, m.alloc_bytes, m.spans);
                         }
-                        None => s.push_str(",,"),
+                        None => s.push_str(",,,"),
                     }
                 }
             }
@@ -347,11 +397,12 @@ fn job_json(r: &JobResult, include_timings: bool) -> String {
             }
             let _ = write!(
                 s,
-                "\"{}\":{{\"wall_ns\":{},\"alloc_bytes\":{},\"allocs\":{}}}",
+                "\"{}\":{{\"wall_ns\":{},\"alloc_bytes\":{},\"allocs\":{},\"spans\":{}}}",
                 k.as_str(),
                 m.wall_ns,
                 m.alloc_bytes,
-                m.allocs
+                m.allocs,
+                m.spans
             );
         }
         let t = r.metrics.total();
@@ -360,8 +411,8 @@ fn job_json(r: &JobResult, include_timings: bool) -> String {
         }
         let _ = write!(
             s,
-            "\"total\":{{\"wall_ns\":{},\"alloc_bytes\":{},\"allocs\":{}}}",
-            t.wall_ns, t.alloc_bytes, t.allocs
+            "\"total\":{{\"wall_ns\":{},\"alloc_bytes\":{},\"allocs\":{},\"spans\":{}}}",
+            t.wall_ns, t.alloc_bytes, t.allocs, t.spans
         );
         s.push('}');
     }

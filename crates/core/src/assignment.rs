@@ -207,7 +207,15 @@ pub fn assign_trace_into(
         "assignment and trace must agree on module count"
     );
     let k = trace.modules;
-    let g = ConflictGraph::build(trace);
+    let mut pipeline_span = parmem_obs::span("assign.pipeline");
+    pipeline_span.attr("k", k);
+    pipeline_span.attr("instructions", trace.instructions.len());
+    let g = {
+        let mut gsp = parmem_obs::span("assign.graph");
+        let g = ConflictGraph::build(trace);
+        gsp.attr("nodes", g.len());
+        g
+    };
 
     // --- Coloring phase ---
     //
@@ -224,6 +232,7 @@ pub fn assign_trace_into(
     let mut unassigned: Vec<ValueId> = Vec::new();
     let mut seen_unassigned: HashSet<ValueId> = HashSet::new();
 
+    let color_span = parmem_obs::span("assign.color");
     for comp in g.connected_components() {
         let sub = g.induced(&comp);
 
@@ -265,19 +274,31 @@ pub fn assign_trace_into(
             }
         }
     }
+    drop(color_span);
     let uncolored = unassigned.len();
 
     // --- Duplication + placement phase ---
+    let copies_before = assignment.extra_copies();
     match params.duplication {
         DuplicationStrategy::Backtrack => backtrack_duplicate(trace, &unassigned, assignment),
         DuplicationStrategy::HittingSet => hitting_set_duplicate(trace, &unassigned, assignment),
     }
+    parmem_obs::counter_add(
+        "assign.dup_copies",
+        (assignment.extra_copies() - copies_before) as u64,
+    );
 
     // --- Safety net: repair any instruction the heuristics left conflicting
     // (cannot happen for well-formed traces, but keeps the conflict-free
     // invariant machine-checked). Only instructions with ≤ k operands can be
     // repaired at all.
     let repair_copies = repair(trace, &unassigned, assignment);
+
+    parmem_obs::counter_add("assign.atoms", n_atoms as u64);
+    parmem_obs::counter_add("assign.uncolorable", uncolored as u64);
+    parmem_obs::counter_add("assign.repair_copies", repair_copies as u64);
+    pipeline_span.attr("atoms", n_atoms);
+    pipeline_span.attr("uncolored", uncolored);
 
     let report = AssignmentReport {
         single_copy: assignment.single_copy_count(),

@@ -214,6 +214,8 @@ pub fn color_graph(
         }
     }
 
+    parmem_obs::counter_add("assign.urgency_picks", out.order.len() as u64);
+    parmem_obs::counter_add("assign.uncolorable_picks", out.unassigned.len() as u64);
     out
 }
 

@@ -37,6 +37,8 @@ pub fn backtrack_duplicate(
     unassigned: &[ValueId],
     assignment: &mut Assignment,
 ) {
+    let mut sp = parmem_obs::span("assign.dup.backtrack");
+    sp.attr("unassigned", unassigned.len());
     let k = trace.modules;
     let dup_ok: HashSet<ValueId> = unassigned.iter().copied().collect();
 
@@ -105,10 +107,12 @@ fn best_instruction_placement(
         plan: Vec<(ValueId, ModuleId)>,
         best_cost: usize,
         best_plan: Option<Vec<(ValueId, ModuleId)>>,
+        steps: u64,
     }
 
     impl Search<'_> {
         fn dfs(&mut self, i: usize, used: ModuleSet, cost: usize) {
+            self.steps += 1;
             if cost >= self.best_cost {
                 return; // prune: cannot improve
             }
@@ -142,8 +146,10 @@ fn best_instruction_placement(
         plan: Vec::new(),
         best_cost: usize::MAX,
         best_plan: None,
+        steps: 0,
     };
     search.dfs(0, ModuleSet::EMPTY, 0);
+    parmem_obs::counter_add("assign.backtrack_steps", search.steps);
     search.best_plan
 }
 
@@ -165,6 +171,8 @@ pub fn hitting_set_duplicate(
     if unassigned.is_empty() {
         return;
     }
+    let mut sp = parmem_obs::span("assign.dup.hitting_set");
+    sp.attr("unassigned", unassigned.len());
     let dup_set: HashSet<ValueId> = unassigned.iter().copied().collect();
 
     // First copies of every value in V_unassigned.

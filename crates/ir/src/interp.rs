@@ -57,6 +57,7 @@ fn zero(ty: Ty) -> Value {
 /// Interpret `p` with a step limit (default callers use
 /// [`run`] with 100M steps).
 pub fn run_with_fuel(p: &TacProgram, mut fuel: u64) -> Result<RunResult, RunError> {
+    let mut sp = parmem_obs::span("ir.interp");
     let mut vars: Vec<Value> = p.vars.iter().map(|v| zero(v.ty)).collect();
     let mut arrays: Vec<Vec<Value>> = p.arrays.iter().map(|a| vec![zero(a.elem); a.len]).collect();
     let mut output = Vec::new();
@@ -148,6 +149,7 @@ pub fn run_with_fuel(p: &TacProgram, mut fuel: u64) -> Result<RunResult, RunErro
         }
     }
 
+    sp.attr("steps", steps);
     Ok(RunResult { output, steps })
 }
 

@@ -29,13 +29,17 @@ impl std::error::Error for SemaError {}
 
 /// Lower a parsed program to TAC. All semantic checks happen here.
 pub fn lower(ast: &ast::Program) -> Result<TacProgram, SemaError> {
+    let mut sp = parmem_obs::span("ir.lower");
     let mut lw = Lowerer::new(&ast.name);
     lw.declare_all(&ast.decls)?;
     let entry = lw.new_block();
     lw.current = entry;
     lw.stmts(&ast.body)?;
     lw.terminate(Terminator::Halt);
-    Ok(lw.finish(entry))
+    let prog = lw.finish(entry);
+    sp.attr("blocks", prog.blocks.len());
+    sp.attr("vars", prog.vars.len());
+    Ok(prog)
 }
 
 #[derive(Clone, Copy)]

@@ -64,7 +64,14 @@ impl From<LexError> for ParseError {
 
 /// Parse MiniLang source into an AST.
 pub fn parse(src: &str) -> Result<Program, ParseError> {
-    let tokens = lex(src)?;
+    let mut sp = parmem_obs::span("ir.parse");
+    sp.attr("bytes", src.len());
+    let tokens = {
+        let mut lsp = parmem_obs::span("ir.lex");
+        let tokens = lex(src)?;
+        lsp.attr("tokens", tokens.len());
+        tokens
+    };
     let mut p = Parser { tokens, pos: 0 };
     p.program()
 }

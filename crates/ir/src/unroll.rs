@@ -50,6 +50,8 @@ pub fn unroll_program(p: &Program, cfg: UnrollConfig) -> Program {
     if cfg.factor <= 1 {
         return p.clone();
     }
+    let mut sp = parmem_obs::span("ir.unroll");
+    sp.attr("factor", cfg.factor);
     Program {
         name: p.name.clone(),
         decls: p.decls.clone(),

@@ -182,6 +182,7 @@ pub fn one_web_per_var(p: &TacProgram) -> Webs {
 
 /// Compute the webs of `p`.
 pub fn compute_webs(p: &TacProgram) -> Webs {
+    let mut sp = parmem_obs::span("ir.webs");
     let n_vars = p.vars.len();
 
     // ---- enumerate definition sites ----
@@ -337,6 +338,7 @@ pub fn compute_webs(p: &TacProgram) -> Webs {
         use_web.insert((block, idx, var), w);
     }
 
+    sp.attr("webs", web_var.len());
     Webs {
         n_webs: web_var.len(),
         def_web,

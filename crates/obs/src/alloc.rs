@@ -1,0 +1,67 @@
+//! The counting global allocator (formerly `parmem_batch::metrics`; the
+//! batch crate re-exports it so existing callers keep compiling).
+//!
+//! Wall time comes from [`std::time::Instant`]. Allocation counts come from
+//! the optional [`CountingAlloc`] global allocator: a thin wrapper over the
+//! system allocator that bumps thread-local counters on every `alloc`/
+//! `realloc`. Binaries opt in with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: parmem_obs::alloc::CountingAlloc = parmem_obs::alloc::CountingAlloc;
+//! ```
+//!
+//! (the `parmem` CLI does). When it is not installed the allocation fields
+//! of [`crate::stage::StageMetrics`] simply stay zero — timing still works.
+//! Counters are thread-local, so a stage's delta measured on a worker thread
+//! counts only that job's allocations, not its neighbours'.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Counting wrapper over the system allocator (see module docs).
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counter bumps use const-initialized
+// thread-locals (no lazy init, hence no allocation inside the allocator), and
+// `try_with` tolerates access during TLS teardown.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        record(layout.size() as u64);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        record(layout.size() as u64);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // Count only growth, so repeated doubling reads as net new bytes.
+        record(new_size.saturating_sub(layout.size()) as u64);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+fn record(bytes: u64) {
+    let _ = ALLOC_BYTES.try_with(|b| b.set(b.get().wrapping_add(bytes)));
+    let _ = ALLOC_COUNT.try_with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Current thread's cumulative (bytes, count) allocation counters. Zeros
+/// unless [`CountingAlloc`] is installed as the global allocator.
+pub fn alloc_counters() -> (u64, u64) {
+    (
+        ALLOC_BYTES.try_with(Cell::get).unwrap_or(0),
+        ALLOC_COUNT.try_with(Cell::get).unwrap_or(0),
+    )
+}

@@ -1,0 +1,165 @@
+//! Monotonic counters and power-of-two histograms.
+//!
+//! Names are flat strings; an optional `[key=value,...]` suffix is parsed by
+//! the Prometheus exporter into labels, so instrumentation can write
+//! `sim.module_transfers[module=3,policy=interleaved]` and the dump renders
+//! `parmem_sim_module_transfers{module="3",policy="interleaved"}`.
+//!
+//! Everything a counter or histogram accumulates is a *deterministic fact*
+//! of the work done (conflicts counted, copies made, picks taken) — never a
+//! wall-time — so global sums are byte-identical across worker counts.
+//! Registries are `BTreeMap`s, so dumps iterate in sorted order.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::span::enabled;
+
+static COUNTERS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+static HISTS: Mutex<BTreeMap<String, Histogram>> = Mutex::new(BTreeMap::new());
+
+/// Upper bounds (inclusive) of the finite histogram buckets; one overflow
+/// bucket follows.
+pub const BUCKET_BOUNDS: [u64; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+
+/// A fixed-bucket histogram of `u64` samples.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen (0 when empty).
+    pub max: u64,
+    /// `buckets[i]` counts samples `<= BUCKET_BOUNDS[i]`; the final element
+    /// counts overflow samples.
+    pub buckets: [u64; BUCKET_BOUNDS.len() + 1],
+}
+
+impl Histogram {
+    /// Record `n` occurrences of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.count += n;
+        self.sum += value * n;
+        self.max = self.max.max(value);
+        let idx = BUCKET_BOUNDS
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        self.buckets[idx] += n;
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Add `delta` to the named counter. No-op while tracing is disabled.
+pub fn counter_add(name: &str, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    if let Ok(mut c) = COUNTERS.lock() {
+        *c.entry(name.to_string()).or_insert(0) += delta;
+    }
+}
+
+/// Record one sample into the named histogram. No-op while disabled.
+pub fn hist_record(name: &str, value: u64) {
+    hist_record_n(name, value, 1);
+}
+
+/// Record `n` occurrences of `value` into the named histogram (bulk path for
+/// publishing pre-aggregated per-run histograms). No-op while disabled.
+pub fn hist_record_n(name: &str, value: u64, n: u64) {
+    if !enabled() || n == 0 {
+        return;
+    }
+    if let Ok(mut h) = HISTS.lock() {
+        h.entry(name.to_string()).or_default().record_n(value, n);
+    }
+}
+
+/// Drain the counter registry.
+pub(crate) fn take_counters() -> BTreeMap<String, u64> {
+    COUNTERS
+        .lock()
+        .map(|mut g| std::mem::take(&mut *g))
+        .unwrap_or_default()
+}
+
+/// Drain the histogram registry.
+pub(crate) fn take_hists() -> BTreeMap<String, Histogram> {
+    HISTS
+        .lock()
+        .map(|mut g| std::mem::take(&mut *g))
+        .unwrap_or_default()
+}
+
+/// Split `name[key=value,...]` into the base name and its label pairs.
+pub fn split_labels(name: &str) -> (&str, Vec<(&str, &str)>) {
+    let Some(open) = name.find('[') else {
+        return (name, Vec::new());
+    };
+    let base = &name[..open];
+    let inner = name[open + 1..].trim_end_matches(']');
+    let labels = inner
+        .split(',')
+        .filter_map(|pair| pair.split_once('='))
+        .map(|(k, v)| (k.trim(), v.trim()))
+        .collect();
+    (base, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::set_enabled;
+
+    #[test]
+    fn counters_accumulate_only_when_enabled() {
+        let _guard = crate::test_lock();
+        set_enabled(false);
+        take_counters();
+        counter_add("m.off", 5);
+        assert!(take_counters().is_empty());
+        set_enabled(true);
+        counter_add("m.on", 2);
+        counter_add("m.on", 3);
+        set_enabled(false);
+        assert_eq!(take_counters().get("m.on"), Some(&5));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_friendly() {
+        let mut h = Histogram::default();
+        h.record_n(1, 3);
+        h.record_n(2, 1);
+        h.record_n(600, 2);
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 3 + 2 + 1200);
+        assert_eq!(h.max, 600);
+        assert_eq!(h.buckets[0], 3); // <= 1
+        assert_eq!(h.buckets[1], 1); // <= 2
+        assert_eq!(h.buckets[BUCKET_BOUNDS.len()], 2); // overflow
+    }
+
+    #[test]
+    fn label_splitting() {
+        let (base, labels) = split_labels("sim.module_transfers[module=3,policy=ideal]");
+        assert_eq!(base, "sim.module_transfers");
+        assert_eq!(labels, vec![("module", "3"), ("policy", "ideal")]);
+        let (base, labels) = split_labels("plain.name");
+        assert_eq!(base, "plain.name");
+        assert!(labels.is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! The pipeline-stage metrics vocabulary shared by the whole workspace
+//! (formerly `parmem_batch::metrics`; `parmem-batch` re-exports this module
+//! so existing callers keep compiling).
+//!
+//! [`StageKind`] names the seven pipeline stages in canonical order;
+//! [`StageTimer`]/[`StageMetrics`] measure one stage's wall time, allocation
+//! pressure (when [`crate::alloc::CountingAlloc`] is installed), and the
+//! number of tracing spans closed during the stage (0 unless tracing is
+//! enabled).
+
+use std::time::Instant;
+
+use crate::alloc::alloc_counters;
+use crate::span::thread_closed_spans;
+
+/// The pipeline stages the batch engine times individually.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StageKind {
+    /// Parse (+ optional unrolling) and lowering to TAC.
+    Frontend,
+    /// The `liw-opt` scalar optimizer.
+    Optimize,
+    /// Long-instruction-word list scheduling.
+    Schedule,
+    /// Storage-strategy module assignment.
+    Assign,
+    /// The independent `parmem-verify` invariant checks.
+    Verify,
+    /// Reference-interpreter execution of the TAC.
+    Reference,
+    /// RLIW simulation under the four array policies.
+    Simulate,
+}
+
+impl StageKind {
+    /// All stages, in pipeline order. Reports that aggregate per-stage rows
+    /// iterate this array so their row order is the pipeline order, never a
+    /// hash-map iteration order.
+    pub const ALL: [StageKind; 7] = [
+        StageKind::Frontend,
+        StageKind::Optimize,
+        StageKind::Schedule,
+        StageKind::Assign,
+        StageKind::Verify,
+        StageKind::Reference,
+        StageKind::Simulate,
+    ];
+
+    /// Stable lowercase name (used as JSON/CSV keys and span names).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StageKind::Frontend => "frontend",
+            StageKind::Optimize => "optimize",
+            StageKind::Schedule => "schedule",
+            StageKind::Assign => "assign",
+            StageKind::Verify => "verify",
+            StageKind::Reference => "reference",
+            StageKind::Simulate => "simulate",
+        }
+    }
+
+    /// The span name the batch engine opens around this stage.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            StageKind::Frontend => "stage.frontend",
+            StageKind::Optimize => "stage.optimize",
+            StageKind::Schedule => "stage.schedule",
+            StageKind::Assign => "stage.assign",
+            StageKind::Verify => "stage.verify",
+            StageKind::Reference => "stage.reference",
+            StageKind::Simulate => "stage.simulate",
+        }
+    }
+}
+
+impl std::fmt::Display for StageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Wall time, allocation pressure, and span count of one stage execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageMetrics {
+    /// Wall-clock nanoseconds.
+    pub wall_ns: u64,
+    /// Bytes newly allocated on this thread during the stage (0 when the
+    /// counting allocator is not installed).
+    pub alloc_bytes: u64,
+    /// Allocation calls on this thread during the stage (ditto).
+    pub allocs: u64,
+    /// Tracing spans closed on this thread during the stage (0 when tracing
+    /// is disabled; deterministic for a given pipeline when enabled).
+    pub spans: u64,
+}
+
+impl StageMetrics {
+    /// Component-wise sum.
+    pub fn add(&mut self, other: StageMetrics) {
+        self.wall_ns += other.wall_ns;
+        self.alloc_bytes += other.alloc_bytes;
+        self.allocs += other.allocs;
+        self.spans += other.spans;
+    }
+}
+
+/// Measures one stage: captures an [`Instant`], the thread's allocation
+/// counters, and the thread's closed-span count at `start`; returns the
+/// deltas at `stop`.
+pub struct StageTimer {
+    start: Instant,
+    bytes0: u64,
+    count0: u64,
+    spans0: u64,
+}
+
+impl StageTimer {
+    /// Begin measuring.
+    #[allow(clippy::new_without_default)]
+    pub fn start() -> StageTimer {
+        let (bytes0, count0) = alloc_counters();
+        StageTimer {
+            start: Instant::now(),
+            bytes0,
+            count0,
+            spans0: thread_closed_spans(),
+        }
+    }
+
+    /// Finish measuring.
+    pub fn stop(self) -> StageMetrics {
+        let (bytes1, count1) = alloc_counters();
+        StageMetrics {
+            wall_ns: self.start.elapsed().as_nanos() as u64,
+            alloc_bytes: bytes1.wrapping_sub(self.bytes0),
+            allocs: count1.wrapping_sub(self.count0),
+            spans: thread_closed_spans().wrapping_sub(self.spans0),
+        }
+    }
+}
+
+/// Per-stage metrics of one batch job, in execution order.
+#[derive(Clone, Debug, Default)]
+pub struct JobMetrics {
+    /// `(stage, metrics)` for every stage that ran (a job that fails early
+    /// records only the stages it reached).
+    pub stages: Vec<(StageKind, StageMetrics)>,
+}
+
+impl JobMetrics {
+    /// Record one stage.
+    pub fn push(&mut self, kind: StageKind, m: StageMetrics) {
+        self.stages.push((kind, m));
+    }
+
+    /// Metrics for one stage, if it ran.
+    pub fn stage(&self, kind: StageKind) -> Option<StageMetrics> {
+        self.stages
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, m)| *m)
+    }
+
+    /// Sum over all recorded stages.
+    pub fn total(&self) -> StageMetrics {
+        let mut t = StageMetrics::default();
+        for (_, m) in &self.stages {
+            t.add(*m);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_measures_wall_time() {
+        let t = StageTimer::start();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let m = t.stop();
+        assert!(m.wall_ns >= 4_000_000, "{}", m.wall_ns);
+    }
+
+    #[test]
+    fn timer_counts_spans_closed_during_stage() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        let t = StageTimer::start();
+        drop(crate::span("inside"));
+        drop(crate::span("inside2"));
+        let m = t.stop();
+        crate::set_enabled(false);
+        crate::take();
+        assert_eq!(m.spans, 2);
+    }
+
+    #[test]
+    fn job_metrics_total_sums_stages() {
+        let mut jm = JobMetrics::default();
+        jm.push(
+            StageKind::Frontend,
+            StageMetrics {
+                wall_ns: 10,
+                alloc_bytes: 100,
+                allocs: 3,
+                spans: 1,
+            },
+        );
+        jm.push(
+            StageKind::Assign,
+            StageMetrics {
+                wall_ns: 5,
+                alloc_bytes: 50,
+                allocs: 2,
+                spans: 4,
+            },
+        );
+        let t = jm.total();
+        assert_eq!(
+            (t.wall_ns, t.alloc_bytes, t.allocs, t.spans),
+            (15, 150, 5, 5)
+        );
+        assert_eq!(jm.stage(StageKind::Assign).unwrap().allocs, 2);
+        assert!(jm.stage(StageKind::Verify).is_none());
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        let names: Vec<&str> = StageKind::ALL.iter().map(|s| s.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "frontend",
+                "optimize",
+                "schedule",
+                "assign",
+                "verify",
+                "reference",
+                "simulate"
+            ]
+        );
+        for k in StageKind::ALL {
+            assert_eq!(k.span_name(), format!("stage.{}", k.as_str()));
+        }
+    }
+}

@@ -62,20 +62,39 @@ pub fn optimize(p: &TacProgram) -> (TacProgram, OptStats) {
 
 /// Run the pipeline with an explicit configuration.
 pub fn optimize_with(p: &TacProgram, cfg: OptConfig) -> (TacProgram, OptStats) {
+    let mut sp = parmem_obs::span("opt.optimize");
     let mut cur = p.clone();
     let mut stats = OptStats::default();
     // Each round strictly reduces instruction count or CFG size, so this
     // terminates quickly; cap as a defensive bound.
     for _ in 0..16 {
         stats.iterations += 1;
-        let (a, cfg1) = simplify::simplify_cfg(&cur);
+        let (a, cfg1) = {
+            let mut psp = parmem_obs::span("opt.simplify_cfg");
+            let (a, n) = simplify::simplify_cfg(&cur);
+            psp.attr("rewrites", n);
+            (a, n)
+        };
         let (a, ifc1) = if cfg.if_convert {
-            ifconv::if_convert(&a)
+            let mut psp = parmem_obs::span("opt.if_convert");
+            let (a, n) = ifconv::if_convert(&a);
+            psp.attr("converted", n);
+            (a, n)
         } else {
             (a, 0)
         };
-        let (b, lvn1) = lvn::local_value_numbering(&a);
-        let (c, dce1) = dce::dead_code_elimination(&b);
+        let (b, lvn1) = {
+            let mut psp = parmem_obs::span("opt.lvn");
+            let (b, n) = lvn::local_value_numbering(&a);
+            psp.attr("rewrites", n);
+            (b, n)
+        };
+        let (c, dce1) = {
+            let mut psp = parmem_obs::span("opt.dce");
+            let (c, n) = dce::dead_code_elimination(&b);
+            psp.attr("removed", n);
+            (c, n)
+        };
         stats.cfg_rewrites += cfg1;
         stats.diamonds_converted += ifc1;
         stats.lvn_rewrites += lvn1;
@@ -86,6 +105,11 @@ pub fn optimize_with(p: &TacProgram, cfg: OptConfig) -> (TacProgram, OptStats) {
             break;
         }
     }
+    sp.attr("iterations", stats.iterations);
+    parmem_obs::counter_add("opt.lvn_rewrites", stats.lvn_rewrites as u64);
+    parmem_obs::counter_add("opt.dce_removed", stats.dce_removed as u64);
+    parmem_obs::counter_add("opt.cfg_rewrites", stats.cfg_rewrites as u64);
+    parmem_obs::counter_add("opt.diamonds_converted", stats.diamonds_converted as u64);
     (cur, stats)
 }
 

@@ -70,6 +70,9 @@ pub fn schedule(p: &TacProgram, spec: MachineSpec) -> SchedProgram {
 /// Schedule with explicit options.
 pub fn schedule_with(p: &TacProgram, spec: MachineSpec, opts: ScheduleOptions) -> SchedProgram {
     assert!(spec.width >= 1 && spec.mem_ports >= 1 && spec.modules >= 1);
+    let mut sp = parmem_obs::span("sched.schedule");
+    sp.attr("blocks", p.blocks.len());
+    sp.attr("rename", opts.rename);
     let webs = if opts.rename {
         compute_webs(p)
     } else {

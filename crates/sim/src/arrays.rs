@@ -32,6 +32,19 @@ pub enum ArrayPlacement {
     UniformRandom(u64),
 }
 
+impl ArrayPlacement {
+    /// Stable policy label used in metric names and trace attributes
+    /// (deliberately parameter-free so metrics aggregate across seeds).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrayPlacement::Ideal => "ideal",
+            ArrayPlacement::SameModule(_) => "same_module",
+            ArrayPlacement::Interleaved => "interleaved",
+            ArrayPlacement::UniformRandom(_) => "uniform_random",
+        }
+    }
+}
+
 /// Stateful resolver created per simulation run.
 pub struct ArrayModuleMap {
     policy: ArrayPlacement,

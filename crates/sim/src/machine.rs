@@ -49,6 +49,15 @@ pub struct SimStats {
     pub copy_write_transfers: u64,
     /// Transfers served per memory module (utilization profile).
     pub module_transfers: Vec<u64>,
+    /// Scalar reads of values that hold more than one copy (the reads
+    /// duplication spent memory on).
+    pub dup_reads: u64,
+    /// The subset of [`dup_reads`](SimStats::dup_reads) where the makespan
+    /// scheduler actually used a copy *other than* the value's primary
+    /// (lowest-index) module — i.e. the duplication paid off by letting the
+    /// fetch dodge a busy module. `dup_alt_reads / dup_reads` is the
+    /// duplication read hit-rate.
+    pub dup_alt_reads: u64,
     /// Operations executed.
     pub ops: u64,
     /// `print` output, in order.
@@ -137,6 +146,10 @@ pub fn run_with_fuel(
         "assignment and machine must agree on k"
     );
     let k = prog.spec.modules;
+    let mut run_span = parmem_obs::span("sim.run");
+    run_span.attr("policy", policy.label());
+    run_span.attr("k", k);
+    let policy_label = policy.label();
     let mut arrays_map = ArrayModuleMap::new(policy, k);
     let mut table = MaxloadTable::new();
 
@@ -244,8 +257,14 @@ pub fn run_with_fuel(
             let (sched_mods, scalar_makespan) =
                 makespan_schedule(&op_sets).expect("no empty sets remain");
             let mut loads = vec![0u32; k];
-            for &m in &sched_mods {
+            for (&m, set) in sched_mods.iter().zip(&op_sets) {
                 loads[m as usize] += 1;
+                if set.len() > 1 {
+                    stats.dup_reads += 1;
+                    if Some(ModuleId(m)) != set.first() {
+                        stats.dup_alt_reads += 1;
+                    }
+                }
             }
             if scalar_makespan > 1 {
                 stats.scalar_conflict_words += 1;
@@ -324,7 +343,56 @@ pub fn run_with_fuel(
         }
     }
 
+    run_span.attr("words", stats.words);
+    run_span.attr("cycles", stats.cycles);
+    publish_metrics(&stats, policy_label);
     Ok(stats)
+}
+
+/// Publish the run's deterministic aggregates to the [`parmem_obs`] metric
+/// registries, labelled by array policy. Called once per run (never per
+/// instruction, keeping the simulator hot loop observation-free); a no-op
+/// while tracing is disabled.
+fn publish_metrics(stats: &SimStats, policy: &str) {
+    if !parmem_obs::enabled() {
+        return;
+    }
+    // Per-word max-load histogram: how many words stalled, and how badly —
+    // the per-instruction conflict profile behind the paper's p(i).
+    for (makespan, &n) in stats.makespan_hist.iter().enumerate() {
+        parmem_obs::hist_record_n(
+            &format!("sim.word_makespan[policy={policy}]"),
+            makespan as u64,
+            n,
+        );
+    }
+    // Per-module access profile (memory utilization).
+    for (m, &n) in stats.module_transfers.iter().enumerate() {
+        parmem_obs::counter_add(
+            &format!("sim.module_transfers[module={m},policy={policy}]"),
+            n,
+        );
+    }
+    parmem_obs::counter_add(&format!("sim.words[policy={policy}]"), stats.words);
+    parmem_obs::counter_add(&format!("sim.cycles[policy={policy}]"), stats.cycles);
+    parmem_obs::counter_add(
+        &format!("sim.transfer_time[policy={policy}]"),
+        stats.transfer_time,
+    );
+    parmem_obs::counter_add(
+        &format!("sim.scalar_conflict_words[policy={policy}]"),
+        stats.scalar_conflict_words,
+    );
+    parmem_obs::counter_add(
+        &format!("sim.copy_write_transfers[policy={policy}]"),
+        stats.copy_write_transfers,
+    );
+    // Duplication read hit-rate inputs.
+    parmem_obs::counter_add(&format!("sim.dup_reads[policy={policy}]"), stats.dup_reads);
+    parmem_obs::counter_add(
+        &format!("sim.dup_alt_reads[policy={policy}]"),
+        stats.dup_alt_reads,
+    );
 }
 
 /// Execute with the default fuel (10^8 words).

@@ -57,9 +57,11 @@ pub fn verify_trace(
 ) -> VerifyReport {
     let mut out = VerifyReport::default();
     out.checks_run.push("assignment");
+    let mut sp = parmem_obs::span("verify.assignment");
     out.diagnostics.extend(assignment_check::check_assignment(
         trace, assignment, report,
     ));
+    sp.attr("diags", out.diagnostics.len());
     out
 }
 
@@ -74,15 +76,33 @@ pub fn verify_scheduled(
 ) -> VerifyReport {
     let trace = differential::rebuild_trace(sched);
     let mut out = verify_trace(&trace, assignment, report);
-    out.checks_run.push("trace-reconstruction");
-    out.diagnostics
-        .extend(differential::check_trace_reconstruction(sched));
-    out.checks_run.push("scheduled-dataflow");
-    out.diagnostics
-        .extend(dataflow::check_scheduled_dataflow(sched));
-    out.checks_run.push("differential");
-    out.diagnostics
-        .extend(differential::check_differential(sched, assignment));
+    fn family(
+        out: &mut VerifyReport,
+        name: &'static str,
+        span_name: &str,
+        check: impl FnOnce() -> Vec<diag::Diagnostic>,
+    ) {
+        out.checks_run.push(name);
+        let mut sp = parmem_obs::span(span_name);
+        let diags = check();
+        sp.attr("diags", diags.len());
+        out.diagnostics.extend(diags);
+    }
+    family(
+        &mut out,
+        "trace-reconstruction",
+        "verify.trace_reconstruction",
+        || differential::check_trace_reconstruction(sched),
+    );
+    family(
+        &mut out,
+        "scheduled-dataflow",
+        "verify.scheduled_dataflow",
+        || dataflow::check_scheduled_dataflow(sched),
+    );
+    family(&mut out, "differential", "verify.differential", || {
+        differential::check_differential(sched, assignment)
+    });
     out
 }
 
@@ -97,8 +117,11 @@ pub fn verify_all(
 ) -> VerifyReport {
     let mut out = verify_scheduled(sched, assignment, report);
     out.checks_run.push("renaming");
+    let mut sp = parmem_obs::span("verify.renaming");
     let webs = liw_ir::compute_webs(tac);
-    out.diagnostics.extend(dataflow::check_renaming(tac, &webs));
+    let diags = dataflow::check_renaming(tac, &webs);
+    sp.attr("diags", diags.len());
+    out.diagnostics.extend(diags);
     out
 }
 

@@ -31,6 +31,23 @@
 //!     Stdout is byte-identical across `--jobs` settings; wall-time and
 //!     allocation metrics appear only with `--timings` (stdout) or in the
 //!     `--out` JSON file, and the batch wall time goes to stderr.
+//!
+//! parmem trace <workload-or-file> [-k <modules>] [--stor 1|2|3]
+//!              [--format tree|json|chrome|metrics] [--out <file>]
+//!              [--deterministic] [--validate] [--seed S]
+//!              [--unroll <factor>] [--no-opt] [--backtrack] [--no-atoms]
+//!     Run one full pipeline job with span tracing enabled and export the
+//!     profile: a human span tree (default), nested JSON, a Chrome
+//!     trace-event file (load it in Perfetto or `chrome://tracing`), or a
+//!     Prometheus-style metrics dump. `--deterministic` omits wall times
+//!     and thread ids so the output is byte-identical across runs;
+//!     `--validate` checks the Chrome trace for balanced begin/end nesting.
+//!
+//! Every subcommand also accepts:
+//!   --profile             print a timed span tree + metrics dump to stderr
+//!   --trace-out <file>    write a Chrome trace of the whole command
+//!   --trace-summary <f>   write the deterministic span tree + metrics dump
+//!                         (byte-identical across runs and `--jobs`)
 //! ```
 
 use std::process::ExitCode;
@@ -39,6 +56,7 @@ use liw_sched::MachineSpec;
 use parallel_memories::batch::{self, BatchOptions, ErrorPolicy};
 use parallel_memories::core::prelude::*;
 use parallel_memories::core::trace_io;
+use parallel_memories::obs;
 use parallel_memories::sim::{self, ArrayPlacement, CompileOptions};
 use parallel_memories::verify;
 
@@ -51,18 +69,58 @@ static ALLOC: parallel_memories::batch::metrics::CountingAlloc =
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
+    let cmd = args.first().map(String::as_str);
+
+    // `trace` manages the collector itself; every other subcommand gets the
+    // uniform profiling flags handled here so the instrumentation in the
+    // library crates lights up without per-command plumbing.
+    let trace_out = opt_value::<String>(&args, "--trace-out");
+    let trace_summary = opt_value::<String>(&args, "--trace-summary");
+    let profiling = cmd != Some("trace")
+        && (flag(&args, "--profile") || trace_out.is_some() || trace_summary.is_some());
+    if profiling {
+        obs::set_enabled(true);
+    }
+
+    let result = match cmd {
         Some("assign") => cmd_assign(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         _ => {
-            eprintln!("usage: parmem <assign|compile|run|verify|batch> [file|workloads] [options]");
+            eprintln!(
+                "usage: parmem <assign|compile|run|verify|batch|trace> [file|workloads] [options]"
+            );
             eprintln!("       see crate docs for details");
             return ExitCode::from(2);
         }
     };
+
+    let result = if profiling {
+        obs::set_enabled(false);
+        let session = obs::take();
+        result.and_then(|()| {
+            if let Some(path) = &trace_out {
+                std::fs::write(path, session.chrome_trace())?;
+            }
+            if let Some(path) = &trace_summary {
+                let mut summary = session.span_tree(false);
+                summary.push('\n');
+                summary.push_str(&session.metrics_text());
+                std::fs::write(path, summary)?;
+            }
+            if flag(&args, "--profile") {
+                eprint!("{}", session.span_tree(true));
+                eprint!("{}", session.metrics_text());
+            }
+            Ok(())
+        })
+    } else {
+        result
+    };
+
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -71,6 +129,21 @@ fn main() -> ExitCode {
         }
     }
 }
+
+/// Options that consume the following argument — shared by every
+/// subcommand's positional-argument scan.
+const VALUE_OPTS: [&str; 10] = [
+    "-k",
+    "--k",
+    "--stor",
+    "--jobs",
+    "--out",
+    "--seed",
+    "--unroll",
+    "--format",
+    "--trace-out",
+    "--trace-summary",
+];
 
 fn flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
@@ -83,10 +156,28 @@ fn opt_value<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
         .and_then(|v| v.parse().ok())
 }
 
+/// Positional (non-flag) arguments, skipping the values of [`VALUE_OPTS`].
+fn positionals(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if VALUE_OPTS.contains(&a.as_str()) {
+            i += 2;
+            continue;
+        }
+        if !a.starts_with('-') {
+            out.push(a.clone());
+        }
+        i += 1;
+    }
+    out
+}
+
 fn file_arg(args: &[String]) -> Result<String, Box<dyn std::error::Error + Send + Sync>> {
-    args.iter()
-        .find(|a| !a.starts_with('-') && a.parse::<f64>().is_err())
-        .cloned()
+    positionals(args)
+        .into_iter()
+        .find(|a| a.parse::<f64>().is_err())
         .ok_or_else(|| "missing input file".into())
 }
 
@@ -249,23 +340,109 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + Syn
     Ok(())
 }
 
-fn cmd_batch(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
-    // Options that consume the following argument.
-    const VALUE_OPTS: [&str; 6] = ["-k", "--stor", "--jobs", "--out", "--seed", "--unroll"];
+fn cmd_trace(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let target = positionals(args)
+        .into_iter()
+        .next()
+        .ok_or("missing workload name or MiniLang file")?;
 
-    let mut names: Vec<String> = Vec::new();
-    let mut i = 0;
-    while i < args.len() {
-        let a = &args[i];
-        if VALUE_OPTS.contains(&a.as_str()) {
-            i += 2;
-            continue;
+    // A known benchmark name wins; anything else is a path to a source file.
+    let (program, source): (String, String) = match workloads::by_name(&target) {
+        Some(b) => (b.name.to_string(), b.source.to_string()),
+        None => {
+            let src = std::fs::read_to_string(&target).map_err(|e| {
+                format!("`{target}` is neither a workload nor a readable file ({e})")
+            })?;
+            (target.clone(), src)
         }
-        if !a.starts_with('-') {
-            names.push(a.clone());
-        }
-        i += 1;
+    };
+
+    let k: usize = opt_value(args, "-k")
+        .or_else(|| opt_value(args, "--k"))
+        .unwrap_or(8);
+    let strategy = match opt_value::<u32>(args, "--stor") {
+        Some(2) => Strategy::Stor2,
+        Some(3) => Strategy::STOR3,
+        _ => Strategy::Stor1,
+    };
+    let opts = CompileOptions {
+        unroll: opt_value::<usize>(args, "--unroll").map(|factor| liw_ir::unroll::UnrollConfig {
+            factor,
+            max_body_stmts: 16,
+        }),
+        optimize: !flag(args, "--no-opt"),
+        rename: true,
+    };
+    let params = AssignParams {
+        duplication: if flag(args, "--backtrack") {
+            DuplicationStrategy::Backtrack
+        } else {
+            DuplicationStrategy::HittingSet
+        },
+        use_atoms: !flag(args, "--no-atoms"),
+        ..AssignParams::default()
+    };
+
+    let mut spec = batch::JobSpec::new(program, source, k)
+        .with_strategy(strategy)
+        .with_opts(opts)
+        .with_seed(opt_value(args, "--seed").unwrap_or(0xC0FFEE));
+    spec.params = params;
+
+    // Run the one job with the collector live, then drain it exactly once.
+    obs::set_enabled(true);
+    let result = batch::job::run_job(&spec);
+    obs::set_enabled(false);
+    let session = obs::take();
+
+    let deterministic = flag(args, "--deterministic");
+    let format = opt_value::<String>(args, "--format").unwrap_or_else(|| "tree".to_string());
+    let output = match format.as_str() {
+        "tree" => session.span_tree(!deterministic),
+        "json" => session.to_json(!deterministic),
+        "chrome" => session.chrome_trace(),
+        "metrics" => session.metrics_text(),
+        other => return Err(format!("bad --format `{other}` (tree|json|chrome|metrics)").into()),
+    };
+
+    if flag(args, "--validate") {
+        let chrome = if format == "chrome" {
+            output.clone()
+        } else {
+            session.chrome_trace()
+        };
+        let stats = obs::validate_chrome_trace(&chrome).map_err(|e| format!("trace: {e}"))?;
+        eprintln!(
+            "trace ok: {} span(s) on {} thread(s), {} metadata event(s)",
+            stats.spans, stats.threads, stats.metadata
+        );
     }
+
+    match opt_value::<String>(args, "--out") {
+        Some(path) => std::fs::write(&path, &output)?,
+        None => print!("{output}"),
+    }
+
+    let outcome = &result.outcome;
+    match outcome {
+        Ok(out) => {
+            eprintln!(
+                "job {} k={} {}: {} words in {} cycles, speed-up {:.2}x",
+                result.spec.program,
+                result.spec.k,
+                result.spec.strategy.name(),
+                out.words,
+                out.cycles,
+                out.speedup
+            );
+            Ok(())
+        }
+        Err(e) => Err(format!("job {} failed: {e}", result.spec.program).into()),
+    }
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let names = positionals(args);
 
     let benches: Vec<workloads::Benchmark> = if !names.is_empty() {
         names
@@ -337,7 +514,7 @@ fn cmd_batch(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + S
     } else if flag(args, "--csv") {
         print!("{}", report.to_csv(timings));
     } else {
-        print!("{}", report.format_text());
+        print!("{}", report.format_text_with(timings));
     }
     if let Some(path) = opt_value::<String>(args, "--out") {
         // The file report always carries timings — it is the CI artifact.

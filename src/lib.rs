@@ -17,6 +17,9 @@
 //! * [`batch`] (`parmem-batch`) — parallel batch pipeline engine: runs many
 //!   (program, k, strategy) jobs on a work-stealing pool with per-stage
 //!   metrics, panic isolation, and deterministic reports.
+//! * [`obs`] (`parmem-obs`) — span tracing, counters/histograms, and the
+//!   tree/JSON/Chrome-trace/Prometheus profile exporters instrumenting
+//!   every layer above.
 //! * [`workloads`] — the paper's six benchmark programs in MiniLang.
 //!
 //! See the repository `README.md` for a tour and `EXPERIMENTS.md` for the
@@ -26,6 +29,7 @@ pub use liw_ir as ir;
 pub use liw_sched as sched;
 pub use parmem_batch as batch;
 pub use parmem_core as core;
+pub use parmem_obs as obs;
 pub use parmem_verify as verify;
 pub use rliw_sim as sim;
 pub use workloads;

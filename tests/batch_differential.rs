@@ -119,3 +119,69 @@ fn cli_batch_report_is_independent_of_jobs() {
         );
     }
 }
+
+/// The deterministic profile (`--trace-summary`: span tree + metrics dump)
+/// is also byte-identical across worker counts — tracing does not make
+/// concurrency observable.
+#[test]
+fn cli_trace_summary_is_independent_of_jobs() {
+    let dir = std::env::temp_dir();
+    let run = |jobs: &str| {
+        let path = dir.join(format!("parmem-trace-summary-{jobs}.txt"));
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_parmem"))
+            .args(["batch", "fft", "sort", "-k", "2,4"])
+            .args(["--jobs", jobs, "--trace-summary"])
+            .arg(&path)
+            .output()
+            .expect("parmem batch runs");
+        assert!(
+            out.status.success(),
+            "parmem batch --jobs {jobs} --trace-summary failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let summary = std::fs::read_to_string(&path).expect("summary written");
+        let _ = std::fs::remove_file(&path);
+        (out.stdout, summary)
+    };
+    let (stdout1, summary1) = run("1");
+    let (stdout8, summary8) = run("8");
+    assert_eq!(stdout1, stdout8, "stdout differs with --trace-summary");
+    assert!(
+        summary1 == summary8,
+        "--trace-summary differs between --jobs 1 and --jobs 8:\n--- jobs 1 ---\n{summary1}\n--- jobs 8 ---\n{summary8}"
+    );
+    // The summary must actually cover the requested jobs and the pipeline.
+    for needle in [
+        "job{program=FFT, k=2, stor=STOR1}",
+        "job{program=SORT, k=4, stor=STOR1}",
+        "stage.simulate",
+        "parmem_sim_cycles",
+    ] {
+        assert!(
+            summary1.contains(needle),
+            "summary lacks `{needle}`:\n{summary1}"
+        );
+    }
+}
+
+/// With tracing disabled (no profiling flags), the batch report is
+/// byte-identical to a profiled run's report — instrumentation never leaks
+/// into the golden output.
+#[test]
+fn profiling_does_not_change_the_report() {
+    let run = |extra: &[&str]| {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_parmem"))
+            .args(["batch", "fft", "-k", "2,4", "--json"])
+            .args(extra)
+            .output()
+            .expect("parmem batch runs");
+        assert!(out.status.success());
+        out.stdout
+    };
+    let plain = run(&[]);
+    let profiled = run(&["--profile"]);
+    assert_eq!(
+        plain, profiled,
+        "--profile changed the batch report on stdout"
+    );
+}

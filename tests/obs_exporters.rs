@@ -1,0 +1,251 @@
+//! End-to-end tests for `parmem trace` and the profile exporters.
+//!
+//! These drive the real binary (subprocess) so the whole chain is covered:
+//! collector enable → instrumented pipeline → drain → export. The Chrome
+//! trace is re-validated with `parmem_obs::validate_chrome_trace`, which
+//! independently checks begin/end balance, name matching, and timestamp
+//! ordering per thread.
+
+use std::process::Command;
+
+fn parmem(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_parmem"))
+        .args(args)
+        .output()
+        .expect("parmem runs")
+}
+
+fn trace_stdout(args: &[&str]) -> String {
+    let out = parmem(args);
+    assert!(
+        out.status.success(),
+        "parmem {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+/// The acceptance run: `parmem trace fft --k 4 --format chrome` (note the
+/// `--k` spelling) emits a Chrome trace-event JSON that parses, balances,
+/// and covers every pipeline stage.
+#[test]
+fn chrome_trace_is_well_formed_and_covers_the_pipeline() {
+    let chrome = trace_stdout(&["trace", "fft", "--k", "4", "--format", "chrome"]);
+    let stats =
+        parallel_memories::obs::validate_chrome_trace(&chrome).expect("chrome trace validates");
+    assert!(stats.spans >= 10, "suspiciously few spans: {}", stats.spans);
+    assert!(stats.threads >= 1);
+    for stage in [
+        "stage.frontend",
+        "stage.optimize",
+        "stage.schedule",
+        "stage.assign",
+        "stage.verify",
+        "stage.reference",
+        "stage.simulate",
+    ] {
+        assert!(chrome.contains(stage), "chrome trace lacks `{stage}`");
+    }
+    // Spot-check the trace-event envelope.
+    assert!(chrome.contains("\"traceEvents\""));
+    assert!(chrome.contains("\"process_name\""));
+}
+
+/// `--validate` inside the CLI agrees with the library validator and both
+/// `-k` and `--k` spellings reach the same machine width.
+#[test]
+fn cli_validate_and_k_spellings_agree() {
+    let a = parmem(&[
+        "trace",
+        "fft",
+        "--k",
+        "4",
+        "--format",
+        "chrome",
+        "--validate",
+    ]);
+    assert!(a.status.success(), "--validate rejected a good trace");
+    assert!(
+        String::from_utf8_lossy(&a.stderr).contains("trace ok"),
+        "no validation summary on stderr"
+    );
+    let tree_dash = trace_stdout(&[
+        "trace",
+        "fft",
+        "-k",
+        "4",
+        "--format",
+        "tree",
+        "--deterministic",
+    ]);
+    let tree_ddash = trace_stdout(&[
+        "trace",
+        "fft",
+        "--k",
+        "4",
+        "--format",
+        "tree",
+        "--deterministic",
+    ]);
+    assert_eq!(tree_dash, tree_ddash, "-k and --k disagree");
+}
+
+/// The deterministic span tree nests every pipeline stage under the job
+/// root and is stable across runs.
+#[test]
+fn deterministic_tree_is_stable_and_complete() {
+    let args = [
+        "trace",
+        "fft",
+        "--k",
+        "4",
+        "--format",
+        "tree",
+        "--deterministic",
+    ];
+    let first = trace_stdout(&args);
+    let second = trace_stdout(&args);
+    assert_eq!(first, second, "--deterministic tree differs across runs");
+    assert!(first.starts_with("job{program=FFT, k=4, stor=STOR1}\n"));
+    for line in [
+        "  stage.assign\n",
+        "    assign.pipeline{",
+        "    sim.run{policy=interleaved,",
+        "    ir.interp{steps=",
+    ] {
+        assert!(
+            first.contains(line),
+            "tree lacks `{}`:\n{first}",
+            line.trim()
+        );
+    }
+    // No wall-clock artifacts in deterministic mode.
+    assert!(!first.contains('['), "deterministic tree leaked durations");
+}
+
+/// Deterministic JSON parses with the bundled parser and carries the span
+/// forest plus both metric registries.
+#[test]
+fn json_export_parses_and_carries_metrics() {
+    let json = trace_stdout(&[
+        "trace",
+        "fft",
+        "--k",
+        "4",
+        "--format",
+        "json",
+        "--deterministic",
+    ]);
+    let v = parallel_memories::obs::json::parse(&json).expect("valid JSON");
+    assert_eq!(
+        v.get("schema").and_then(|s| s.as_str()),
+        Some("parmem-obs/v1")
+    );
+    let spans = v
+        .get("spans")
+        .and_then(|s| s.as_arr())
+        .expect("spans array");
+    assert!(!spans.is_empty());
+    assert!(v.get("counters").is_some());
+    assert!(v.get("histograms").is_some());
+    assert!(
+        !json.contains("start_ns"),
+        "deterministic JSON leaked clocks"
+    );
+}
+
+/// The metrics dump includes the per-module access counters and the
+/// per-word makespan histogram from the simulator (acceptance criterion).
+#[test]
+fn metrics_dump_has_simulator_histograms() {
+    let m = trace_stdout(&["trace", "fft", "--k", "4", "--format", "metrics"]);
+    for needle in [
+        "# TYPE parmem_sim_word_makespan histogram",
+        "parmem_sim_word_makespan_bucket{policy=\"interleaved\",le=\"1\"}",
+        "parmem_sim_word_makespan_count{policy=\"interleaved\"}",
+        "parmem_sim_module_transfers{module=\"0\",policy=\"interleaved\"}",
+        "parmem_assign_urgency_picks",
+        "parmem_opt_dce_removed",
+    ] {
+        assert!(m.contains(needle), "metrics dump lacks `{needle}`:\n{m}");
+    }
+    // Metrics are deterministic facts: a second run dumps identical text.
+    let again = trace_stdout(&["trace", "fft", "--k", "4", "--format", "metrics"]);
+    assert_eq!(m, again, "metrics dump differs across runs");
+
+    // FFT at k=2 duplicates a value, so the duplication read-hit-rate
+    // counters materialize (zero-valued counters are deliberately omitted).
+    let k2 = trace_stdout(&["trace", "fft", "--k", "2", "--format", "metrics"]);
+    assert!(
+        k2.contains("parmem_sim_dup_reads{policy=\"interleaved\"}"),
+        "k=2 metrics lack dup_reads:\n{k2}"
+    );
+}
+
+/// A MiniLang file path (not a workload name) also works, and unknown
+/// workloads fail with a helpful error.
+#[test]
+fn trace_accepts_files_and_rejects_unknown_workloads() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("parmem-obs-test-prog.ml");
+    std::fs::write(
+        &path,
+        "program t; var a, b: int; begin a := 2; b := a * 3; print b; end.",
+    )
+    .unwrap();
+    let tree = trace_stdout(&[
+        "trace",
+        path.to_str().unwrap(),
+        "-k",
+        "2",
+        "--format",
+        "tree",
+        "--deterministic",
+    ]);
+    let _ = std::fs::remove_file(&path);
+    assert!(tree.contains("k=2"));
+    assert!(tree.contains("stage.simulate"));
+
+    let bad = parmem(&["trace", "no-such-workload"]);
+    assert!(!bad.status.success());
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("no-such-workload"),
+        "error does not name the bad target"
+    );
+}
+
+/// `--trace-out` on an ordinary subcommand (here `compile`) produces a
+/// valid Chrome trace as well — the global profiling flags work everywhere.
+#[test]
+fn global_trace_out_flag_profiles_other_subcommands() {
+    let dir = std::env::temp_dir();
+    let src = dir.join("parmem-obs-test-compile.ml");
+    std::fs::write(
+        &src,
+        "program t; var a, b: int; begin a := 2; b := a * 3; print b; end.",
+    )
+    .unwrap();
+    let trace = dir.join("parmem-obs-test-compile-trace.json");
+    let out = parmem(&[
+        "compile",
+        src.to_str().unwrap(),
+        "-k",
+        "4",
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "compile --trace-out failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let chrome = std::fs::read_to_string(&trace).expect("trace written");
+    let _ = std::fs::remove_file(&src);
+    let _ = std::fs::remove_file(&trace);
+    let stats = parallel_memories::obs::validate_chrome_trace(&chrome).expect("valid trace");
+    assert!(stats.spans > 0);
+    assert!(
+        chrome.contains("sched.schedule"),
+        "compile trace lacks scheduling"
+    );
+}
