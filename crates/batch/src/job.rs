@@ -35,6 +35,9 @@ pub struct JobSpec {
     pub seed: u64,
     /// Test-only fault injection; `None` in production use.
     pub fault: Option<FaultInjection>,
+    /// When set, run the exact solver on the access trace as an extra stage
+    /// and report the heuristic-vs-exact gap.
+    pub exact_gap: Option<parmem_exact::ExactConfig>,
 }
 
 impl JobSpec {
@@ -49,6 +52,7 @@ impl JobSpec {
             params: AssignParams::default(),
             seed: 0xC0FFEE,
             fault: None,
+            exact_gap: None,
         }
     }
 
@@ -73,6 +77,12 @@ impl JobSpec {
     /// Inject a fault (tests of the error paths only).
     pub fn with_fault(mut self, fault: FaultInjection) -> JobSpec {
         self.fault = Some(fault);
+        self
+    }
+
+    /// Enable the exact-gap stage with the given solver config.
+    pub fn with_exact_gap(mut self, cfg: parmem_exact::ExactConfig) -> JobSpec {
+        self.exact_gap = Some(cfg);
         self
     }
 }
@@ -209,6 +219,37 @@ pub struct JobOutput {
     /// FNV-1a hash of the printed output (bit-exact for reals) — the
     /// differential tests compare this across engines and `--jobs` settings.
     pub output_hash: u64,
+    /// Heuristic-vs-exact gap measurement (only when the spec asked for it).
+    pub gap: Option<GapSummary>,
+}
+
+/// What the optional exact-gap stage measured: the certified bounds, the
+/// heuristic's residual against them, and whether the certificate survived
+/// independent re-validation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GapSummary {
+    /// Residual of the heuristic single-copy assignment.
+    pub heuristic_residual: usize,
+    /// Certified lower bound on the optimal residual.
+    pub lower: usize,
+    /// Best residual the exact solver achieved.
+    pub upper: usize,
+    /// Certificate status (`optimal`/`infeasible-at-k`/`bounded`).
+    pub status: &'static str,
+    /// Extra copies the exact witness needs after duplication repair.
+    pub copies_upper: usize,
+    /// Branch-and-bound nodes expanded.
+    pub nodes_expanded: u64,
+    /// Whether `parmem-verify` re-validated the certificate clean
+    /// (PM201–PM206).
+    pub cert_clean: bool,
+}
+
+impl GapSummary {
+    /// Gap between the heuristic and the certified lower bound.
+    pub fn gap(&self) -> isize {
+        self.heuristic_residual as isize - self.lower as isize
+    }
 }
 
 /// A completed job: its spec, outcome, and per-stage metrics.
@@ -276,6 +317,7 @@ fn maybe_panic(spec: &JobSpec, stage: StageKind) {
 /// Run one job with panic isolation: a panic anywhere in the pipeline
 /// becomes a [`JobError::Panic`] result instead of tearing down the batch.
 pub fn run_job(spec: &JobSpec) -> JobResult {
+    parmem_exact::install();
     let mut metrics = JobMetrics::default();
     let outcome = match catch_unwind(AssertUnwindSafe(|| run_stages(spec, &mut metrics))) {
         Ok(r) => r,
@@ -419,6 +461,32 @@ fn run_stages(spec: &JobSpec, metrics: &mut JobMetrics) -> Result<JobOutput, Job
         t_max: worst.transfer_time,
     };
 
+    // --- Optional stage 8: exact-solver gap measurement ---
+    let gap = match &spec.exact_gap {
+        None => None,
+        Some(cfg) => {
+            maybe_panic(spec, StageKind::ExactGap);
+            let t = StageTimer::start();
+            let g = {
+                let _sp = parmem_obs::span(StageKind::ExactGap.span_name());
+                let cert = parmem_exact::solve_certificate(&trace, cfg);
+                let heuristic = parmem_exact::heuristic_single_copy_residual(&trace, &spec.params);
+                let check = parmem_verify::verify_certificate(&trace, &cert, Some(heuristic));
+                GapSummary {
+                    heuristic_residual: heuristic,
+                    lower: cert.lower,
+                    upper: cert.upper,
+                    status: cert.status.as_str(),
+                    copies_upper: cert.copies_upper,
+                    nodes_expanded: cert.nodes_expanded,
+                    cert_clean: check.is_clean(),
+                }
+            };
+            metrics.push(StageKind::ExactGap, t.stop());
+            Some(g)
+        }
+    };
+
     Ok(JobOutput {
         table2,
         assign_report,
@@ -431,6 +499,7 @@ fn run_stages(spec: &JobSpec, metrics: &mut JobMetrics) -> Result<JobOutput, Job
         output_len: reference.output.len(),
         output_hash: hash_output(&reference.output),
         verify,
+        gap,
     })
 }
 
@@ -457,6 +526,20 @@ mod tests {
         // All seven stages ran and took measurable time.
         assert_eq!(r.metrics.stages.len(), 7);
         assert!(r.metrics.total().wall_ns > 0);
+    }
+
+    #[test]
+    fn exact_gap_stage_runs_and_validates() {
+        let spec = JobSpec::new("J", SRC, 4).with_exact_gap(parmem_exact::ExactConfig::default());
+        let r = run_job(&spec);
+        assert_eq!(r.status(), "ok");
+        let out = r.outcome.expect("job succeeds");
+        let g = out.gap.expect("gap stage ran");
+        assert!(g.cert_clean, "certificate must re-validate clean");
+        assert!(g.gap() >= 0, "heuristic can never beat the lower bound");
+        assert!(g.lower <= g.upper);
+        // The extra stage is recorded on top of the usual seven.
+        assert_eq!(r.metrics.stages.len(), 8);
     }
 
     #[test]

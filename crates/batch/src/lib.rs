@@ -28,8 +28,9 @@ pub mod metrics;
 pub mod pool;
 pub mod report;
 
-pub use job::{FaultInjection, JobError, JobOutput, JobResult, JobSpec};
+pub use job::{FaultInjection, GapSummary, JobError, JobOutput, JobResult, JobSpec};
 pub use metrics::{JobMetrics, StageKind, StageMetrics};
+pub use parmem_exact::ExactConfig;
 pub use report::BatchReport;
 
 use std::sync::atomic::{AtomicBool, Ordering};

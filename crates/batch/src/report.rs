@@ -101,9 +101,20 @@ impl BatchReport {
         for r in &self.results {
             match &r.outcome {
                 Ok(o) => {
+                    let gap_note = match &o.gap {
+                        Some(g) => format!(
+                            " gap={} [{},{}] {}{}",
+                            g.gap(),
+                            g.lower,
+                            g.upper,
+                            g.status,
+                            if g.cert_clean { "" } else { " CERT-DIRTY" }
+                        ),
+                        None => String::new(),
+                    };
                     let _ = writeln!(
                         s,
-                        "{:<10} {:>2} {:<5} | {:>8} {:>12.4} {:>8} {:>8} {:>8} | {:>6} {:>5} {:>7.2}x | ok",
+                        "{:<10} {:>2} {:<5} | {:>8} {:>12.4} {:>8} {:>8} {:>8} | {:>6} {:>5} {:>7.2}x | ok{}",
                         r.spec.program,
                         r.spec.k,
                         r.spec.strategy.name(),
@@ -115,6 +126,7 @@ impl BatchReport {
                         o.assign_report.single_copy,
                         o.assign_report.multi_copy,
                         o.speedup,
+                        gap_note,
                     );
                 }
                 Err(e) => {
@@ -215,7 +227,8 @@ impl BatchReport {
             "program,k,strategy,seed,status,t_min,t_ave_analytic,t_ave_measured,\
              t_interleaved,t_max,single_copy,multi_copy,extra_copies,residual_conflicts,\
              values,static_words,words,cycles,reference_steps,speedup,output_len,\
-             output_hash,verify_checks,error",
+             output_hash,verify_checks,error,heuristic_residual,gap_lower,gap_upper,gap,\
+             gap_status,copies_upper,cert_clean",
         );
         if include_timings {
             for k in crate::metrics::StageKind::ALL {
@@ -268,6 +281,22 @@ impl BatchReport {
                     let _ = write!(s, ",,,,,,,,,,,,,,,,,,{}", csv_escape(&e.to_string()));
                 }
             }
+            match r.outcome.as_ref().ok().and_then(|o| o.gap.as_ref()) {
+                Some(g) => {
+                    let _ = write!(
+                        s,
+                        ",{},{},{},{},{},{},{}",
+                        g.heuristic_residual,
+                        g.lower,
+                        g.upper,
+                        g.gap(),
+                        g.status,
+                        g.copies_upper,
+                        g.cert_clean
+                    );
+                }
+                None => s.push_str(",,,,,,,"),
+            }
             if include_timings {
                 for k in crate::metrics::StageKind::ALL {
                     match r.metrics.stage(k) {
@@ -290,11 +319,23 @@ impl BatchReport {
         for r in &self.results {
             match &r.outcome {
                 Ok(o) => {
+                    let gap_note = match &o.gap {
+                        Some(g) => format!(
+                            " | gap: h={} bounds=[{},{}] status={} copies={} cert={}",
+                            g.heuristic_residual,
+                            g.lower,
+                            g.upper,
+                            g.status,
+                            g.copies_upper,
+                            if g.cert_clean { "clean" } else { "dirty" }
+                        ),
+                        None => String::new(),
+                    };
                     let _ = writeln!(
                         s,
                         "{:<10} k={} {:<5} | t_min={} t_ave={:.4} t_rand={} t_inter={} t_max={} \
                          | single={} multi={} extra={} residual={} \
-                         | values={} swords={} words={} cycles={} steps={} out={} hash={:016x}",
+                         | values={} swords={} words={} cycles={} steps={} out={} hash={:016x}{}",
                         r.spec.program,
                         r.spec.k,
                         r.spec.strategy.name(),
@@ -314,6 +355,7 @@ impl BatchReport {
                         o.reference_steps,
                         o.output_len,
                         o.output_hash,
+                        gap_note,
                     );
                 }
                 Err(e) => {
@@ -381,6 +423,22 @@ fn job_json(r: &JobResult, include_timings: bool) -> String {
                 o.output_hash,
                 o.verify.checks_run.len(),
             );
+            if let Some(g) = &o.gap {
+                let _ = write!(
+                    s,
+                    ",\"gap\":{{\"heuristic_residual\":{},\"lower\":{},\"upper\":{},\
+                     \"gap\":{},\"status\":\"{}\",\"copies_upper\":{},\
+                     \"nodes_expanded\":{},\"cert_clean\":{}}}",
+                    g.heuristic_residual,
+                    g.lower,
+                    g.upper,
+                    g.gap(),
+                    g.status,
+                    g.copies_upper,
+                    g.nodes_expanded,
+                    g.cert_clean
+                );
+            }
         }
         Err(e) => {
             let _ = write!(s, ",\"error\":\"{}\"", json_escape(&e.to_string()));

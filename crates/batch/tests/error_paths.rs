@@ -7,7 +7,7 @@
 //! real divergence and verifier failures have to be manufactured.
 
 use parmem_batch::{
-    run_batch, BatchOptions, ErrorPolicy, FaultInjection, JobError, JobSpec, StageKind,
+    run_batch, BatchOptions, ErrorPolicy, ExactConfig, FaultInjection, JobError, JobSpec, StageKind,
 };
 
 const GOOD: &str = "program good; var i, s: int;
@@ -20,11 +20,12 @@ fn good(n: usize) -> JobSpec {
 #[test]
 fn panicking_job_is_isolated_from_the_batch() {
     for stage in StageKind::ALL {
-        let specs = vec![
-            good(0),
-            good(1).with_fault(FaultInjection::PanicInStage(stage)),
-            good(2),
-        ];
+        // The exact-gap stage only exists on jobs that request it.
+        let mut faulty = good(1).with_fault(FaultInjection::PanicInStage(stage));
+        if stage == StageKind::ExactGap {
+            faulty = faulty.with_exact_gap(ExactConfig::default());
+        }
+        let specs = vec![good(0), faulty, good(2)];
         let report = run_batch(
             specs,
             &BatchOptions {

@@ -65,7 +65,10 @@ pub mod prelude {
     };
     pub use crate::coloring::ModuleChoice;
     pub use crate::graph::ConflictGraph;
-    pub use crate::strategies::{run_strategy, RegionizedTrace, Strategy};
+    pub use crate::strategies::{
+        exact_solver_installed, install_exact_solver, run_strategy, RegionizedTrace, Strategy,
+        StrategyInfo, STRATEGY_REGISTRY,
+    };
     pub use crate::types::{AccessTrace, ModuleId, ModuleSet, OperandSet, ValueId};
 }
 

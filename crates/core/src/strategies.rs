@@ -10,6 +10,7 @@
 //!   first group stay fixed for the second).
 
 use std::collections::HashSet;
+use std::sync::OnceLock;
 
 use crate::assignment::{assign_trace_into, AssignParams, Assignment, AssignmentReport};
 use crate::types::{AccessTrace, OperandSet, ValueId};
@@ -73,20 +74,119 @@ pub enum Strategy {
         /// Number of consecutive chunks the stream is split into.
         groups: usize,
     },
+    /// Exact branch-and-bound assignment (provided by `parmem-exact` via
+    /// [`install_exact_solver`]; falls back to STOR1 when uninstalled).
+    Exact,
 }
+
+/// One row of the strategy registry: everything a front end (CLI, batch,
+/// bench) needs to enumerate, parse, and describe a strategy. This table is
+/// the single source of truth — there are no hand-maintained `match` sites
+/// over strategy flags elsewhere.
+#[derive(Clone, Copy, Debug)]
+pub struct StrategyInfo {
+    /// The strategy this row describes.
+    pub strategy: Strategy,
+    /// Display name (`STOR1`/`STOR2`/`STOR3`/`EXACT`).
+    pub name: &'static str,
+    /// The `--stor` flag value that selects it (`1`/`2`/`3`/`exact`).
+    pub flag: &'static str,
+    /// One-line description for `--help` output.
+    pub description: &'static str,
+}
+
+/// The strategy registry, in canonical order. Paper heuristics first, then
+/// the exact solver.
+pub const STRATEGY_REGISTRY: &[StrategyInfo] = &[
+    StrategyInfo {
+        strategy: Strategy::Stor1,
+        name: "STOR1",
+        flag: "1",
+        description: "one conflict graph over the whole program",
+    },
+    StrategyInfo {
+        strategy: Strategy::Stor2,
+        name: "STOR2",
+        flag: "2",
+        description: "globals first, then per-region locals",
+    },
+    StrategyInfo {
+        strategy: Strategy::STOR3,
+        name: "STOR3",
+        flag: "3",
+        description: "instruction stream split into two groups",
+    },
+    StrategyInfo {
+        strategy: Strategy::Exact,
+        name: "EXACT",
+        flag: "exact",
+        description: "branch-and-bound exact assignment with certificates",
+    },
+];
 
 impl Strategy {
     /// The paper's STOR3 configuration (two instruction groups).
     pub const STOR3: Strategy = Strategy::Stor3 { groups: 2 };
 
-    /// Display name (`STOR1`/`STOR2`/`STOR3`).
+    /// Display name (`STOR1`/`STOR2`/`STOR3`/`EXACT`).
     pub fn name(&self) -> &'static str {
         match self {
             Strategy::Stor1 => "STOR1",
             Strategy::Stor2 => "STOR2",
             Strategy::Stor3 { .. } => "STOR3",
+            Strategy::Exact => "EXACT",
         }
     }
+
+    /// The registry row for this strategy.
+    pub fn info(&self) -> &'static StrategyInfo {
+        STRATEGY_REGISTRY
+            .iter()
+            .find(|i| i.name == self.name())
+            .expect("every strategy has a registry row")
+    }
+
+    /// Parse a `--stor` flag value (`1`, `2`, `3`, `exact`; names like
+    /// `STOR1`/`stor2`/`EXACT` also accepted).
+    pub fn parse(s: &str) -> Option<Strategy> {
+        STRATEGY_REGISTRY
+            .iter()
+            .find(|i| i.flag.eq_ignore_ascii_case(s) || i.name.eq_ignore_ascii_case(s))
+            .map(|i| i.strategy)
+    }
+
+    /// Every registered strategy, in canonical order.
+    pub fn all() -> impl Iterator<Item = Strategy> {
+        STRATEGY_REGISTRY.iter().map(|i| i.strategy)
+    }
+
+    /// The paper's three heuristics (what `--stor all` sweeps).
+    pub fn heuristics() -> impl Iterator<Item = Strategy> {
+        STRATEGY_REGISTRY
+            .iter()
+            .filter(|i| i.strategy != Strategy::Exact)
+            .map(|i| i.strategy)
+    }
+}
+
+/// The exact-solver entry point installed by `parmem-exact`: given the flat
+/// trace and the assignment parameters, place every distinct value
+/// (single-copy) into `Assignment`. Residual repair happens in
+/// [`run_strategy`]'s common epilogue.
+pub type ExactSolverFn = fn(&AccessTrace, &AssignParams, &mut Assignment);
+
+static EXACT_SOLVER: OnceLock<ExactSolverFn> = OnceLock::new();
+
+/// Install the exact solver used by [`Strategy::Exact`]. `parmem-exact`
+/// calls this from its `install()`; later calls are ignored (first wins).
+/// Returns `true` if this call installed the solver.
+pub fn install_exact_solver(f: ExactSolverFn) -> bool {
+    EXACT_SOLVER.set(f).is_ok()
+}
+
+/// Whether an exact solver has been installed.
+pub fn exact_solver_installed() -> bool {
+    EXACT_SOLVER.get().is_some()
 }
 
 /// Run one strategy over a regionized program. The returned report is always
@@ -131,6 +231,14 @@ pub fn run_strategy(
                 assign_trace_into(&strace, params, &mut a);
             }
         }
+        Strategy::Exact => match EXACT_SOLVER.get() {
+            Some(solve) => solve(&full, params, &mut a),
+            // Uninstalled (core used standalone): fall back to the STOR1
+            // heuristic so the variant still produces a valid assignment.
+            None => {
+                assign_trace_into(&full, params, &mut a);
+            }
+        },
     }
 
     // Re-evaluate against the full program. Staged strategies can leave
@@ -226,6 +334,34 @@ mod tests {
         assert_eq!(flat.instructions.len(), 4);
         assert_eq!(flat.instructions[0], ops(&[1, 2, 10]));
         assert_eq!(flat.instructions[3], ops(&[5, 6, 10]));
+    }
+
+    #[test]
+    fn registry_parses_flags_and_names() {
+        assert_eq!(Strategy::parse("1"), Some(Strategy::Stor1));
+        assert_eq!(Strategy::parse("STOR2"), Some(Strategy::Stor2));
+        assert_eq!(Strategy::parse("stor3"), Some(Strategy::STOR3));
+        assert_eq!(Strategy::parse("exact"), Some(Strategy::Exact));
+        assert_eq!(Strategy::parse("EXACT"), Some(Strategy::Exact));
+        assert_eq!(Strategy::parse("0"), None);
+        assert_eq!(Strategy::all().count(), 4);
+        assert_eq!(Strategy::heuristics().count(), 3);
+        assert!(Strategy::heuristics().all(|s| s != Strategy::Exact));
+        for info in STRATEGY_REGISTRY {
+            assert_eq!(info.strategy.name(), info.name);
+            assert_eq!(Strategy::parse(info.flag), Some(info.strategy));
+        }
+    }
+
+    #[test]
+    fn exact_without_installed_solver_falls_back_to_stor1() {
+        let rt = sample_program();
+        let params = AssignParams::default();
+        let (a, r) = run_strategy(&rt, Strategy::Exact, &params);
+        assert_eq!(r.residual_conflicts, 0, "{r:?}");
+        for v in rt.flat().distinct_values() {
+            assert!(a.is_placed(v), "{v} unplaced");
+        }
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! Branch-and-bound search for the minimum-residual single-copy assignment
+//! of one connected component.
+//!
+//! Vertices are branched in a static order (degree descending, id
+//! ascending); each node assigns the next vertex one module. Two prunes keep
+//! the tree small:
+//!
+//! * **cost bound** — the partial residual only grows, so any node whose
+//!   cost already reaches the incumbent is cut;
+//! * **symmetry breaking** — module names are interchangeable, so the next
+//!   vertex may only use modules `0 ..= used + 1` (the first vertex always
+//!   takes module 0, the second at most module 1, and so on), collapsing the
+//!   `k!` relabelings of every solution to one representative.
+//!
+//! The residual is maintained incrementally: each instruction carries the
+//! search depth at which it first became conflicting (or `-1`), so undoing a
+//! placement is a sweep over the vertex's instructions.
+
+use crate::instance::{Instance, NONE};
+
+/// Shared node/time budget across all components of one solve.
+pub(crate) struct Budget {
+    pub nodes_left: u64,
+    pub deadline: Option<std::time::Instant>,
+    pub exhausted: bool,
+    check: u32,
+}
+
+impl Budget {
+    pub fn new(budget_nodes: u64, budget_ms: u64) -> Budget {
+        Budget {
+            nodes_left: budget_nodes,
+            deadline: (budget_ms > 0)
+                .then(|| std::time::Instant::now() + std::time::Duration::from_millis(budget_ms)),
+            exhausted: false,
+            check: 0,
+        }
+    }
+
+    /// Spend one node; returns false when the budget is gone.
+    pub fn spend(&mut self) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        if self.nodes_left == 0 {
+            self.exhausted = true;
+            return false;
+        }
+        self.nodes_left -= 1;
+        self.check += 1;
+        if self.check >= 4096 {
+            self.check = 0;
+            if let Some(d) = self.deadline {
+                if std::time::Instant::now() >= d {
+                    self.exhausted = true;
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// What one component's search produced.
+pub(crate) struct ComponentSearch {
+    /// Best residual found for this component.
+    pub best: usize,
+    /// Whether the search ran to completion (best == component optimum).
+    pub optimal: bool,
+    /// Colors of the component's vertices in `order` order.
+    pub best_colors: Vec<u8>,
+    /// Static branch order (degree desc, id asc).
+    pub order: Vec<u32>,
+    pub nodes: u64,
+    pub tightened: u64,
+}
+
+pub(crate) struct Searcher<'a> {
+    inst: &'a Instance,
+    order: Vec<u32>,
+    /// Vertex -> color, NONE when unassigned (global index space).
+    color: Vec<u8>,
+    /// Instruction -> depth that made it conflict, -1 when conflict-free.
+    bad_depth: Vec<i32>,
+    cost: usize,
+    best: usize,
+    best_colors: Vec<u8>,
+    nodes: u64,
+    tightened: u64,
+    /// When collecting equal-cost optima (copy-minimization phase):
+    collect: Vec<Vec<u8>>,
+    collect_cap: usize,
+}
+
+impl<'a> Searcher<'a> {
+    /// `seed[v]` is the seed module of global vertex `v` (only the entries
+    /// for `comp`'s vertices are read); its residual `seed_cost` seeds the
+    /// incumbent.
+    pub fn new(inst: &'a Instance, comp: &[u32], seed: &[u8], seed_cost: usize) -> Self {
+        let mut order: Vec<u32> = comp.to_vec();
+        order.sort_by_key(|&v| (std::cmp::Reverse(inst.graph.degree(v)), v));
+        let best_colors = order.iter().map(|&v| seed[v as usize]).collect();
+        Searcher {
+            inst,
+            order,
+            color: vec![NONE; inst.n],
+            bad_depth: vec![-1; inst.insts.len()],
+            cost: 0,
+            best: seed_cost,
+            best_colors,
+            nodes: 0,
+            tightened: 0,
+            collect: Vec::new(),
+            collect_cap: 0,
+        }
+    }
+
+    fn place(&mut self, v: u32, m: u8, depth: i32) {
+        self.color[v as usize] = m;
+        for &i in &self.inst.vert_insts[v as usize] {
+            if self.bad_depth[i as usize] >= 0 {
+                continue;
+            }
+            let conflicts = self.inst.insts[i as usize]
+                .iter()
+                .any(|&u| u != v && self.color[u as usize] == m);
+            if conflicts {
+                self.bad_depth[i as usize] = depth;
+                self.cost += 1;
+            }
+        }
+    }
+
+    fn unplace(&mut self, v: u32, depth: i32) {
+        self.color[v as usize] = NONE;
+        for &i in &self.inst.vert_insts[v as usize] {
+            if self.bad_depth[i as usize] == depth {
+                self.bad_depth[i as usize] = -1;
+                self.cost -= 1;
+            }
+        }
+    }
+
+    /// Phase 1: prove the component optimum. Returns true when the search
+    /// completed (no budget cut anywhere in the tree).
+    fn dfs(&mut self, depth: usize, used: usize, budget: &mut Budget) -> bool {
+        if depth == self.order.len() {
+            if self.cost < self.best {
+                self.best = self.cost;
+                self.best_colors = self.order.iter().map(|&v| self.color[v as usize]).collect();
+                self.tightened += 1;
+            }
+            return true;
+        }
+        if self.cost >= self.best {
+            return true; // cut: nothing better below
+        }
+        let v = self.order[depth];
+        let limit = used.min(self.inst.k - 1);
+        let mut complete = true;
+        for m in 0..=limit {
+            if !budget.spend() {
+                return false;
+            }
+            self.nodes += 1;
+            self.place(v, m as u8, depth as i32);
+            let next_used = used.max(m + 1);
+            if !self.dfs(depth + 1, next_used, budget) {
+                complete = false;
+            }
+            self.unplace(v, depth as i32);
+            if budget.exhausted {
+                return false;
+            }
+        }
+        complete
+    }
+
+    /// Phase 2: enumerate up to `cap` distinct colorings achieving exactly
+    /// `self.best` (called only after phase 1 proved the optimum).
+    fn dfs_collect(&mut self, depth: usize, used: usize, budget: &mut Budget) {
+        if self.collect.len() >= self.collect_cap {
+            return;
+        }
+        if depth == self.order.len() {
+            if self.cost == self.best {
+                self.collect
+                    .push(self.order.iter().map(|&v| self.color[v as usize]).collect());
+            }
+            return;
+        }
+        if self.cost > self.best {
+            return;
+        }
+        let v = self.order[depth];
+        let limit = used.min(self.inst.k - 1);
+        for m in 0..=limit {
+            if !budget.spend() {
+                return;
+            }
+            self.nodes += 1;
+            self.place(v, m as u8, depth as i32);
+            self.dfs_collect(depth + 1, used.max(m + 1), budget);
+            self.unplace(v, depth as i32);
+            if budget.exhausted || self.collect.len() >= self.collect_cap {
+                return;
+            }
+        }
+    }
+
+    /// Run phase 1 and return the component result.
+    pub fn run(mut self, budget: &mut Budget) -> ComponentSearch {
+        let complete = self.dfs(0, 0, budget);
+        ComponentSearch {
+            best: self.best,
+            optimal: complete,
+            best_colors: self.best_colors,
+            order: self.order,
+            nodes: self.nodes,
+            tightened: self.tightened,
+        }
+    }
+
+    /// Run phase 2 (equal-cost enumeration) and return up to `cap`
+    /// colorings in `order` order, each achieving `optimum`.
+    pub fn collect_optima(
+        mut self,
+        optimum: usize,
+        cap: usize,
+        budget: &mut Budget,
+    ) -> (Vec<Vec<u8>>, u64) {
+        self.best = optimum;
+        self.collect_cap = cap;
+        self.dfs_collect(0, 0, budget);
+        (self.collect, self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmem_core::types::AccessTrace;
+
+    fn search(trace: &AccessTrace, nodes: u64) -> ComponentSearch {
+        let inst = Instance::build(trace);
+        let comp: Vec<u32> = (0..inst.n as u32).collect();
+        // Seed: everything in module 0 (worst case).
+        let seed = vec![0u8; inst.n];
+        let seed_cost = inst.insts.len();
+        let mut budget = Budget::new(nodes, 0);
+        Searcher::new(&inst, &comp, &seed, seed_cost).run(&mut budget)
+    }
+
+    #[test]
+    fn triangle_on_two_modules_has_residual_one() {
+        let trace = AccessTrace::from_lists(2, &[&[0, 1], &[1, 2], &[0, 2]]);
+        let r = search(&trace, 100_000);
+        assert!(r.optimal);
+        assert_eq!(r.best, 1);
+    }
+
+    #[test]
+    fn bipartite_on_two_modules_is_conflict_free() {
+        let trace = AccessTrace::from_lists(2, &[&[0, 1], &[1, 2], &[2, 3], &[3, 0]]);
+        let r = search(&trace, 100_000);
+        assert!(r.optimal);
+        assert_eq!(r.best, 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let lists: Vec<Vec<u32>> = (0..14u32)
+            .flat_map(|i| (i + 1..14).map(move |j| vec![i, j]))
+            .collect();
+        let refs: Vec<&[u32]> = lists.iter().map(|l| l.as_slice()).collect();
+        let trace = AccessTrace::from_lists(4, &refs);
+        let r = search(&trace, 3);
+        assert!(!r.optimal);
+    }
+
+    #[test]
+    fn collect_finds_all_two_colorings_of_an_edge() {
+        let trace = AccessTrace::from_lists(2, &[&[0, 1]]);
+        let inst = Instance::build(&trace);
+        let comp = [0u32, 1];
+        let mut budget = Budget::new(1000, 0);
+        let s = Searcher::new(&inst, &comp, &[0, 1], 0);
+        let (optima, _) = s.collect_optima(0, 8, &mut budget);
+        // Symmetry breaking leaves exactly one representative: v0=0, v1=1.
+        assert_eq!(optima.len(), 1);
+        assert_eq!(optima[0], vec![0, 1]);
+    }
+}

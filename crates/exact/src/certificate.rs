@@ -1,0 +1,175 @@
+//! Machine-checkable optimality certificates.
+//!
+//! A [`Certificate`] records what the solver *proved* about the minimum
+//! residual-conflict count of any single-copy k-module assignment, together
+//! with the evidence a third party needs to re-check the claim without
+//! re-running the search:
+//!
+//! * the **witness** — a complete single-copy assignment whose residual is
+//!   the claimed `upper` bound (recountable from the trace);
+//! * the **clique evidence** — vertex-disjoint cliques of size `> k` with
+//!   pairwise-disjoint instruction supports; each valid clique forces at
+//!   least one distinct conflicting instruction in *every* single-copy
+//!   assignment, so their count is a checkable lower bound
+//!   (`evidence_lower`);
+//! * search counters and the budget flag, so a reader can tell a closed
+//!   proof from an anytime result.
+//!
+//! `lower` may exceed `evidence_lower` when the branch-and-bound search ran
+//! to completion (a search proof is exact but not cheaply re-checkable);
+//! `evidence_lower <= lower <= upper` always holds, and `parmem-verify`
+//! re-validates all of it as PM201–PM206 diagnostics.
+
+use parmem_core::types::{ModuleId, ValueId};
+
+/// What the certificate proves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CertStatus {
+    /// `lower == upper`: the witness is optimal.
+    Optimal,
+    /// `lower >= 1` but the gap is open: no conflict-free single-copy
+    /// assignment exists at this `k`, and the witness is the best found.
+    InfeasibleAtK,
+    /// `lower == 0 < upper`: budget exhausted with the gap open.
+    Bounded,
+}
+
+impl CertStatus {
+    /// Stable lower-case name used in JSON and text output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CertStatus::Optimal => "optimal",
+            CertStatus::InfeasibleAtK => "infeasible-at-k",
+            CertStatus::Bounded => "bounded",
+        }
+    }
+
+    /// The status implied by a `[lower, upper]` bound pair.
+    pub fn classify(lower: usize, upper: usize) -> CertStatus {
+        if lower == upper {
+            CertStatus::Optimal
+        } else if lower >= 1 {
+            CertStatus::InfeasibleAtK
+        } else {
+            CertStatus::Bounded
+        }
+    }
+}
+
+/// A certified bound on the minimum residual-conflict count over all
+/// single-copy assignments of a trace to `k` modules.
+#[derive(Clone, Debug)]
+pub struct Certificate {
+    /// Number of memory modules the bound is relative to.
+    pub k: usize,
+    /// What the bounds prove (see [`CertStatus::classify`]).
+    pub status: CertStatus,
+    /// Certified lower bound on the minimum residual.
+    pub lower: usize,
+    /// The part of `lower` backed by clique evidence (re-checkable without
+    /// replaying the search); `evidence_lower <= lower`.
+    pub evidence_lower: usize,
+    /// Residual-conflict count of the witness (best assignment found).
+    pub upper: usize,
+    /// Extra copies the duplication repair adds on top of the witness to
+    /// reach a conflict-free assignment (0 when `upper == 0`).
+    pub copies_upper: usize,
+    /// The witness: one module per distinct trace value, sorted by value.
+    pub witness: Vec<(ValueId, ModuleId)>,
+    /// Clique evidence: vertex-disjoint cliques of size `> k` with
+    /// pairwise-disjoint instruction supports.
+    pub cliques: Vec<Vec<ValueId>>,
+    /// Branch-and-bound nodes expanded before returning.
+    pub nodes_expanded: u64,
+    /// How many times the incumbent improved (seed + search + portfolio).
+    pub bounds_tightened: u64,
+    /// Iterated-local-search perturbation restarts performed.
+    pub ils_restarts: u64,
+    /// Whether any component's search stopped on the node/time budget.
+    pub budget_exhausted: bool,
+}
+
+impl Certificate {
+    /// Whether the certificate proves no conflict-free single-copy
+    /// assignment exists at `k`.
+    pub fn proves_infeasible(&self) -> bool {
+        self.lower >= 1
+    }
+
+    /// Deterministic JSON encoding (no external serializer in the
+    /// workspace; field order is fixed).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + self.witness.len() * 8);
+        s.push_str("{\"schema\":\"parmem-cert/v1\"");
+        s.push_str(&format!(",\"k\":{}", self.k));
+        s.push_str(&format!(",\"status\":\"{}\"", self.status.as_str()));
+        s.push_str(&format!(",\"lower\":{}", self.lower));
+        s.push_str(&format!(",\"evidence_lower\":{}", self.evidence_lower));
+        s.push_str(&format!(",\"upper\":{}", self.upper));
+        s.push_str(&format!(",\"copies_upper\":{}", self.copies_upper));
+        s.push_str(&format!(",\"nodes_expanded\":{}", self.nodes_expanded));
+        s.push_str(&format!(",\"bounds_tightened\":{}", self.bounds_tightened));
+        s.push_str(&format!(",\"ils_restarts\":{}", self.ils_restarts));
+        s.push_str(&format!(",\"budget_exhausted\":{}", self.budget_exhausted));
+        s.push_str(",\"witness\":[");
+        for (i, (v, m)) in self.witness.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("[{},{}]", v.0, m.0));
+        }
+        s.push_str("],\"cliques\":[");
+        for (i, clique) in self.cliques.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('[');
+            for (j, v) in clique.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&v.0.to_string());
+            }
+            s.push(']');
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_matches_doc() {
+        assert_eq!(CertStatus::classify(0, 0), CertStatus::Optimal);
+        assert_eq!(CertStatus::classify(2, 2), CertStatus::Optimal);
+        assert_eq!(CertStatus::classify(1, 3), CertStatus::InfeasibleAtK);
+        assert_eq!(CertStatus::classify(0, 3), CertStatus::Bounded);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let c = Certificate {
+            k: 2,
+            status: CertStatus::Optimal,
+            lower: 1,
+            evidence_lower: 1,
+            upper: 1,
+            copies_upper: 1,
+            witness: vec![(ValueId(0), ModuleId(0)), (ValueId(1), ModuleId(1))],
+            cliques: vec![vec![ValueId(0), ValueId(1), ValueId(2)]],
+            nodes_expanded: 7,
+            bounds_tightened: 1,
+            ils_restarts: 0,
+            budget_exhausted: false,
+        };
+        let j = c.to_json();
+        assert!(j.starts_with("{\"schema\":\"parmem-cert/v1\""));
+        assert!(j.contains("\"status\":\"optimal\""));
+        assert!(j.contains("\"witness\":[[0,0],[1,1]]"));
+        assert!(j.contains("\"cliques\":[[0,1,2]]"));
+        assert!(j.ends_with('}'));
+    }
+}

@@ -1,0 +1,75 @@
+//! Dense problem representation shared by the solver passes.
+//!
+//! The access-conflict graph already gives every distinct trace value a
+//! dense vertex id (sorted by [`ValueId`]); this module adds the instruction
+//! view the exact objective needs: which *multi-operand* instructions exist
+//! (only those can conflict under a single-copy assignment) and which of
+//! them each vertex participates in.
+
+use parmem_core::graph::ConflictGraph;
+use parmem_core::types::AccessTrace;
+
+/// Sentinel for "vertex not yet colored".
+pub(crate) const NONE: u8 = u8::MAX;
+
+pub(crate) struct Instance {
+    pub graph: ConflictGraph,
+    /// Number of vertices (distinct trace values).
+    pub n: usize,
+    /// Number of memory modules.
+    pub k: usize,
+    /// Multi-operand instructions as dense vertex lists, in program order.
+    pub insts: Vec<Vec<u32>>,
+    /// For each vertex, the indices into `insts` it appears in.
+    pub vert_insts: Vec<Vec<u32>>,
+}
+
+impl Instance {
+    pub fn build(trace: &AccessTrace) -> Instance {
+        let graph = ConflictGraph::build(trace);
+        let n = graph.len();
+        let k = trace.modules;
+        let mut insts = Vec::new();
+        for op in &trace.instructions {
+            if op.len() < 2 {
+                continue;
+            }
+            let vs: Vec<u32> = op
+                .iter()
+                .map(|v| graph.vertex_of(v).expect("operand has a vertex"))
+                .collect();
+            insts.push(vs);
+        }
+        let mut vert_insts = vec![Vec::new(); n];
+        for (i, vs) in insts.iter().enumerate() {
+            for &v in vs {
+                vert_insts[v as usize].push(i as u32);
+            }
+        }
+        Instance {
+            graph,
+            n,
+            k,
+            insts,
+            vert_insts,
+        }
+    }
+
+    /// Residual of a complete coloring: the number of multi-operand
+    /// instructions with two operands in the same module.
+    pub fn residual_of(&self, colors: &[u8]) -> usize {
+        self.insts
+            .iter()
+            .filter(|vs| {
+                for i in 0..vs.len() {
+                    for j in (i + 1)..vs.len() {
+                        if colors[vs[i] as usize] == colors[vs[j] as usize] {
+                            return true;
+                        }
+                    }
+                }
+                false
+            })
+            .count()
+    }
+}

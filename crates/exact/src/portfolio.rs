@@ -1,0 +1,293 @@
+//! Anytime portfolio: DSATUR greedy seed + iterated local search.
+//!
+//! DSATUR always runs first and seeds the branch-and-bound incumbent. When
+//! the exact budget is exhausted with the gap still open, the iterated
+//! local search tries to pull the *upper* bound down: first-improvement
+//! descent over the vertices of conflicting instructions, with random
+//! restarts (perturbation of a few conflicted vertices) driven by a
+//! deterministic seeded [`ChaCha8Rng`], so the anytime result is
+//! reproducible run-to-run.
+
+use crate::instance::Instance;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Greedy DSATUR-style seed for one component: color `comp`'s vertices into
+/// `colors` (a global vertex→module map) and return the number of
+/// conflicting instructions among `local_insts`.
+pub(crate) fn dsatur_seed(
+    inst: &Instance,
+    comp: &[u32],
+    local_insts: &[u32],
+    colors: &mut [u8],
+) -> usize {
+    let k = inst.k;
+    let mut uncolored: Vec<u32> = comp.to_vec();
+    // Saturation: set of neighbor colors (k <= 64 fits a u64 mask).
+    let mut sat = vec![0u64; inst.n];
+
+    while !uncolored.is_empty() {
+        let (pos, &v) = uncolored
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &v)| {
+                (
+                    sat[v as usize].count_ones(),
+                    inst.graph.degree(v),
+                    std::cmp::Reverse(v),
+                )
+            })
+            .expect("uncolored non-empty");
+        uncolored.swap_remove(pos);
+
+        // First color not in the neighborhood, else the color creating the
+        // fewest newly conflicting instructions.
+        let free = (0..k).find(|&m| sat[v as usize] & (1u64 << m) == 0);
+        let m = match free {
+            Some(m) => m,
+            None => (0..k)
+                .min_by_key(|&m| {
+                    let newly_bad = inst.vert_insts[v as usize]
+                        .iter()
+                        .filter(|&&i| {
+                            let ops = &inst.insts[i as usize];
+                            let already = pairs_conflicting(ops, colors, v) > 0;
+                            !already && ops.iter().any(|&u| u != v && colors[u as usize] == m as u8)
+                        })
+                        .count();
+                    (newly_bad, m)
+                })
+                .expect("k >= 1"),
+        };
+        colors[v as usize] = m as u8;
+        for &u in inst.graph.neighbors(v) {
+            sat[u as usize] |= 1u64 << m;
+        }
+    }
+
+    local_insts
+        .iter()
+        .filter(|&&i| is_bad(&inst.insts[i as usize], colors))
+        .count()
+}
+
+/// Conflicting pairs among the *colored* operands of `ops`, ignoring `skip`.
+fn pairs_conflicting(ops: &[u32], colors: &[u8], skip: u32) -> usize {
+    let mut cnt = 0;
+    for i in 0..ops.len() {
+        if ops[i] == skip || colors[ops[i] as usize] == crate::instance::NONE {
+            continue;
+        }
+        for j in (i + 1)..ops.len() {
+            if ops[j] == skip || colors[ops[j] as usize] == crate::instance::NONE {
+                continue;
+            }
+            if colors[ops[i] as usize] == colors[ops[j] as usize] {
+                cnt += 1;
+            }
+        }
+    }
+    cnt
+}
+
+fn is_bad(ops: &[u32], colors: &[u8]) -> bool {
+    for i in 0..ops.len() {
+        for j in (i + 1)..ops.len() {
+            if colors[ops[i] as usize] == colors[ops[j] as usize] {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Count of `ops` members (other than `v`) currently colored `m`.
+fn count_color(ops: &[u32], colors: &[u8], v: u32, m: u8) -> usize {
+    ops.iter()
+        .filter(|&&u| u != v && colors[u as usize] == m)
+        .count()
+}
+
+/// Iterated local search over one component. `colors` holds the incumbent
+/// on entry and the best coloring found on exit. Returns
+/// `(best_cost, restarts)`; stops early when `lower` is reached.
+pub(crate) fn ils_improve(
+    inst: &Instance,
+    comp: &[u32],
+    local_insts: &[u32],
+    colors: &mut [u8],
+    incumbent_cost: usize,
+    lower: usize,
+    seed: u64,
+) -> (usize, u64) {
+    let k = inst.k as u8;
+    if k <= 1 || incumbent_cost <= lower {
+        return (incumbent_cost, 0);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut cur: Vec<u8> = colors.to_vec();
+    // Conflicting-pair count per instruction (global index space).
+    let mut pair_cnt = vec![0usize; inst.insts.len()];
+    let mut cur_cost = 0usize;
+    for &i in local_insts {
+        let ops = &inst.insts[i as usize];
+        let mut c = 0;
+        for a in 0..ops.len() {
+            for b in (a + 1)..ops.len() {
+                if cur[ops[a] as usize] == cur[ops[b] as usize] {
+                    c += 1;
+                }
+            }
+        }
+        pair_cnt[i as usize] = c;
+        if c > 0 {
+            cur_cost += 1;
+        }
+    }
+
+    let mut best_cost = cur_cost.min(incumbent_cost);
+    let mut restarts = 0u64;
+    let mut evals = 0usize;
+    let max_evals = 50_000 + 500 * comp.len();
+    let max_restarts = 16u64;
+
+    loop {
+        // First-improvement descent over vertices of conflicting words.
+        let mut improved = true;
+        while improved && evals < max_evals {
+            improved = false;
+            for &i in local_insts {
+                if pair_cnt[i as usize] == 0 {
+                    continue;
+                }
+                let ops: Vec<u32> = inst.insts[i as usize].clone();
+                for &v in &ops {
+                    let old_m = cur[v as usize];
+                    for m in 0..k {
+                        if m == old_m {
+                            continue;
+                        }
+                        evals += 1;
+                        // Bad-instruction delta of moving v: old_m -> m.
+                        let mut delta = 0isize;
+                        for &vi in &inst.vert_insts[v as usize] {
+                            let vops = &inst.insts[vi as usize];
+                            let old_c = pair_cnt[vi as usize];
+                            let new_c = old_c - count_color(vops, &cur, v, old_m)
+                                + count_color(vops, &cur, v, m);
+                            delta += (new_c > 0) as isize - (old_c > 0) as isize;
+                        }
+                        if delta < 0 {
+                            for &vi in &inst.vert_insts[v as usize] {
+                                let vops = &inst.insts[vi as usize];
+                                pair_cnt[vi as usize] = pair_cnt[vi as usize]
+                                    - count_color(vops, &cur, v, old_m)
+                                    + count_color(vops, &cur, v, m);
+                            }
+                            cur[v as usize] = m;
+                            cur_cost = (cur_cost as isize + delta) as usize;
+                            improved = true;
+                            break;
+                        }
+                    }
+                    if improved {
+                        break;
+                    }
+                }
+                if improved {
+                    break;
+                }
+            }
+        }
+
+        if cur_cost < best_cost {
+            best_cost = cur_cost;
+            for &v in comp {
+                colors[v as usize] = cur[v as usize];
+            }
+        }
+        if best_cost <= lower || restarts >= max_restarts || evals >= max_evals {
+            break;
+        }
+
+        // Perturb: recolor a few vertices of conflicting words at random.
+        restarts += 1;
+        let bad: Vec<u32> = local_insts
+            .iter()
+            .copied()
+            .filter(|&i| pair_cnt[i as usize] > 0)
+            .collect();
+        if bad.is_empty() {
+            break;
+        }
+        for _ in 0..3 {
+            let i = bad[rng.gen_range(0..bad.len())];
+            let ops = &inst.insts[i as usize];
+            let v = ops[rng.gen_range(0..ops.len())];
+            let m: u8 = rng.gen_range(0..k as usize) as u8;
+            let old_m = cur[v as usize];
+            if m == old_m {
+                continue;
+            }
+            let mut delta = 0isize;
+            for &vi in &inst.vert_insts[v as usize] {
+                let vops = &inst.insts[vi as usize];
+                let old_c = pair_cnt[vi as usize];
+                let new_c =
+                    old_c - count_color(vops, &cur, v, old_m) + count_color(vops, &cur, v, m);
+                pair_cnt[vi as usize] = new_c;
+                delta += (new_c > 0) as isize - (old_c > 0) as isize;
+            }
+            cur[v as usize] = m;
+            cur_cost = (cur_cost as isize + delta) as usize;
+        }
+    }
+    (best_cost, restarts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use parmem_core::types::AccessTrace;
+
+    #[test]
+    fn dsatur_two_colors_a_path() {
+        let trace = AccessTrace::from_lists(2, &[&[0, 1], &[1, 2]]);
+        let inst = Instance::build(&trace);
+        let comp: Vec<u32> = (0..3).collect();
+        let local: Vec<u32> = (0..inst.insts.len() as u32).collect();
+        let mut colors = vec![crate::instance::NONE; inst.n];
+        let cost = dsatur_seed(&inst, &comp, &local, &mut colors);
+        assert_eq!(cost, 0);
+        assert_ne!(colors[0], colors[1]);
+        assert_ne!(colors[1], colors[2]);
+    }
+
+    #[test]
+    fn ils_repairs_a_bad_seed() {
+        // 4-cycle, 2 modules: conflict-free exists; start from all-zeros.
+        let trace = AccessTrace::from_lists(2, &[&[0, 1], &[1, 2], &[2, 3], &[3, 0]]);
+        let inst = Instance::build(&trace);
+        let comp: Vec<u32> = (0..4).collect();
+        let local: Vec<u32> = (0..inst.insts.len() as u32).collect();
+        let mut colors = vec![0u8; inst.n];
+        let (cost, _) = ils_improve(&inst, &comp, &local, &mut colors, 4, 0, 42);
+        assert_eq!(cost, 0);
+        assert_eq!(inst.residual_of(&colors), 0);
+    }
+
+    #[test]
+    fn ils_is_deterministic_for_a_fixed_seed() {
+        let trace = AccessTrace::from_lists(2, &[&[0, 1, 2], &[2, 3, 4], &[4, 5, 0], &[1, 3, 5]]);
+        let inst = Instance::build(&trace);
+        let comp: Vec<u32> = (0..6).collect();
+        let local: Vec<u32> = (0..inst.insts.len() as u32).collect();
+        let mut a = vec![0u8; inst.n];
+        let mut b = vec![0u8; inst.n];
+        let ra = ils_improve(&inst, &comp, &local, &mut a, 4, 0, 7);
+        let rb = ils_improve(&inst, &comp, &local, &mut b, 4, 0, 7);
+        assert_eq!(ra, rb);
+        assert_eq!(a, b);
+    }
+}

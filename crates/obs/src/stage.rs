@@ -30,13 +30,16 @@ pub enum StageKind {
     Reference,
     /// RLIW simulation under the four array policies.
     Simulate,
+    /// Exact-solver gap measurement (optional; only jobs with an exact-gap
+    /// config record it).
+    ExactGap,
 }
 
 impl StageKind {
     /// All stages, in pipeline order. Reports that aggregate per-stage rows
     /// iterate this array so their row order is the pipeline order, never a
     /// hash-map iteration order.
-    pub const ALL: [StageKind; 7] = [
+    pub const ALL: [StageKind; 8] = [
         StageKind::Frontend,
         StageKind::Optimize,
         StageKind::Schedule,
@@ -44,6 +47,7 @@ impl StageKind {
         StageKind::Verify,
         StageKind::Reference,
         StageKind::Simulate,
+        StageKind::ExactGap,
     ];
 
     /// Stable lowercase name (used as JSON/CSV keys and span names).
@@ -56,6 +60,7 @@ impl StageKind {
             StageKind::Verify => "verify",
             StageKind::Reference => "reference",
             StageKind::Simulate => "simulate",
+            StageKind::ExactGap => "exact",
         }
     }
 
@@ -69,6 +74,7 @@ impl StageKind {
             StageKind::Verify => "stage.verify",
             StageKind::Reference => "stage.reference",
             StageKind::Simulate => "stage.simulate",
+            StageKind::ExactGap => "stage.exact",
         }
     }
 }
@@ -238,7 +244,8 @@ mod tests {
                 "assign",
                 "verify",
                 "reference",
-                "simulate"
+                "simulate",
+                "exact"
             ]
         );
         for k in StageKind::ALL {

@@ -3,7 +3,8 @@
 //! Every invariant the verifier checks has a fixed `PMxxx` code so tests,
 //! scripts, and CI can match on failures without parsing prose. Codes in the
 //! `PM0xx` range concern the module assignment; `PM1xx` codes concern the
-//! renaming/dataflow invariants of the compiled program.
+//! renaming/dataflow invariants of the compiled program; `PM2xx` codes
+//! concern exact-solver optimality certificates.
 
 use std::fmt;
 
@@ -45,6 +46,24 @@ pub enum Code {
     /// A long word writes the same data value twice (nondeterministic
     /// commit).
     PM104,
+    /// An exact certificate's witness is malformed: a trace value is
+    /// unplaced, placed more than once, or placed outside `0..k`.
+    PM201,
+    /// The witness's recounted residual disagrees with the certificate's
+    /// claimed upper bound.
+    PM202,
+    /// A clique in the certificate's evidence is invalid: too small, not
+    /// pairwise co-occurring, vertex-overlapping, or support-overlapping.
+    PM203,
+    /// The certificate's bounds/status are inconsistent (`lower > upper`,
+    /// or the status does not match the bounds).
+    PM204,
+    /// The certificate claims more evidence-backed lower bound than its
+    /// clique evidence supports.
+    PM205,
+    /// A heuristic assignment's residual is below the certified lower bound
+    /// (impossible for a valid certificate: negative gap).
+    PM206,
 }
 
 impl Code {
@@ -64,6 +83,12 @@ impl Code {
             Code::PM102 => "PM102",
             Code::PM103 => "PM103",
             Code::PM104 => "PM104",
+            Code::PM201 => "PM201",
+            Code::PM202 => "PM202",
+            Code::PM203 => "PM203",
+            Code::PM204 => "PM204",
+            Code::PM205 => "PM205",
+            Code::PM206 => "PM206",
         }
     }
 
@@ -83,6 +108,12 @@ impl Code {
             Code::PM102 => "one web renames multiple variables",
             Code::PM103 => "read of a possibly-undefined data value",
             Code::PM104 => "data value written twice in one long word",
+            Code::PM201 => "certificate witness is malformed",
+            Code::PM202 => "witness residual disagrees with claimed upper bound",
+            Code::PM203 => "certificate clique evidence is invalid",
+            Code::PM204 => "certificate bounds or status inconsistent",
+            Code::PM205 => "claimed evidence lower bound exceeds valid evidence",
+            Code::PM206 => "heuristic residual below certified lower bound",
         }
     }
 }

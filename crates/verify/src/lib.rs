@@ -30,13 +30,22 @@
 //! | PM102 | no web renames two program variables |
 //! | PM103 | every read is defined on all paths from entry |
 //! | PM104 | no long word writes the same data value twice |
+//! | PM201 | an exact certificate's witness places every value once, in range |
+//! | PM202 | the witness residual recounts to the claimed upper bound |
+//! | PM203 | the clique evidence is valid, vertex- and support-disjoint |
+//! | PM204 | certificate bounds and status are mutually consistent |
+//! | PM205 | the claimed evidence lower bound is backed by valid cliques |
+//! | PM206 | no heuristic residual undercuts the certified lower bound |
 //!
 //! Entry points: [`verify_trace`] for trace+assignment pairs (what
 //! `parmem verify` uses on trace files and what the property tests drive),
-//! [`verify_scheduled`] for a scheduled program, and [`verify_all`] for the
-//! whole compiled pipeline including the renaming proof over the TAC.
+//! [`verify_scheduled`] for a scheduled program, [`verify_all`] for the
+//! whole compiled pipeline including the renaming proof over the TAC, and
+//! [`verify_certificate`] for exact-solver certificates (what
+//! `parmem verify --exact` uses).
 
 pub mod assignment_check;
+pub mod certificate_check;
 pub mod dataflow;
 pub mod diag;
 pub mod differential;
@@ -103,6 +112,25 @@ pub fn verify_scheduled(
     family(&mut out, "differential", "verify.differential", || {
         differential::check_differential(sched, assignment)
     });
+    out
+}
+
+/// Verify an exact-solver certificate against its trace (PM201–PM206).
+/// `heuristic_residual`, when given, enables the PM206 negative-gap check.
+pub fn verify_certificate(
+    trace: &AccessTrace,
+    cert: &parmem_exact::Certificate,
+    heuristic_residual: Option<usize>,
+) -> VerifyReport {
+    let mut out = VerifyReport::default();
+    out.checks_run.push("certificate");
+    let mut sp = parmem_obs::span("verify.certificate");
+    out.diagnostics.extend(certificate_check::check_certificate(
+        trace,
+        cert,
+        heuristic_residual,
+    ));
+    sp.attr("diags", out.diagnostics.len());
     out
 }
 

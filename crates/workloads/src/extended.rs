@@ -123,6 +123,84 @@ pub fn hist_expected() -> Vec<i64> {
     bins.to_vec()
 }
 
+/// LIVERMORE — Livermore loop 1 (hydro fragment):
+/// `x[i] = q + y[i]*(r*z[i+10] + t*z[i+11])`.
+pub const LIVERMORE: &str = r#"
+program livermore;
+var
+  x: array[64] of real;
+  y: array[64] of real;
+  z: array[80] of real;
+  n, i: int;
+  q, r, t: real;
+begin
+  n := 64;
+  q := 0.5;
+  r := 2.0;
+  t := 0.25;
+  for i := 0 to n + 10 do
+    z[i] := itor(i) * 0.1;
+  for i := 0 to n - 1 do
+    y[i] := sin(itor(i) * 0.3);
+  for i := 0 to n - 1 do
+    x[i] := q + y[i] * (r * z[i + 10] + t * z[i + 11]);
+  for i := 0 to n - 1 do print x[i];
+end.
+"#;
+
+/// Rust reference for LIVERMORE.
+pub fn livermore_expected() -> Vec<f64> {
+    let n = 64usize;
+    let (q, r, t) = (0.5f64, 2.0f64, 0.25f64);
+    let z: Vec<f64> = (0..=n + 10).map(|i| i as f64 * 0.1).collect();
+    let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+    (0..n)
+        .map(|i| q + y[i] * (r * z[i + 10] + t * z[i + 11]))
+        .collect()
+}
+
+/// SYNTH — synthetic conflict-heavy scalar kernel: four wide products over
+/// eight live scalars per iteration, so long words co-fetch many distinct
+/// values and the conflict graph is dense.
+pub const SYNTH: &str = r#"
+program synth;
+var
+  a, b, c, d, e, f, g, h, i, s, t, u, v, w: int;
+begin
+  a := 3; b := 5; c := 7; d := 11;
+  e := 13; f := 17; g := 19; h := 23;
+  s := 0; t := 0; u := 0; v := 0; w := 0;
+  for i := 1 to 12 do begin
+    t := a * b + c * d;
+    u := e * f + g * h;
+    v := a * e + b * f;
+    w := c * g + d * h;
+    s := s + t + u + v + w;
+    a := a + 1; c := c + 2; e := e + 3; g := g + 4;
+  end;
+  print s; print t; print u; print v; print w;
+end.
+"#;
+
+/// Rust reference for SYNTH.
+pub fn synth_expected() -> Vec<i64> {
+    let (mut a, b, mut c, d) = (3i64, 5i64, 7i64, 11i64);
+    let (mut e, f, mut g, h) = (13i64, 17i64, 19i64, 23i64);
+    let (mut s, mut t, mut u, mut v, mut w) = (0i64, 0, 0, 0, 0);
+    for _ in 1..=12 {
+        t = a * b + c * d;
+        u = e * f + g * h;
+        v = a * e + b * f;
+        w = c * g + d * h;
+        s = s + t + u + v + w;
+        a += 1;
+        c += 2;
+        e += 3;
+        g += 4;
+    }
+    vec![s, t, u, v, w]
+}
+
 /// The extended benchmark list.
 pub fn extended() -> Vec<crate::Benchmark> {
     vec![
@@ -137,6 +215,14 @@ pub fn extended() -> Vec<crate::Benchmark> {
         crate::Benchmark {
             name: "HIST",
             source: HIST,
+        },
+        crate::Benchmark {
+            name: "LIVERMORE",
+            source: LIVERMORE,
+        },
+        crate::Benchmark {
+            name: "SYNTH",
+            source: SYNTH,
         },
     ]
 }
@@ -181,9 +267,32 @@ mod tests {
     }
 
     #[test]
+    fn livermore_matches_reference() {
+        let out = liw_ir::run_source(LIVERMORE).unwrap().output;
+        let exp = livermore_expected();
+        assert_eq!(out.len(), exp.len());
+        for (g, w) in out.iter().zip(&exp) {
+            match g {
+                Value::Real(v) => assert!((v - w).abs() < 1e-9, "{v} vs {w}"),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn synth_matches_reference() {
+        let out = liw_ir::run_source(SYNTH).unwrap().output;
+        let exp = synth_expected();
+        assert_eq!(out.len(), exp.len());
+        for (g, w) in out.iter().zip(&exp) {
+            assert_eq!(*g, Value::Int(*w));
+        }
+    }
+
+    #[test]
     fn extended_list_is_complete() {
         let e = extended();
-        assert_eq!(e.len(), 3);
+        assert_eq!(e.len(), 5);
         for b in e {
             liw_ir::compile(b.source).unwrap_or_else(|err| panic!("{}: {err}", b.name));
         }

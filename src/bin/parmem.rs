@@ -14,14 +14,28 @@
 //!     Interpret a MiniLang program directly and print its output.
 //!
 //! parmem verify <file> [-k <modules>] [--json] [--backtrack] [--no-atoms]
-//!                [--stor 1|2|3]
+//!                [--stor 1|2|3|exact] [--exact]
 //!     Statically re-derive and check every pipeline invariant. The file is
 //!     either a MiniLang program (full pipeline, all checks including the
 //!     renaming proof and the static-vs-simulated differential) or a text
 //!     access trace (assignment checks only). Violations are printed as
 //!     stable `PMxxx` diagnostics; exit status is nonzero unless clean.
+//!     With `--exact`, the target (a workload name or MiniLang file) is
+//!     compiled, the exact solver produces an optimality certificate, and
+//!     the certificate is independently re-validated (PM201–PM206).
 //!
-//! parmem batch [workload ...] [--all] [-k 2,4,8] [--stor 1|2|3|all]
+//! parmem exact [workload ...] [--all] [-k 2,4] [--budget-nodes N]
+//!              [--budget-ms N] [--no-portfolio] [--seed S] [--jobs N]
+//!              [--format text|json] [--out <file>] [--unroll <factor>]
+//!              [--no-opt]
+//!     Run the exact branch-and-bound assignment solver on each
+//!     (workload, k) job, report certified bounds [lower, upper] on the
+//!     minimum residual-conflict count, the paper heuristic's residual, and
+//!     the optimality gap, and re-validate every certificate with
+//!     `parmem verify`'s PM2xx checks. Output is byte-identical across
+//!     `--jobs` settings (the default budget is clock-free).
+//!
+//! parmem batch [workload ...] [--all] [-k 2,4,8] [--stor 1|2|3|exact|all]
 //!              [--jobs N] [--json|--csv] [--timings] [--out <file>]
 //!              [--fail-fast] [--seed S] [--unroll <factor>] [--no-opt]
 //!     Run the full compile→assign→verify→simulate pipeline over every
@@ -68,6 +82,9 @@ static ALLOC: parallel_memories::batch::metrics::CountingAlloc =
     parallel_memories::batch::metrics::CountingAlloc;
 
 fn main() -> ExitCode {
+    // Register the exact solver so `--stor exact` works in every
+    // subcommand that dispatches through `run_strategy`.
+    parallel_memories::exact::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str);
 
@@ -89,9 +106,10 @@ fn main() -> ExitCode {
         Some("verify") => cmd_verify(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("exact") => cmd_exact(&args[1..]),
         _ => {
             eprintln!(
-                "usage: parmem <assign|compile|run|verify|batch|trace> [file|workloads] [options]"
+                "usage: parmem <assign|compile|run|verify|batch|trace|exact> [file|workloads] [options]"
             );
             eprintln!("       see crate docs for details");
             return ExitCode::from(2);
@@ -132,7 +150,7 @@ fn main() -> ExitCode {
 
 /// Options that consume the following argument — shared by every
 /// subcommand's positional-argument scan.
-const VALUE_OPTS: [&str; 10] = [
+const VALUE_OPTS: [&str; 12] = [
     "-k",
     "--k",
     "--stor",
@@ -143,6 +161,8 @@ const VALUE_OPTS: [&str; 10] = [
     "--format",
     "--trace-out",
     "--trace-summary",
+    "--budget-nodes",
+    "--budget-ms",
 ];
 
 fn flag(args: &[String], name: &str) -> bool {
@@ -179,6 +199,16 @@ fn file_arg(args: &[String]) -> Result<String, Box<dyn std::error::Error + Send 
         .into_iter()
         .find(|a| a.parse::<f64>().is_err())
         .ok_or_else(|| "missing input file".into())
+}
+
+/// Parse `--stor` through the strategy registry (flags `1|2|3|exact` and
+/// names `STOR1|STOR2|STOR3|EXACT`); defaults to STOR1 when absent.
+fn stor_arg(args: &[String]) -> Result<Strategy, Box<dyn std::error::Error + Send + Sync>> {
+    match opt_value::<String>(args, "--stor") {
+        None => Ok(Strategy::Stor1),
+        Some(v) => Strategy::parse(&v)
+            .ok_or_else(|| format!("bad --stor `{v}` (1|2|3|exact, or all in batch)").into()),
+    }
 }
 
 fn cmd_assign(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
@@ -247,11 +277,7 @@ fn cmd_compile(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send +
         optimize: !flag(args, "--no-opt"),
         rename: true,
     };
-    let strategy = match opt_value::<u32>(args, "--stor") {
-        Some(2) => Strategy::Stor2,
-        Some(3) => Strategy::STOR3,
-        _ => Strategy::Stor1,
-    };
+    let strategy = stor_arg(args)?;
 
     let prog = sim::compile_with(&src, MachineSpec::with_modules(k), opts)?;
     let trace = prog.sched.access_trace();
@@ -287,6 +313,9 @@ fn cmd_compile(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send +
 }
 
 fn cmd_verify(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    if flag(args, "--exact") {
+        return cmd_verify_exact(args);
+    }
     let path = file_arg(args)?;
     let text = std::fs::read_to_string(&path)?;
     let params = AssignParams {
@@ -302,11 +331,7 @@ fn cmd_verify(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + 
     let report = if text.trim_start().starts_with("program") {
         // MiniLang source: run the whole pipeline and check all invariants.
         let k: usize = opt_value(args, "-k").unwrap_or(8);
-        let strategy = match opt_value::<u32>(args, "--stor") {
-            Some(2) => Strategy::Stor2,
-            Some(3) => Strategy::STOR3,
-            _ => Strategy::Stor1,
-        };
+        let strategy = stor_arg(args)?;
         let prog = sim::compile(&text, MachineSpec::with_modules(k))?;
         let (assignment, areport) = sim::assign(&prog.sched, strategy, &params);
         verify::verify_all(&prog.tac, &prog.sched, &assignment, Some(&areport))
@@ -326,6 +351,158 @@ fn cmd_verify(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + 
         Ok(())
     } else {
         Err(format!("{} invariant violation(s)", report.diagnostics.len()).into())
+    }
+}
+
+/// Resolve a positional target as a workload name first, a MiniLang file
+/// second (the same rule `parmem trace` uses).
+fn resolve_program(
+    target: &str,
+) -> Result<(String, String), Box<dyn std::error::Error + Send + Sync>> {
+    match workloads::by_name(target) {
+        Some(b) => Ok((b.name.to_string(), b.source.to_string())),
+        None => {
+            let src = std::fs::read_to_string(target).map_err(|e| {
+                format!("`{target}` is neither a workload nor a readable file ({e})")
+            })?;
+            Ok((target.to_string(), src))
+        }
+    }
+}
+
+/// Exact-solver budget/portfolio configuration from the uniform flags.
+fn exact_cfg(args: &[String]) -> parallel_memories::exact::ExactConfig {
+    let mut cfg = parallel_memories::exact::ExactConfig::default();
+    if let Some(n) = opt_value(args, "--budget-nodes") {
+        cfg.budget_nodes = n;
+    }
+    if let Some(ms) = opt_value(args, "--budget-ms") {
+        cfg.budget_ms = ms;
+    }
+    if flag(args, "--no-portfolio") {
+        cfg.portfolio = false;
+    }
+    if let Some(seed) = opt_value(args, "--seed") {
+        cfg.seed = seed;
+    }
+    cfg
+}
+
+/// `parmem verify --exact`: solve one workload/file exactly and re-validate
+/// the resulting certificate against the trace (PM201–PM206).
+fn cmd_verify_exact(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let target = positionals(args)
+        .into_iter()
+        .next()
+        .ok_or("missing workload name or MiniLang file")?;
+    let (program, source) = resolve_program(&target)?;
+    let k: usize = opt_value(args, "-k").unwrap_or(4);
+    let prog = sim::compile(&source, MachineSpec::with_modules(k))?;
+    let trace = prog.sched.access_trace();
+    let cfg = exact_cfg(args);
+    let cert = parallel_memories::exact::solve_certificate(&trace, &cfg);
+    let heuristic =
+        parallel_memories::exact::heuristic_single_copy_residual(&trace, &AssignParams::default());
+    let report = verify::verify_certificate(&trace, &cert, Some(heuristic));
+    if flag(args, "--json") {
+        println!(
+            "{{\"schema\":\"parmem-verify-exact/v1\",\"program\":\"{program}\",\"heuristic_residual\":{heuristic},\"certificate\":{},\"report\":{}}}",
+            cert.to_json(),
+            report.to_json()
+        );
+    } else {
+        println!(
+            "{program} k={k}: certificate status={} bounds=[{},{}] heuristic={} gap={}",
+            cert.status.as_str(),
+            cert.lower,
+            cert.upper,
+            heuristic,
+            heuristic as isize - cert.lower as isize
+        );
+        print!("{report}");
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("{} certificate violation(s)", report.diagnostics.len()).into())
+    }
+}
+
+/// `parmem exact`: the gap sweep — exact bounds vs heuristic residual per
+/// (workload, k), with every certificate independently re-validated.
+fn cmd_exact(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    use parallel_memories::exact_report::{self, ExactJobSpec};
+
+    let names = positionals(args);
+    let benches: Vec<workloads::Benchmark> = if !names.is_empty() {
+        names
+            .iter()
+            .map(|n| workloads::by_name(n).ok_or_else(|| format!("unknown workload `{n}`")))
+            .collect::<Result<_, _>>()?
+    } else if flag(args, "--all") {
+        workloads::all_benchmarks()
+    } else {
+        workloads::benchmarks()
+    };
+    let ks: Vec<usize> = match opt_value::<String>(args, "-k") {
+        None => vec![2, 4],
+        Some(list) => list
+            .split(',')
+            .map(|p| p.trim().parse::<usize>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| format!("bad -k list `{list}` (expected e.g. 2,4)"))?,
+    };
+    let cfg = exact_cfg(args);
+    let opts = CompileOptions {
+        unroll: opt_value::<usize>(args, "--unroll").map(|factor| liw_ir::unroll::UnrollConfig {
+            factor,
+            max_body_stmts: 16,
+        }),
+        optimize: !flag(args, "--no-opt"),
+        rename: true,
+    };
+
+    let mut specs = Vec::with_capacity(benches.len() * ks.len());
+    for b in &benches {
+        for &k in &ks {
+            specs.push(ExactJobSpec {
+                program: b.name.to_string(),
+                source: b.source.to_string(),
+                k,
+                cfg,
+                opts,
+                params: AssignParams::default(),
+            });
+        }
+    }
+    let results = exact_report::run_exact_jobs(specs, opt_value(args, "--jobs").unwrap_or(0));
+
+    let format = opt_value::<String>(args, "--format").unwrap_or_else(|| "text".to_string());
+    let output = match format.as_str() {
+        "text" => exact_report::to_text(&results),
+        "json" => {
+            let mut j = exact_report::to_json(&results);
+            j.push('\n');
+            j
+        }
+        other => return Err(format!("bad --format `{other}` (text|json)").into()),
+    };
+    match opt_value::<String>(args, "--out") {
+        Some(path) => std::fs::write(&path, &output)?,
+        None => print!("{output}"),
+    }
+
+    let failed = results
+        .iter()
+        .filter(|r| match &r.outcome {
+            Ok(m) => m.verify_diags > 0,
+            Err(_) => true,
+        })
+        .count();
+    if failed == 0 {
+        Ok(())
+    } else {
+        Err(format!("{failed} job(s) failed or produced dirty certificates").into())
     }
 }
 
@@ -360,11 +537,7 @@ fn cmd_trace(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + S
     let k: usize = opt_value(args, "-k")
         .or_else(|| opt_value(args, "--k"))
         .unwrap_or(8);
-    let strategy = match opt_value::<u32>(args, "--stor") {
-        Some(2) => Strategy::Stor2,
-        Some(3) => Strategy::STOR3,
-        _ => Strategy::Stor1,
-    };
+    let strategy = stor_arg(args)?;
     let opts = CompileOptions {
         unroll: opt_value::<usize>(args, "--unroll").map(|factor| liw_ir::unroll::UnrollConfig {
             factor,
@@ -465,11 +638,13 @@ fn cmd_batch(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + S
     };
 
     let strategies: Vec<Strategy> = match opt_value::<String>(args, "--stor").as_deref() {
-        None | Some("1") => vec![Strategy::Stor1],
-        Some("2") => vec![Strategy::Stor2],
-        Some("3") => vec![Strategy::STOR3],
-        Some("all") => vec![Strategy::Stor1, Strategy::Stor2, Strategy::STOR3],
-        Some(other) => return Err(format!("bad --stor `{other}` (1|2|3|all)").into()),
+        None => vec![Strategy::Stor1],
+        // The paper's three heuristics; `exact` must be asked for by name.
+        Some("all") => Strategy::heuristics().collect(),
+        Some(v) => match Strategy::parse(v) {
+            Some(st) => vec![st],
+            None => return Err(format!("bad --stor `{v}` (1|2|3|exact|all)").into()),
+        },
     };
 
     let seed: u64 = opt_value(args, "--seed").unwrap_or(0xC0FFEE);

@@ -14,6 +14,9 @@
 //!   memory modules.
 //! * [`verify`] (`parmem-verify`) — independent static checker for every
 //!   pipeline invariant, reporting violations as stable `PMxxx` diagnostics.
+//! * [`exact`] (`parmem-exact`) — exact branch-and-bound assignment solver
+//!   with clique lower bounds, an anytime DSATUR/ILS portfolio, and
+//!   machine-checkable optimality certificates.
 //! * [`batch`] (`parmem-batch`) — parallel batch pipeline engine: runs many
 //!   (program, k, strategy) jobs on a work-stealing pool with per-stage
 //!   metrics, panic isolation, and deterministic reports.
@@ -25,10 +28,13 @@
 //! See the repository `README.md` for a tour and `EXPERIMENTS.md` for the
 //! paper-vs-measured record.
 
+pub mod exact_report;
+
 pub use liw_ir as ir;
 pub use liw_sched as sched;
 pub use parmem_batch as batch;
 pub use parmem_core as core;
+pub use parmem_exact as exact;
 pub use parmem_obs as obs;
 pub use parmem_verify as verify;
 pub use rliw_sim as sim;

@@ -1,0 +1,103 @@
+//! Golden snapshot tests for `parmem exact --format json`.
+//!
+//! Pins the exact solver's full observable output — certified bounds,
+//! certificate status, witness-derived copy counts, clique evidence sizes,
+//! node counts, and the heuristic gap — for FFT, LIVERMORE, and SYNTH at
+//! `k ∈ {2, 4}`. The default solver budget is clock-free, so the report is
+//! deterministic and byte-identical across `--jobs` settings; any change to
+//! the branch-and-bound order, the clique bound, the DSATUR seed, or the
+//! heuristic comparator shows up as a diff here.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test exact_golden
+//! ```
+//!
+//! then review the diff of `tests/golden/exact_gaps.json` like any other
+//! code change.
+
+use std::path::PathBuf;
+
+const WORKLOADS: [&str; 3] = ["FFT", "LIVERMORE", "SYNTH"];
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/exact_gaps.json")
+}
+
+fn run_cli(jobs: &str) -> String {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_parmem"))
+        .args(["exact"])
+        .args(WORKLOADS)
+        .args(["-k", "2,4", "--format", "json", "--jobs", jobs])
+        .output()
+        .expect("parmem exact runs");
+    assert!(
+        out.status.success(),
+        "parmem exact --jobs {jobs} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 report")
+}
+
+#[test]
+fn exact_json_matches_golden_snapshot() {
+    let actual = run_cli("1");
+    let path = golden_path();
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("golden: rewrote {}", path.display());
+        return;
+    }
+
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run `UPDATE_GOLDEN=1 cargo test --test exact_golden`",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "exact report diverges from {}:\n  -{expected}\n  +{actual}\n\
+         if the change is intentional, regenerate with \
+         `UPDATE_GOLDEN=1 cargo test --test exact_golden` and review the diff",
+        path.display()
+    );
+}
+
+/// The JSON report is byte-identical across worker counts — the solver is
+/// deterministic and results come back in submission order.
+#[test]
+fn exact_json_is_independent_of_jobs() {
+    let one = run_cli("1");
+    let eight = run_cli("8");
+    assert!(
+        one == eight,
+        "`parmem exact --format json` differs between --jobs 1 and --jobs 8"
+    );
+}
+
+/// The snapshot covers the whole advertised corpus, every certificate
+/// re-validated clean, and never pins an error row as "golden".
+#[test]
+fn exact_golden_covers_corpus_with_clean_certificates() {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return;
+    }
+    let text = std::fs::read_to_string(golden_path()).expect("golden file present");
+    for w in WORKLOADS {
+        for k in [2, 4] {
+            assert!(
+                text.contains(&format!("\"program\":\"{w}\",\"k\":{k}")),
+                "missing {w} k={k}"
+            );
+        }
+    }
+    assert!(!text.contains("\"error\""));
+    assert!(!text.contains("\"verify_diags\":1"));
+    // 6 jobs: one certificate (and gap measurement) each.
+    assert_eq!(text.matches("\"certificate\"").count(), 6);
+    assert_eq!(text.matches("\"verify_diags\":0").count(), 6);
+}

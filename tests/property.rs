@@ -85,6 +85,28 @@ proptest! {
         }
     }
 
+    /// The exact solver's certificate survives independent re-validation
+    /// (PM201–PM206), and the paper heuristic can never beat a certified
+    /// lower bound — where optimality is proven, heuristic residual ≥ the
+    /// certified optimum (the optimality gap is never negative).
+    #[test]
+    fn exact_certificates_validate_and_bound_the_heuristic(trace in arb_trace()) {
+        use parallel_memories::exact::{
+            heuristic_single_copy_residual, solve_certificate, CertStatus, ExactConfig,
+        };
+        let cfg = ExactConfig { budget_nodes: 20_000, ..Default::default() };
+        let cert = solve_certificate(&trace, &cfg);
+        let h = heuristic_single_copy_residual(&trace, &AssignParams::default());
+        let report = parallel_memories::verify::verify_certificate(&trace, &cert, Some(h));
+        prop_assert!(report.is_clean(), "{}", report);
+        prop_assert!(cert.lower <= cert.upper);
+        prop_assert!(h >= cert.lower, "negative gap: heuristic {h} < lower {}", cert.lower);
+        if cert.status == CertStatus::Optimal {
+            prop_assert!(h >= cert.upper,
+                "heuristic {h} beats proven optimum {}", cert.upper);
+        }
+    }
+
     /// Atom decomposition covers every vertex and edge; shared vertices form
     /// cliques (they are separators).
     #[test]
