@@ -7,12 +7,15 @@ use liw_sched::MachineSpec;
 use parmem_core::assignment::{assign_trace, AssignParams};
 use parmem_core::coloring::ModuleChoice;
 use parmem_core::strategies::{run_strategy, Strategy};
-use rliw_sim::pipeline::compile;
+use parmem_driver::Session;
 
 fn bench_atoms_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("atoms_ablation");
     for b in workloads::benchmarks() {
-        let prog = compile(b.source, MachineSpec::with_modules(8)).unwrap();
+        let prog = Session::new(8)
+            .without_optimizer()
+            .compile(b.source)
+            .unwrap();
         let trace = prog.sched.access_trace();
         for use_atoms in [true, false] {
             let params = AssignParams {
@@ -31,11 +34,10 @@ fn bench_atoms_ablation(c: &mut Criterion) {
 
 fn bench_module_choice(c: &mut Criterion) {
     let mut group = c.benchmark_group("module_choice");
-    let prog = compile(
-        workloads::by_name("EXACT").unwrap().source,
-        MachineSpec::with_modules(8),
-    )
-    .unwrap();
+    let prog = Session::new(8)
+        .without_optimizer()
+        .compile(workloads::by_name("EXACT").unwrap().source)
+        .unwrap();
     let trace = prog.sched.access_trace();
     for (name, choice) in [
         ("lowest_index", ModuleChoice::LowestIndex),
@@ -52,11 +54,10 @@ fn bench_module_choice(c: &mut Criterion) {
 
 fn bench_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("strategies");
-    let prog = compile(
-        workloads::by_name("FFT").unwrap().source,
-        MachineSpec::with_modules(8),
-    )
-    .unwrap();
+    let prog = Session::new(8)
+        .without_optimizer()
+        .compile(workloads::by_name("FFT").unwrap().source)
+        .unwrap();
     let rt = prog.sched.regionized_trace();
     for s in [Strategy::Stor1, Strategy::Stor2, Strategy::STOR3] {
         group.bench_function(s.name(), |b| {

@@ -21,8 +21,8 @@
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use liw_sched::MachineSpec;
 use parmem_core::assignment::AssignParams;
+use parmem_driver::Session;
 use parmem_exact::{heuristic_single_copy_residual, solve_certificate, ExactConfig};
 
 const KS: [usize; 2] = [2, 4];
@@ -49,7 +49,9 @@ fn measure() -> Vec<Row> {
     let mut rows = Vec::new();
     for b in workloads::benchmarks() {
         for k in KS {
-            let prog = rliw_sim::pipeline::compile(b.source, MachineSpec::with_modules(k))
+            let prog = Session::new(k)
+                .without_optimizer()
+                .compile(b.source)
                 .unwrap_or_else(|e| panic!("{}: {e}", b.name));
             let trace = prog.sched.access_trace();
             let cert = solve_certificate(&trace, &ExactConfig::default());

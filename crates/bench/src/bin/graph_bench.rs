@@ -1,0 +1,437 @@
+//! Conflict-graph micro-benchmark: CSR [`ConflictGraph`] vs. the pre-CSR
+//! HashMap representation, emitted as `BENCH_graph.json` for the CI
+//! artifact and checked against a committed baseline.
+//!
+//! For FFT, LIVERMORE, and SYNTH at k ∈ {2, 4} the benchmark builds both
+//! graph representations from the scheduled access trace and times two
+//! kernels on each:
+//!
+//! * **edge probe** — a fixed LCG stream of `conf(u, v)` lookups (the hot
+//!   operation of the assignment heuristics and the exact solver's bound
+//!   computation);
+//! * **coloring sweep** — repeated weighted greedy coloring, whose inner
+//!   loop scans a vertex's whole neighborhood accumulating conf weights —
+//!   the access pattern of `color_graph`'s urgency bookkeeping. On CSR this
+//!   is one contiguous `neighbors_with_conf` zip; on the old representation
+//!   every neighbor's weight was a separate HashMap probe.
+//!
+//! Both kernels accumulate checksums that must agree between the two
+//! representations, so the speed comparison is also a correctness check.
+//! Checksums and graph shapes are deterministic and gated against the
+//! baseline; wall-clock timings are informational (CI machines vary).
+//!
+//! ```text
+//! cargo run --release -p parmem-bench --bin graph_bench \
+//!     [-- [out.json] [--check-baseline <baseline.json>]]
+//! ```
+//!
+//! With `--check-baseline`, exits nonzero if any deterministic field
+//! (vertex count, edge count, probe checksum, coloring checksum, colored
+//! count) diverges from the baseline.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use parmem_core::graph::ConflictGraph;
+use parmem_core::types::{AccessTrace, ValueId};
+use parmem_driver::Session;
+
+const WORKLOADS: [&str; 3] = ["FFT", "LIVERMORE", "SYNTH"];
+const KS: [usize; 2] = [2, 4];
+/// Edge probes per timing run (LCG-generated, identical for both reps).
+const PROBES: usize = 500_000;
+/// Full greedy-coloring sweeps per timing run.
+const COLOR_ITERS: usize = 400;
+/// Timed samples per kernel; the reported time is the fastest sample, taken
+/// after one untimed warm-up, with the two representations alternating so
+/// neither systematically benefits from cache or frequency ramp-up.
+const SAMPLES: usize = 5;
+
+/// The pre-CSR formulation the refactor replaced: a HashMap from normalized
+/// vertex pairs to conflict weights plus per-vertex adjacency lists.
+struct MapGraph {
+    n: usize,
+    adj: Vec<Vec<u32>>,
+    conf: HashMap<(u32, u32), u32>,
+}
+
+fn pair(u: u32, v: u32) -> (u32, u32) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+impl MapGraph {
+    fn build(trace: &AccessTrace) -> MapGraph {
+        let mut values: Vec<ValueId> = trace.instructions.iter().flat_map(|i| i.iter()).collect();
+        values.sort_unstable();
+        values.dedup();
+        let index: HashMap<ValueId, u32> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        let mut g = MapGraph {
+            n: values.len(),
+            adj: vec![Vec::new(); values.len()],
+            conf: HashMap::new(),
+        };
+        for inst in &trace.instructions {
+            let ops: Vec<u32> = inst.iter().map(|v| index[&v]).collect();
+            for i in 0..ops.len() {
+                for j in (i + 1)..ops.len() {
+                    let (u, v) = pair(ops[i], ops[j]);
+                    let w = g.conf.entry((u, v)).or_insert(0);
+                    if *w == 0 {
+                        g.adj[u as usize].push(v);
+                        g.adj[v as usize].push(u);
+                    }
+                    *w += 1;
+                }
+            }
+        }
+        g
+    }
+
+    fn conf(&self, u: u32, v: u32) -> u32 {
+        self.conf.get(&pair(u, v)).copied().unwrap_or(0)
+    }
+}
+
+/// Deterministic probe-pair stream shared by both representations.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_pair(&mut self, n: u32) -> (u32, u32) {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = ((self.0 >> 33) % n as u64) as u32;
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let v = ((self.0 >> 33) % n as u64) as u32;
+        (u, v)
+    }
+}
+
+/// One pass over the LCG probe stream summing `conf`; returns the checksum.
+fn probe_pass(n: usize, conf: &impl Fn(u32, u32) -> u32) -> u64 {
+    let mut rng = Lcg(0x5DEECE66D);
+    let mut sum = 0u64;
+    for _ in 0..PROBES {
+        let (u, v) = rng.next_pair(n as u32);
+        sum = sum.wrapping_add(black_box(conf(u, v)) as u64);
+    }
+    sum
+}
+
+/// One deterministic weighted greedy coloring pass: visit vertices in index
+/// order, scan the whole neighborhood once accumulating both the forbidden
+/// module set and the total conf weight (the urgency numerator in
+/// `color_graph`), then take the lowest free module or leave the vertex
+/// uncolored. `neighbors` yields `(neighbor, conf)` pairs.
+fn greedy_pass(
+    n: usize,
+    k: usize,
+    neighbors: &impl Fn(u32, &mut dyn FnMut(u32, u32)),
+) -> (usize, u64) {
+    let mut color: Vec<i32> = vec![-1; n];
+    let mut colored = 0usize;
+    let mut checksum = 0u64;
+    for v in 0..n as u32 {
+        let mut forbidden = 0u64;
+        let mut weight = 0u64;
+        neighbors(v, &mut |w, c| {
+            weight += c as u64;
+            let wc = color[w as usize];
+            if wc >= 0 {
+                forbidden |= 1 << wc;
+            }
+        });
+        let free = (!forbidden).trailing_zeros() as usize;
+        if free < k {
+            color[v as usize] = free as i32;
+            colored += 1;
+            checksum = checksum
+                .wrapping_add((v as u64 + 1).wrapping_mul(free as u64 + 1))
+                .wrapping_add(weight.wrapping_mul(31));
+        }
+    }
+    (colored, checksum)
+}
+
+/// Time two competing kernels with alternating samples: one untimed warm-up
+/// of each, then SAMPLES rounds of (a, b), keeping each side's fastest
+/// sample. Returns `((result_a, ns_a), (result_b, ns_b))`.
+fn race<T>(mut a: impl FnMut() -> T, mut b: impl FnMut() -> T) -> ((T, u64), (T, u64)) {
+    black_box(a());
+    black_box(b());
+    let (mut best_a, mut best_b) = (u64::MAX, u64::MAX);
+    let (mut out_a, mut out_b) = (None, None);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        out_a = Some(black_box(a()));
+        best_a = best_a.min(start.elapsed().as_nanos() as u64);
+        let start = Instant::now();
+        out_b = Some(black_box(b()));
+        best_b = best_b.min(start.elapsed().as_nanos() as u64);
+    }
+    ((out_a.unwrap(), best_a), (out_b.unwrap(), best_b))
+}
+
+struct Row {
+    program: String,
+    k: usize,
+    // Deterministic, gated against the baseline.
+    n: usize,
+    edges: usize,
+    probe_checksum: u64,
+    color_checksum: u64,
+    colored: usize,
+    // Wall-clock, informational.
+    csr_probe_ns: u64,
+    map_probe_ns: u64,
+    csr_color_ns: u64,
+    map_color_ns: u64,
+}
+
+impl Row {
+    fn probe_speedup(&self) -> f64 {
+        self.map_probe_ns as f64 / self.csr_probe_ns.max(1) as f64
+    }
+
+    fn color_speedup(&self) -> f64 {
+        self.map_color_ns as f64 / self.csr_color_ns.max(1) as f64
+    }
+}
+
+fn measure() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for name in WORKLOADS {
+        let bench = workloads::by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+        for k in KS {
+            let prog = Session::new(k)
+                .without_optimizer()
+                .compile(bench.source)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let trace = prog.sched.access_trace();
+            let csr = ConflictGraph::build(&trace);
+            let map = MapGraph::build(&trace);
+            assert_eq!(csr.len(), map.n, "{name} k={k}: vertex count");
+            assert_eq!(csr.edge_count(), map.conf.len(), "{name} k={k}: edges");
+
+            let ((csr_sum, csr_probe_ns), (map_sum, map_probe_ns)) = race(
+                || probe_pass(csr.len(), &|u, v| csr.conf(u, v)),
+                || probe_pass(map.n, &|u, v| map.conf(u, v)),
+            );
+            assert_eq!(csr_sum, map_sum, "{name} k={k}: probe checksums diverge");
+
+            let csr_sweep = |v: u32, f: &mut dyn FnMut(u32, u32)| {
+                for (w, c) in csr.neighbors_with_conf(v) {
+                    f(w, c);
+                }
+            };
+            let map_sweep = |v: u32, f: &mut dyn FnMut(u32, u32)| {
+                for &w in &map.adj[v as usize] {
+                    f(w, map.conf(v, w));
+                }
+            };
+            let run = |sweep: &dyn Fn(u32, &mut dyn FnMut(u32, u32))| {
+                let mut out = (0, 0);
+                for _ in 0..COLOR_ITERS {
+                    out = greedy_pass(csr.len(), k, &sweep);
+                }
+                out
+            };
+            let (
+                ((csr_colored, csr_check), csr_color_ns),
+                ((map_colored, map_check), map_color_ns),
+            ) = race(|| run(&csr_sweep), || run(&map_sweep));
+            // The map adjacency is unsorted, but the greedy pass visits
+            // vertices in index order and neither a neighbor's color nor the
+            // weight sum depends on scan order, so the results must coincide.
+            assert_eq!(csr_colored, map_colored, "{name} k={k}: colored count");
+            assert_eq!(csr_check, map_check, "{name} k={k}: color checksum");
+
+            rows.push(Row {
+                program: bench.name.to_string(),
+                k,
+                n: csr.len(),
+                edges: csr.edge_count(),
+                probe_checksum: csr_sum,
+                color_checksum: csr_check,
+                colored: csr_colored,
+                csr_probe_ns,
+                map_probe_ns,
+                csr_color_ns,
+                map_color_ns,
+            });
+        }
+    }
+    rows
+}
+
+fn to_json(rows: &[Row]) -> String {
+    let mut s = String::from("{\"schema\":\"parmem-bench-graph/v1\",\"probes\":");
+    let _ = write!(s, "{PROBES},\"color_iters\":{COLOR_ITERS},\"rows\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"program\":\"{}\",\"k\":{},\"n\":{},\"edges\":{},\
+             \"probe_checksum\":{},\"color_checksum\":{},\"colored\":{},\
+             \"csr_probe_ns\":{},\"map_probe_ns\":{},\"probe_speedup\":{:.2},\
+             \"csr_color_ns\":{},\"map_color_ns\":{},\"color_speedup\":{:.2}}}",
+            r.program,
+            r.k,
+            r.n,
+            r.edges,
+            r.probe_checksum,
+            r.color_checksum,
+            r.colored,
+            r.csr_probe_ns,
+            r.map_probe_ns,
+            r.probe_speedup(),
+            r.csr_color_ns,
+            r.map_color_ns,
+            r.color_speedup()
+        );
+    }
+    s.push_str("]}\n");
+    s
+}
+
+fn format_table(rows: &[Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<10} {:>2} | {:>5} {:>6} | {:>12} {:>12} {:>7} | {:>12} {:>12} {:>7}",
+        "program",
+        "k",
+        "n",
+        "edges",
+        "csr probe",
+        "map probe",
+        "speedup",
+        "csr color",
+        "map color",
+        "speedup"
+    );
+    let _ = writeln!(s, "{}", "-".repeat(104));
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<10} {:>2} | {:>5} {:>6} | {:>10}ns {:>10}ns {:>6.2}x | {:>10}ns {:>10}ns {:>6.2}x",
+            r.program,
+            r.k,
+            r.n,
+            r.edges,
+            r.csr_probe_ns,
+            r.map_probe_ns,
+            r.probe_speedup(),
+            r.csr_color_ns,
+            r.map_color_ns,
+            r.color_speedup()
+        );
+    }
+    s
+}
+
+/// Minimal field extraction from our own fixed-format row objects — the
+/// baseline is always a previous run of this binary, so no general JSON
+/// parser is needed (the workspace is registry-free by design).
+fn baseline_rows(text: &str) -> Vec<(String, usize, Vec<(&'static str, u64)>)> {
+    fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+        let pat = format!("\"{key}\":");
+        let start = obj.find(&pat)? + pat.len();
+        let rest = &obj[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim_matches('"'))
+    }
+    text.split("{\"program\":")
+        .skip(1)
+        .filter_map(|chunk| {
+            let obj = format!("{{\"program\":{chunk}");
+            let mut gated = Vec::new();
+            for key in GATED {
+                gated.push((key, field(&obj, key)?.parse().ok()?));
+            }
+            Some((
+                field(&obj, "program")?.to_string(),
+                field(&obj, "k")?.parse().ok()?,
+                gated,
+            ))
+        })
+        .collect()
+}
+
+/// The fields a baseline check compares exactly.
+const GATED: [&str; 5] = ["n", "edges", "probe_checksum", "color_checksum", "colored"];
+
+fn gated_values(r: &Row) -> [(&'static str, u64); 5] {
+    [
+        ("n", r.n as u64),
+        ("edges", r.edges as u64),
+        ("probe_checksum", r.probe_checksum),
+        ("color_checksum", r.color_checksum),
+        ("colored", r.colored as u64),
+    ]
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--check-baseline")
+        .and_then(|i| args.get(i + 1).cloned());
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--") && Some(a.as_str()) != baseline_path.as_deref())
+        .cloned()
+        .unwrap_or_else(|| "BENCH_graph.json".to_string());
+
+    let rows = measure();
+    print!("{}", format_table(&rows));
+    std::fs::write(&out_path, to_json(&rows)).expect("write report");
+    eprintln!("wrote {out_path}");
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path).expect("read baseline");
+        let base = baseline_rows(&text);
+        let mut regressions = 0;
+        for r in &rows {
+            match base.iter().find(|(p, k, _)| *p == r.program && *k == r.k) {
+                None => {
+                    eprintln!("note: {} k={} not in baseline (new row)", r.program, r.k);
+                }
+                Some((_, _, gated)) => {
+                    for ((key, have), (_, want)) in gated_values(r).iter().zip(gated) {
+                        if have != want {
+                            eprintln!(
+                                "REGRESSION: {} k={} {key} = {have}, baseline {want}",
+                                r.program, r.k
+                            );
+                            regressions += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if regressions > 0 {
+            eprintln!("FAIL: {regressions} deterministic field(s) diverged from {path}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("baseline check passed ({path})");
+    }
+    ExitCode::SUCCESS
+}

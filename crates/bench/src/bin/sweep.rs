@@ -5,10 +5,7 @@
 //!
 //! Usage: `cargo run --release -p parmem-bench --bin sweep [-- csv]`
 
-use parmem_bench::{compile_bench, BenchConfig};
-use parmem_core::assignment::AssignParams;
-use parmem_core::strategies::Strategy;
-use rliw_sim::pipeline::{assign, verified_run};
+use parmem_bench::{bench_session, BenchConfig};
 use rliw_sim::ArrayPlacement;
 
 fn main() {
@@ -29,9 +26,11 @@ fn main() {
                 } else {
                     BenchConfig::unrolled(k, unroll)
                 };
-                let prog = compile_bench(b.source, cfg);
-                let (a, r) = assign(&prog.sched, Strategy::Stor1, &AssignParams::default());
-                let run = verified_run(&prog, &a, ArrayPlacement::Interleaved)
+                let session = bench_session(cfg);
+                let prog = session.compile(b.source).expect("benchmark compiles");
+                let (a, r) = session.assign(&prog);
+                let run = session
+                    .verified_run(&prog, &a, ArrayPlacement::Interleaved)
                     .unwrap_or_else(|e| panic!("{} k={k}: {e}", b.name));
                 assert_eq!(run.stats.scalar_conflict_words, 0);
                 if csv {

@@ -21,10 +21,10 @@
 //! rendered tables are byte-identical to the old serial harness.
 
 use liw_ir::unroll::UnrollConfig;
-use liw_sched::MachineSpec;
 use parmem_batch::{BatchOptions, JobResult, JobSpec};
 use parmem_core::strategies::Strategy;
-use rliw_sim::pipeline::{compile, compile_unrolled, CompiledProgram, Table2Row};
+use parmem_driver::Session;
+use rliw_sim::pipeline::{CompiledProgram, Table2Row};
 use rliw_sim::CompileOptions;
 use workloads::benchmarks;
 
@@ -55,26 +55,21 @@ impl BenchConfig {
     }
 }
 
-/// Compile one benchmark under a harness configuration.
-pub fn compile_bench(source: &str, cfg: BenchConfig) -> CompiledProgram {
-    let spec = MachineSpec::with_modules(cfg.modules);
-    match cfg.unroll {
-        None => compile(source, spec).expect("benchmark compiles"),
-        Some(factor) => compile_unrolled(
-            source,
-            spec,
-            UnrollConfig {
-                factor,
-                max_body_stmts: 16,
-            },
-        )
-        .expect("benchmark compiles"),
-    }
+/// The driver session matching a harness configuration: no scalar optimizer
+/// (the tables measure the paper's pipeline as scheduled), renaming on,
+/// unrolled when the configuration says so.
+pub fn bench_session(cfg: BenchConfig) -> Session {
+    Session::new(cfg.modules).with_opts(compile_options(cfg))
 }
 
-/// The batch-engine front-end options matching [`compile_bench`]: no scalar
-/// optimizer (the tables measure the paper's pipeline as scheduled), with
-/// renaming, unrolled when the configuration says so.
+/// Compile one benchmark under a harness configuration.
+pub fn compile_bench(source: &str, cfg: BenchConfig) -> CompiledProgram {
+    bench_session(cfg)
+        .compile(source)
+        .expect("benchmark compiles")
+}
+
+/// The front-end options behind [`bench_session`].
 fn compile_options(cfg: BenchConfig) -> CompileOptions {
     CompileOptions {
         unroll: cfg.unroll.map(|factor| UnrollConfig {

@@ -104,18 +104,20 @@ pub fn color_graph(
     let fixed_sets: Vec<ModuleSet> = (0..n as u32).map(&mut fixed).collect();
     let is_fixed = |v: u32| !fixed_sets[v as usize].is_empty();
 
-    // wt(u→v): 0 if d(u) < k, else conf(u,v).
-    let wt = |u: u32, v: u32| -> u64 {
-        if g.degree(u) < k {
-            0
-        } else {
-            g.conf(u, v) as u64
-        }
-    };
+    // wt(u→v) is 0 if d(u) < k, else conf(u,v); since every use scans one
+    // vertex's whole neighborhood, we hoist the degree test and read the
+    // conf weights straight out of the CSR row instead of probing per edge.
+    let heavy = |u: u32| g.degree(u) >= k;
 
     // S_v = Σ outgoing weights (used for the initial pick and tie-breaks).
     let s: Vec<u64> = (0..n as u32)
-        .map(|v| g.neighbors(v).iter().map(|&u| wt(v, u)).sum())
+        .map(|v| {
+            if heavy(v) {
+                g.neighbors_with_conf(v).map(|(_, c)| c as u64).sum()
+            } else {
+                0
+            }
+        })
         .collect();
 
     // Per-vertex state.
@@ -137,18 +139,22 @@ pub fn color_graph(
             if m.index() < k {
                 module_load[m.index()] += 1;
             }
-            for &j in g.neighbors(v) {
+            let w = heavy(v);
+            for (j, c) in g.neighbors_with_conf(v) {
                 if !is_fixed(j) {
                     forbidden[j as usize].insert(m);
-                    urg_num[j as usize] += wt(v, j);
+                    if w {
+                        urg_num[j as usize] += c as u64;
+                    }
                 }
             }
         } else {
             // Multi-copy fixed neighbor: contributes urgency weight but does
             // not forbid a specific module.
-            for &j in g.neighbors(v) {
-                if !is_fixed(j) {
-                    urg_num[j as usize] += wt(v, j);
+            let w = heavy(v);
+            for (j, c) in g.neighbors_with_conf(v) {
+                if !is_fixed(j) && w {
+                    urg_num[j as usize] += c as u64;
                 }
             }
         }
@@ -196,11 +202,14 @@ pub fn color_graph(
                 module_load[m.index()] += 1;
                 out.assigned.push((v, m));
                 // Update uncolored neighbors.
-                for &j in g.neighbors(v) {
+                let w = heavy(v);
+                for (j, c) in g.neighbors_with_conf(v) {
                     if done[j as usize] {
                         continue;
                     }
-                    urg_num[j as usize] += wt(v, j);
+                    if w {
+                        urg_num[j as usize] += c as u64;
+                    }
                     forbidden[j as usize].insert(m);
                     let forb_j = forbidden[j as usize].intersection(all_modules);
                     heap.push(Urgency {

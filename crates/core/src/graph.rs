@@ -5,25 +5,35 @@
 //! instructions in which both endpoints occur — the weight source for the
 //! coloring heuristic of Fig. 4.
 
-use std::collections::HashMap;
-
 use crate::types::{AccessTrace, ValueId};
 
-/// Access conflict graph over the distinct values of an [`AccessTrace`].
+/// Access conflict graph over the distinct values of an [`AccessTrace`],
+/// stored as an immutable compressed-sparse-row (CSR) structure.
 ///
-/// Vertices are stored densely (`0..n`) with a mapping back to [`ValueId`]s,
-/// so the coloring and decomposition algorithms can use flat arrays.
+/// Vertices are dense (`0..n`) with a mapping back to [`ValueId`]s, so the
+/// coloring and decomposition algorithms can use flat arrays. The adjacency
+/// of vertex `v` is the slice `neighbors[offsets[v] .. offsets[v+1]]`
+/// (sorted ascending), with `conf_weights` parallel to `neighbors` — an
+/// edge probe is a binary search of one flat slice (`O(log deg)`), a
+/// neighborhood walk is one contiguous scan, and there is no per-edge hash
+/// map anywhere in the representation.
 #[derive(Clone, Debug)]
 pub struct ConflictGraph {
     /// Dense vertex -> original value.
     values: Vec<ValueId>,
-    /// Original value index -> dense vertex (sparse; `u32::MAX` = absent).
-    dense_of: HashMap<ValueId, u32>,
-    /// Adjacency lists, sorted ascending, no self loops, no duplicates.
-    adj: Vec<Vec<u32>>,
-    /// `conf(u, v)` for `u < v`.
-    conf: HashMap<(u32, u32), u32>,
-    /// Total number of edges.
+    /// Dense vertices ordered by their [`ValueId`]; value -> vertex lookup
+    /// is a binary search through this permutation.
+    by_value: Vec<u32>,
+    /// CSR row starts: vertex `v`'s neighbors occupy
+    /// `neighbors[offsets[v] as usize .. offsets[v + 1] as usize]`.
+    /// Length `n + 1`.
+    offsets: Vec<u32>,
+    /// Concatenated adjacency, sorted ascending within each vertex's row;
+    /// no self loops, no duplicates.
+    neighbors: Vec<u32>,
+    /// `conf(v, neighbors[i])`, parallel to `neighbors`.
+    conf_weights: Vec<u32>,
+    /// Total number of undirected edges.
     edges: usize,
 }
 
@@ -51,78 +61,91 @@ impl ConflictGraph {
         values.sort_unstable();
         values.dedup();
 
-        let dense_of: HashMap<ValueId, u32> = values
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, i as u32))
-            .collect();
-
-        let mut conf: HashMap<(u32, u32), u32> = HashMap::new();
+        // Operand sets are ascending and `values` is sorted, so the dense
+        // ids of one instruction come out ascending: every generated pair
+        // is already normalized to `a < b`.
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
         for inst in &trace.instructions {
             let ops: Vec<u32> = inst
                 .iter()
-                .filter_map(|v| dense_of.get(&v).copied())
+                .filter_map(|v| values.binary_search(&v).ok().map(|i| i as u32))
                 .collect();
             for i in 0..ops.len() {
                 for j in (i + 1)..ops.len() {
-                    let (a, b) = if ops[i] < ops[j] {
-                        (ops[i], ops[j])
-                    } else {
-                        (ops[j], ops[i])
-                    };
-                    *conf.entry((a, b)).or_insert(0) += 1;
+                    pairs.push((ops[i], ops[j]));
                 }
             }
         }
+        pairs.sort_unstable();
+        let mut edge_list: Vec<(u32, u32, u32)> = Vec::new();
+        for (a, b) in pairs {
+            match edge_list.last_mut() {
+                Some((la, lb, c)) if *la == a && *lb == b => *c += 1,
+                _ => edge_list.push((a, b, 1)),
+            }
+        }
 
-        let mut adj = vec![Vec::new(); values.len()];
-        for &(a, b) in conf.keys() {
-            adj[a as usize].push(b);
-            adj[b as usize].push(a);
-        }
-        for list in &mut adj {
-            list.sort_unstable();
-        }
-        let edges = conf.len();
-
-        ConflictGraph {
-            values,
-            dense_of,
-            adj,
-            conf,
-            edges,
-        }
+        Self::assemble(values, &edge_list)
     }
 
     /// Build directly from dense edge lists (used by tests, the synthetic
     /// generators, and the atom decomposition which works on subgraphs).
     pub fn from_edges(n: usize, edge_list: &[(u32, u32, u32)]) -> ConflictGraph {
         let values: Vec<ValueId> = (0..n as u32).map(ValueId).collect();
-        let dense_of = values
+        // Normalize to `a < b` keeping the input position, so duplicate
+        // mentions of one edge resolve deterministically (last `conf` wins,
+        // matching map-insert semantics).
+        let mut tmp: Vec<(u32, u32, u32, u32)> = edge_list
             .iter()
             .enumerate()
-            .map(|(i, &v)| (v, i as u32))
+            .map(|(pos, &(a, b, c))| {
+                assert!(a != b, "self loops are not allowed");
+                let (a, b) = if a < b { (a, b) } else { (b, a) };
+                (a, b, pos as u32, c)
+            })
             .collect();
-        let mut conf = HashMap::new();
-        let mut adj = vec![Vec::new(); n];
-        for &(a, b, c) in edge_list {
-            assert!(a != b, "self loops are not allowed");
-            let key = if a < b { (a, b) } else { (b, a) };
-            if conf.insert(key, c).is_none() {
-                adj[a as usize].push(b);
-                adj[b as usize].push(a);
+        tmp.sort_unstable();
+        let mut dedup: Vec<(u32, u32, u32)> = Vec::with_capacity(tmp.len());
+        for (a, b, _, c) in tmp {
+            match dedup.last_mut() {
+                Some((la, lb, lc)) if *la == a && *lb == b => *lc = c,
+                _ => dedup.push((a, b, c)),
             }
         }
-        for list in &mut adj {
-            list.sort_unstable();
+        Self::assemble(values, &dedup)
+    }
+
+    /// Assemble the CSR arrays from a deduplicated normalized edge list
+    /// (`a < b`, no self loops, unique pairs).
+    fn assemble(values: Vec<ValueId>, edge_list: &[(u32, u32, u32)]) -> ConflictGraph {
+        let n = values.len();
+        let mut by_value: Vec<u32> = (0..n as u32).collect();
+        by_value.sort_unstable_by_key(|&i| values[i as usize]);
+
+        let mut directed: Vec<(u32, u32, u32)> = Vec::with_capacity(edge_list.len() * 2);
+        for &(a, b, c) in edge_list {
+            directed.push((a, b, c));
+            directed.push((b, a, c));
         }
-        let edges = conf.len();
+        directed.sort_unstable();
+
+        let mut offsets = vec![0u32; n + 1];
+        for &(a, _, _) in &directed {
+            offsets[a as usize + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let neighbors: Vec<u32> = directed.iter().map(|&(_, b, _)| b).collect();
+        let conf_weights: Vec<u32> = directed.iter().map(|&(_, _, c)| c).collect();
+
         ConflictGraph {
             values,
-            dense_of,
-            adj,
-            conf,
-            edges,
+            by_value,
+            offsets,
+            neighbors,
+            conf_weights,
+            edges: edge_list.len(),
         }
     }
 
@@ -148,23 +171,48 @@ impl ConflictGraph {
 
     /// Dense vertex of a value, if the value occurs in the graph.
     pub fn vertex_of(&self, v: ValueId) -> Option<u32> {
-        self.dense_of.get(&v).copied()
+        self.by_value
+            .binary_search_by_key(&v, |&i| self.values[i as usize])
+            .ok()
+            .map(|pos| self.by_value[pos])
+    }
+
+    #[inline]
+    fn row(&self, v: u32) -> std::ops::Range<usize> {
+        self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize
     }
 
     /// Neighbors of a dense vertex, ascending.
     pub fn neighbors(&self, v: u32) -> &[u32] {
-        &self.adj[v as usize]
+        &self.neighbors[self.row(v)]
+    }
+
+    /// Neighbors of `v` paired with `conf(v, ·)`, ascending by neighbor —
+    /// one contiguous scan, no per-edge probes.
+    pub fn neighbors_with_conf(&self, v: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let row = self.row(v);
+        self.neighbors[row.clone()]
+            .iter()
+            .copied()
+            .zip(self.conf_weights[row].iter().copied())
     }
 
     /// Degree of a dense vertex.
     pub fn degree(&self, v: u32) -> usize {
-        self.adj[v as usize].len()
+        self.row(v).len()
     }
 
     /// `conf(u, v)` — how many instructions use both endpoints (0 if no edge).
     pub fn conf(&self, u: u32, v: u32) -> u32 {
-        let key = if u < v { (u, v) } else { (v, u) };
-        self.conf.get(&key).copied().unwrap_or(0)
+        // Probe `u`'s row directly: adjacency is symmetric, so either row
+        // answers, and a data-dependent "pick the shorter row" test costs a
+        // hard-to-predict branch per probe — more than the O(log deg)
+        // search it could save on these short rows.
+        let row = self.row(u);
+        match self.neighbors[row.clone()].binary_search(&v) {
+            Ok(i) => self.conf_weights[row.start + i],
+            Err(_) => 0,
+        }
     }
 
     /// Whether `u` and `v` are adjacent.
@@ -189,45 +237,32 @@ impl ConflictGraph {
     /// returned graph's vertex `i` corresponds to `vertices[i]`; its
     /// `value()` mapping is preserved from the parent.
     pub fn induced(&self, vertices: &[u32]) -> ConflictGraph {
-        let mut local = HashMap::with_capacity(vertices.len());
+        let mut local = vec![u32::MAX; self.len()];
         for (i, &v) in vertices.iter().enumerate() {
-            local.insert(v, i as u32);
+            local[v as usize] = i as u32;
         }
         let values: Vec<ValueId> = vertices.iter().map(|&v| self.value(v)).collect();
-        let dense_of = values
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, i as u32))
-            .collect();
-        let mut conf = HashMap::new();
-        let mut adj = vec![Vec::new(); vertices.len()];
+        let mut edge_list: Vec<(u32, u32, u32)> = Vec::new();
         for (i, &v) in vertices.iter().enumerate() {
-            for &w in self.neighbors(v) {
-                if let Some(&j) = local.get(&w) {
-                    if (i as u32) < j {
-                        conf.insert((i as u32, j), self.conf(v, w));
-                        adj[i].push(j);
-                        adj[j as usize].push(i as u32);
-                    }
+            for (w, c) in self.neighbors_with_conf(v) {
+                let j = local[w as usize];
+                if j != u32::MAX && (i as u32) < j {
+                    edge_list.push((i as u32, j, c));
                 }
             }
         }
-        for list in &mut adj {
-            list.sort_unstable();
-        }
-        let edges = conf.len();
-        ConflictGraph {
-            values,
-            dense_of,
-            adj,
-            conf,
-            edges,
-        }
+        edge_list.sort_unstable();
+        Self::assemble(values, &edge_list)
     }
 
-    /// Iterate all edges as `(u, v, conf)` with `u < v`.
+    /// Iterate all edges as `(u, v, conf)` with `u < v`, ascending by
+    /// `(u, v)` (a deterministic order, unlike the former hash-map walk).
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
-        self.conf.iter().map(|(&(u, v), &c)| (u, v, c))
+        (0..self.len() as u32).flat_map(move |u| {
+            self.neighbors_with_conf(u)
+                .filter(move |&(v, _)| u < v)
+                .map(move |(v, c)| (u, v, c))
+        })
     }
 
     /// Connected components as lists of dense vertices (ascending within
@@ -339,5 +374,47 @@ mod tests {
         let g = ConflictGraph::from_edges(3, &[(0, 1, 2), (1, 0, 2)]);
         assert_eq!(g.edge_count(), 1);
         assert_eq!(g.conf(0, 1), 2);
+    }
+
+    #[test]
+    fn edges_iterate_sorted_with_weights() {
+        let g = ConflictGraph::build(&fig1());
+        let mut es: Vec<(u32, u32, u32)> = g.edges().collect();
+        let sorted = {
+            let mut s = es.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(es, sorted, "edges() must come out pre-sorted");
+        assert_eq!(es.len(), g.edge_count());
+        es.retain(|&(u, v, _)| !g.has_edge(u, v));
+        assert!(es.is_empty());
+    }
+
+    #[test]
+    fn neighbors_with_conf_matches_probes() {
+        let g = ConflictGraph::build(&fig1());
+        for v in 0..g.len() as u32 {
+            let pairs: Vec<(u32, u32)> = g.neighbors_with_conf(v).collect();
+            assert_eq!(pairs.len(), g.degree(v));
+            for (u, c) in pairs {
+                assert_eq!(g.conf(v, u), c);
+                assert_eq!(g.conf(u, v), c);
+            }
+        }
+    }
+
+    #[test]
+    fn induced_with_unsorted_vertex_order_keeps_lookup() {
+        let g = ConflictGraph::build(&fig1());
+        let v2 = g.vertex_of(ValueId(2)).unwrap();
+        let v3 = g.vertex_of(ValueId(3)).unwrap();
+        let v5 = g.vertex_of(ValueId(5)).unwrap();
+        // Vertex order deliberately not ascending by value.
+        let sub = g.induced(&[v5, v2, v3]);
+        assert_eq!(sub.value(0), ValueId(5));
+        assert_eq!(sub.vertex_of(ValueId(5)), Some(0));
+        assert_eq!(sub.vertex_of(ValueId(2)), Some(1));
+        assert_eq!(sub.conf(1, 2), 2);
     }
 }

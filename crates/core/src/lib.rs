@@ -50,6 +50,7 @@ pub mod baseline;
 pub mod coloring;
 pub mod duplication;
 pub mod graph;
+pub mod instview;
 pub mod matching;
 pub mod placement;
 pub mod strategies;
@@ -65,6 +66,7 @@ pub mod prelude {
     };
     pub use crate::coloring::ModuleChoice;
     pub use crate::graph::ConflictGraph;
+    pub use crate::instview::InstructionView;
     pub use crate::strategies::{
         exact_solver_installed, install_exact_solver, run_strategy, RegionizedTrace, Strategy,
         StrategyInfo, STRATEGY_REGISTRY,

@@ -1,0 +1,309 @@
+//! Shared command-line parsing for the `parmem` CLI.
+//!
+//! Every subcommand used to re-scan its raw argument list with ad-hoc
+//! `flag`/`opt_value` helpers, silently ignoring anything it did not
+//! recognise. [`CommonArgs::parse`] replaces those copies: a subcommand
+//! declares its boolean flags and value-taking options once, unknown
+//! options are rejected with an error that lists what *is* accepted, and
+//! the uniform profiling options (`--profile`, `--trace-out`,
+//! `--trace-summary`) are accepted everywhere without per-command plumbing.
+//!
+//! The module also hosts the option → pipeline-config builders
+//! ([`compile_options`], [`assign_params`], [`strategy`], [`k_list`],
+//! [`exact_config`], [`resolve_program`]) that were previously duplicated
+//! across subcommands.
+
+use parmem_core::assignment::{AssignParams, DuplicationStrategy};
+use parmem_core::strategies::Strategy;
+use rliw_sim::pipeline::CompileOptions;
+
+/// Boolean flags every subcommand accepts (profiling plumbing).
+const COMMON_FLAGS: &[&str] = &["--profile"];
+/// Value options every subcommand accepts (profiling plumbing).
+const COMMON_VALUES: &[&str] = &["--trace-out", "--trace-summary"];
+
+/// A parsed argument list: recognised flags, option values, and positional
+/// arguments, with everything unrecognised already rejected.
+#[derive(Clone, Debug, Default)]
+pub struct CommonArgs {
+    flags: Vec<String>,
+    values: Vec<(String, String)>,
+    positionals: Vec<String>,
+}
+
+impl CommonArgs {
+    /// Parse `raw` for subcommand `cmd`, accepting exactly `flags` (boolean)
+    /// and `value_opts` (consume the next argument) plus the common
+    /// profiling options. Unknown `-`/`--` arguments and missing option
+    /// values are errors; `--k` is normalised to `-k`.
+    pub fn parse(
+        cmd: &str,
+        raw: &[String],
+        flags: &[&str],
+        value_opts: &[&str],
+    ) -> Result<CommonArgs, String> {
+        let known_flag = |a: &str| flags.contains(&a) || COMMON_FLAGS.contains(&a);
+        let known_value =
+            |a: &str| value_opts.contains(&a) || COMMON_VALUES.contains(&a) || a == "--k";
+        let mut out = CommonArgs::default();
+        let mut i = 0;
+        while i < raw.len() {
+            let a = raw[i].as_str();
+            let canonical = if a == "--k" { "-k" } else { a };
+            if known_value(a) {
+                let v = raw
+                    .get(i + 1)
+                    .ok_or_else(|| format!("`parmem {cmd}`: option `{a}` requires a value"))?;
+                out.values.push((canonical.to_string(), v.clone()));
+                i += 2;
+                continue;
+            }
+            if known_flag(a) {
+                out.flags.push(canonical.to_string());
+            } else if a.starts_with('-') {
+                let mut valid: Vec<&str> = flags
+                    .iter()
+                    .chain(value_opts)
+                    .chain(COMMON_FLAGS)
+                    .chain(COMMON_VALUES)
+                    .copied()
+                    .collect();
+                valid.sort_unstable();
+                return Err(format!(
+                    "`parmem {cmd}`: unknown option `{a}` (accepted: {})",
+                    valid.join(", ")
+                ));
+            } else {
+                out.positionals.push(a.to_string());
+            }
+            i += 1;
+        }
+        Ok(out)
+    }
+
+    /// Whether the boolean flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The (last) value of a value option, verbatim.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of an option parsed as `T`; a value that does not parse is
+    /// an error naming the option (the old scanners silently dropped it).
+    pub fn parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("option `{name}` has invalid value `{v}`")),
+        }
+    }
+
+    /// Positional (non-option) arguments, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// The input-file positional: the first one that is not a bare number.
+    pub fn file_arg(&self) -> Result<String, String> {
+        self.positionals
+            .iter()
+            .find(|a| a.parse::<f64>().is_err())
+            .cloned()
+            .ok_or_else(|| "missing input file".to_string())
+    }
+
+    /// The first positional (workload name or file path).
+    pub fn target_arg(&self) -> Result<String, String> {
+        self.positionals
+            .first()
+            .cloned()
+            .ok_or_else(|| "missing workload name or MiniLang file".to_string())
+    }
+}
+
+/// Front-end options from the uniform `--unroll <factor>` / `--no-opt`
+/// flags.
+pub fn compile_options(a: &CommonArgs) -> Result<CompileOptions, String> {
+    Ok(CompileOptions {
+        unroll: a
+            .parsed::<usize>("--unroll")?
+            .map(|factor| liw_ir::unroll::UnrollConfig {
+                factor,
+                max_body_stmts: 16,
+            }),
+        optimize: !a.flag("--no-opt"),
+        rename: true,
+    })
+}
+
+/// Assignment parameters from the uniform `--backtrack` / `--no-atoms`
+/// flags.
+pub fn assign_params(a: &CommonArgs) -> AssignParams {
+    AssignParams {
+        duplication: if a.flag("--backtrack") {
+            DuplicationStrategy::Backtrack
+        } else {
+            DuplicationStrategy::HittingSet
+        },
+        use_atoms: !a.flag("--no-atoms"),
+        ..AssignParams::default()
+    }
+}
+
+/// Parse `--stor` through the strategy registry (flags `1|2|3|exact` and
+/// names `STOR1|STOR2|STOR3|EXACT`); defaults to STOR1 when absent.
+pub fn strategy(a: &CommonArgs) -> Result<Strategy, String> {
+    match a.value("--stor") {
+        None => Ok(Strategy::Stor1),
+        Some(v) => Strategy::parse(v)
+            .ok_or_else(|| format!("bad --stor `{v}` (1|2|3|exact, or all in batch)")),
+    }
+}
+
+/// Parse the `-k` module-count list (`2,4,8` style); `default` when absent.
+pub fn k_list(a: &CommonArgs, default: &[usize]) -> Result<Vec<usize>, String> {
+    match a.value("-k") {
+        None => Ok(default.to_vec()),
+        Some(list) => list
+            .split(',')
+            .map(|p| p.trim().parse::<usize>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| format!("bad -k list `{list}` (expected e.g. 2,4)")),
+    }
+}
+
+/// Exact-solver budget/portfolio configuration from the uniform flags.
+pub fn exact_config(a: &CommonArgs) -> Result<parmem_exact::ExactConfig, String> {
+    let mut cfg = parmem_exact::ExactConfig::default();
+    if let Some(n) = a.parsed("--budget-nodes")? {
+        cfg.budget_nodes = n;
+    }
+    if let Some(ms) = a.parsed("--budget-ms")? {
+        cfg.budget_ms = ms;
+    }
+    if a.flag("--no-portfolio") {
+        cfg.portfolio = false;
+    }
+    if let Some(seed) = a.parsed("--seed")? {
+        cfg.seed = seed;
+    }
+    Ok(cfg)
+}
+
+/// Resolve a positional target as a workload name first, a MiniLang source
+/// file second.
+pub fn resolve_program(target: &str) -> Result<(String, String), String> {
+    match workloads::by_name(target) {
+        Some(b) => Ok((b.name.to_string(), b.source.to_string())),
+        None => {
+            let src = std::fs::read_to_string(target).map_err(|e| {
+                format!("`{target}` is neither a workload nor a readable file ({e})")
+            })?;
+            Ok((target.to_string(), src))
+        }
+    }
+}
+
+/// Select benchmarks by positional names, `--all`, or the paper default.
+pub fn select_benchmarks(a: &CommonArgs) -> Result<Vec<workloads::Benchmark>, String> {
+    let names = a.positionals();
+    if !names.is_empty() {
+        names
+            .iter()
+            .map(|n| workloads::by_name(n).ok_or_else(|| format!("unknown workload `{n}`")))
+            .collect()
+    } else if a.flag("--all") {
+        Ok(workloads::all_benchmarks())
+    } else {
+        Ok(workloads::benchmarks())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_values_positionals() {
+        let a = CommonArgs::parse(
+            "batch",
+            &argv(&["FFT", "-k", "2,4", "--timings", "--jobs", "3"]),
+            &["--timings"],
+            &["-k", "--jobs"],
+        )
+        .unwrap();
+        assert!(a.flag("--timings"));
+        assert!(!a.flag("--json"));
+        assert_eq!(a.value("-k"), Some("2,4"));
+        assert_eq!(a.parsed::<usize>("--jobs").unwrap(), Some(3));
+        assert_eq!(a.positionals(), &["FFT".to_string()]);
+        assert_eq!(k_list(&a, &[8]).unwrap(), vec![2, 4]);
+    }
+
+    #[test]
+    fn rejects_unknown_options_helpfully() {
+        let err =
+            CommonArgs::parse("batch", &argv(&["--bogus"]), &["--timings"], &["-k"]).unwrap_err();
+        assert!(err.contains("unknown option `--bogus`"), "{err}");
+        assert!(err.contains("--timings"), "{err}");
+        assert!(err.contains("--profile"), "error lists common flags: {err}");
+    }
+
+    #[test]
+    fn rejects_missing_and_bad_values() {
+        let err = CommonArgs::parse("exact", &argv(&["--jobs"]), &[], &["--jobs"]).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+        let a = CommonArgs::parse("exact", &argv(&["--jobs", "many"]), &[], &["--jobs"]).unwrap();
+        let err = a.parsed::<usize>("--jobs").unwrap_err();
+        assert!(err.contains("invalid value `many`"), "{err}");
+    }
+
+    #[test]
+    fn normalises_double_dash_k() {
+        let a = CommonArgs::parse("trace", &argv(&["--k", "4"]), &[], &["-k"]).unwrap();
+        assert_eq!(a.parsed::<usize>("-k").unwrap(), Some(4));
+    }
+
+    #[test]
+    fn common_profiling_options_always_accepted() {
+        let a = CommonArgs::parse(
+            "run",
+            &argv(&["x.ml", "--profile", "--trace-out", "t.json"]),
+            &[],
+            &[],
+        )
+        .unwrap();
+        assert!(a.flag("--profile"));
+        assert_eq!(a.value("--trace-out"), Some("t.json"));
+    }
+
+    #[test]
+    fn builders_map_flags_to_configs() {
+        let a = CommonArgs::parse(
+            "trace",
+            &argv(&["--backtrack", "--no-opt", "--unroll", "2", "--stor", "3"]),
+            &["--backtrack", "--no-opt"],
+            &["--unroll", "--stor"],
+        )
+        .unwrap();
+        let params = assign_params(&a);
+        assert_eq!(params.duplication, DuplicationStrategy::Backtrack);
+        let opts = compile_options(&a).unwrap();
+        assert!(!opts.optimize);
+        assert_eq!(opts.unroll.map(|u| u.factor), Some(2));
+        assert_eq!(strategy(&a).unwrap(), Strategy::STOR3);
+    }
+}

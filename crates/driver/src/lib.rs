@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # parmem-driver
+//!
+//! The pipeline session layer: the *single* place the staged pipeline
+//! (frontend → optimize → schedule → assign → verify → simulate →
+//! exact-gap) is chained, instrumented, and configured. Every consumer —
+//! the `parmem` CLI subcommands, the `parmem-batch` engine, the
+//! `parmem-bench` bins, and the integration tests — drives the pipeline
+//! through this crate instead of wiring the stages by hand:
+//!
+//! * [`Session`] owns the shared configuration (module count, storage
+//!   strategy, compile options, assignment parameters, seeds, optional
+//!   exact-gap stage) and mints [`JobSpec`]s or runs programs directly;
+//! * [`PipelineContext`] executes the stages one at a time, applying fault
+//!   injection, per-stage wall/alloc metrics, and obs span wrapping in
+//!   exactly one place — [`run_job`] adds panic isolation on top;
+//! * [`args`] is the CLI's shared argument parser ([`args::CommonArgs`])
+//!   plus the option → pipeline-config builders.
+//!
+//! ```
+//! use parmem_driver::Session;
+//!
+//! let result = Session::new(4).run("DEMO", "program d; var x: int;
+//!     begin x := 6; print x * 7; end.");
+//! assert_eq!(result.status(), "ok");
+//! ```
+
+pub mod args;
+pub mod job;
+pub mod session;
+
+pub use args::CommonArgs;
+pub use job::{
+    hash_output, run_job, run_stages, FaultInjection, GapSummary, JobError, JobOutput, JobResult,
+    JobSpec, PipelineContext,
+};
+pub use session::Session;

@@ -1,0 +1,231 @@
+//! The pipeline session: one place that owns compile options, strategy
+//! selection, assignment parameters, and seeds, and mints/runs jobs from
+//! them.
+//!
+//! A [`Session`] is cheap to build and copy around; it is the façade every
+//! consumer uses instead of chaining `rliw_sim::pipeline` stages by hand:
+//!
+//! ```
+//! use parmem_driver::Session;
+//!
+//! let session = Session::new(4);
+//! let result = session.run("DEMO", "program d; var a, b: int;
+//!     begin a := 2; b := a + 3; print a * b; end.");
+//! assert_eq!(result.status(), "ok");
+//! ```
+
+use liw_sched::MachineSpec;
+use parmem_core::assignment::{AssignParams, Assignment, AssignmentReport};
+use parmem_core::strategies::Strategy;
+use parmem_verify::VerifyReport;
+use rliw_sim::pipeline::{CompileOptions, CompiledProgram, PipelineError, VerifiedRun};
+use rliw_sim::ArrayPlacement;
+
+use crate::job::{run_job, JobResult, JobSpec};
+
+/// Pipeline configuration shared by every job a caller mints: module count,
+/// storage strategy, front-end options, assignment tunables, placement
+/// seed, and the optional exact-gap stage.
+#[derive(Clone, Debug)]
+pub struct Session {
+    /// Memory modules / machine width.
+    pub k: usize,
+    /// Storage-allocation strategy for the assign stage.
+    pub strategy: Strategy,
+    /// Front-end options (unroll / optimize / rename).
+    pub opts: CompileOptions,
+    /// Assignment tunables.
+    pub params: AssignParams,
+    /// Seed for the uniform-random array placement of Table 2 runs.
+    pub seed: u64,
+    /// When set, jobs run the exact solver as an extra stage.
+    pub exact_gap: Option<parmem_exact::ExactConfig>,
+}
+
+impl Session {
+    /// A session for a `k`-module machine with default strategy (STOR1),
+    /// options, params, and seed.
+    pub fn new(k: usize) -> Session {
+        Session {
+            k,
+            strategy: Strategy::Stor1,
+            opts: CompileOptions::default(),
+            params: AssignParams::default(),
+            seed: 0xC0FFEE,
+            exact_gap: None,
+        }
+    }
+
+    /// Replace the strategy.
+    pub fn with_strategy(mut self, s: Strategy) -> Session {
+        self.strategy = s;
+        self
+    }
+
+    /// Replace the front-end options.
+    pub fn with_opts(mut self, opts: CompileOptions) -> Session {
+        self.opts = opts;
+        self
+    }
+
+    /// Disable the scalar optimizer, matching the plain
+    /// `rliw_sim::pipeline::compile` entry point (frontend → schedule with
+    /// renaming, no value numbering / DCE pass).
+    pub fn without_optimizer(mut self) -> Session {
+        self.opts.optimize = false;
+        self
+    }
+
+    /// Toggle per-definition renaming (webs) — `false` is the ablation of
+    /// the paper's §3 renaming remark.
+    pub fn with_renaming(mut self, rename: bool) -> Session {
+        self.opts.rename = rename;
+        self
+    }
+
+    /// Replace the assignment parameters.
+    pub fn with_params(mut self, params: AssignParams) -> Session {
+        self.params = params;
+        self
+    }
+
+    /// Replace the random-placement seed.
+    pub fn with_seed(mut self, seed: u64) -> Session {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable the exact-gap stage for every job of this session.
+    pub fn with_exact_gap(mut self, cfg: parmem_exact::ExactConfig) -> Session {
+        self.exact_gap = Some(cfg);
+        self
+    }
+
+    /// The machine this session compiles for.
+    pub fn machine(&self) -> MachineSpec {
+        MachineSpec::with_modules(self.k)
+    }
+
+    /// Mint a [`JobSpec`] carrying this session's configuration.
+    pub fn job(
+        &self,
+        program: impl Into<String>,
+        source: impl Into<std::sync::Arc<str>>,
+    ) -> JobSpec {
+        let mut spec = JobSpec::new(program, source, self.k)
+            .with_strategy(self.strategy)
+            .with_opts(self.opts)
+            .with_params(self.params)
+            .with_seed(self.seed);
+        if let Some(cfg) = self.exact_gap {
+            spec = spec.with_exact_gap(cfg);
+        }
+        spec
+    }
+
+    /// Run the full staged pipeline (compile → assign → verify → simulate
+    /// [→ exact-gap]) on one program, with panic isolation.
+    pub fn run(
+        &self,
+        program: impl Into<String>,
+        source: impl Into<std::sync::Arc<str>>,
+    ) -> JobResult {
+        run_job(&self.job(program, source))
+    }
+
+    /// Compile only: frontend → optimize → schedule, without the span/metric
+    /// instrumentation of the full job runner (callers that need per-stage
+    /// observability use [`Session::run`]).
+    pub fn compile(&self, source: &str) -> Result<CompiledProgram, PipelineError> {
+        rliw_sim::pipeline::compile_with(source, self.machine(), self.opts)
+    }
+
+    /// Assign memory modules to a compiled program's trace under this
+    /// session's strategy and parameters.
+    pub fn assign(&self, prog: &CompiledProgram) -> (Assignment, AssignmentReport) {
+        rliw_sim::pipeline::assign(&prog.sched, self.strategy, &self.params)
+    }
+
+    /// Independently verify a compiled program and its assignment
+    /// (PM001–PM104 families).
+    pub fn verify(
+        &self,
+        prog: &CompiledProgram,
+        assignment: &Assignment,
+        report: Option<&AssignmentReport>,
+    ) -> VerifyReport {
+        parmem_verify::verify_all(&prog.tac, &prog.sched, assignment, report)
+    }
+
+    /// Simulate under `policy` and cross-check against the reference
+    /// interpreter (panics on divergence, like
+    /// `rliw_sim::pipeline::verified_run`).
+    pub fn verified_run(
+        &self,
+        prog: &CompiledProgram,
+        assignment: &Assignment,
+        policy: ArrayPlacement,
+    ) -> Result<VerifiedRun, PipelineError> {
+        rliw_sim::pipeline::verified_run(prog, assignment, policy)
+    }
+
+    /// Compile, assign, and run verified under `policy` in one call.
+    pub fn quick_run(
+        &self,
+        source: &str,
+        policy: ArrayPlacement,
+    ) -> Result<(VerifiedRun, AssignmentReport), PipelineError> {
+        let prog = self.compile(source)?;
+        let (assignment, report) = self.assign(&prog);
+        let run = self.verified_run(&prog, &assignment, policy)?;
+        Ok((run, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "program s; var i, t: int;
+        begin
+          t := 0;
+          for i := 1 to 6 do t := t + i * i;
+          print t;
+        end.";
+
+    #[test]
+    fn session_runs_clean_jobs() {
+        let s = Session::new(4);
+        let r = s.run("S", SRC);
+        assert_eq!(r.status(), "ok");
+        assert_eq!(r.spec.k, 4);
+        assert_eq!(r.spec.strategy, Strategy::Stor1);
+    }
+
+    #[test]
+    fn session_compile_assign_verify_roundtrip() {
+        let s = Session::new(4).with_strategy(Strategy::STOR3);
+        let prog = s.compile(SRC).unwrap();
+        let (a, rep) = s.assign(&prog);
+        assert_eq!(rep.residual_conflicts, 0);
+        let v = s.verify(&prog, &a, Some(&rep));
+        assert!(v.is_clean(), "{v}");
+        let run = s
+            .verified_run(&prog, &a, ArrayPlacement::Interleaved)
+            .unwrap();
+        assert!(run.speedup > 1.0);
+    }
+
+    #[test]
+    fn session_job_carries_configuration() {
+        let s = Session::new(8)
+            .with_strategy(Strategy::Stor2)
+            .with_seed(42)
+            .with_exact_gap(parmem_exact::ExactConfig::default());
+        let spec = s.job("X", SRC);
+        assert_eq!(spec.k, 8);
+        assert_eq!(spec.strategy, Strategy::Stor2);
+        assert_eq!(spec.seed, 42);
+        assert!(spec.exact_gap.is_some());
+    }
+}

@@ -104,7 +104,7 @@ impl<'a> Searcher<'a> {
             inst,
             order,
             color: vec![NONE; inst.n],
-            bad_depth: vec![-1; inst.insts.len()],
+            bad_depth: vec![-1; inst.view.len()],
             cost: 0,
             best: seed_cost,
             best_colors,
@@ -117,11 +117,14 @@ impl<'a> Searcher<'a> {
 
     fn place(&mut self, v: u32, m: u8, depth: i32) {
         self.color[v as usize] = m;
-        for &i in &self.inst.vert_insts[v as usize] {
+        for &i in self.inst.view.instructions_of(v) {
             if self.bad_depth[i as usize] >= 0 {
                 continue;
             }
-            let conflicts = self.inst.insts[i as usize]
+            let conflicts = self
+                .inst
+                .view
+                .operands(i)
                 .iter()
                 .any(|&u| u != v && self.color[u as usize] == m);
             if conflicts {
@@ -133,7 +136,7 @@ impl<'a> Searcher<'a> {
 
     fn unplace(&mut self, v: u32, depth: i32) {
         self.color[v as usize] = NONE;
-        for &i in &self.inst.vert_insts[v as usize] {
+        for &i in self.inst.view.instructions_of(v) {
             if self.bad_depth[i as usize] == depth {
                 self.bad_depth[i as usize] = -1;
                 self.cost -= 1;
@@ -246,7 +249,7 @@ mod tests {
         let comp: Vec<u32> = (0..inst.n as u32).collect();
         // Seed: everything in module 0 (worst case).
         let seed = vec![0u8; inst.n];
-        let seed_cost = inst.insts.len();
+        let seed_cost = inst.view.len();
         let mut budget = Budget::new(nodes, 0);
         Searcher::new(&inst, &comp, &seed, seed_cost).run(&mut budget)
     }

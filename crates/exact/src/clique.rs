@@ -25,7 +25,7 @@ pub(crate) fn clique_evidence(inst: &Instance, comp: &[u32]) -> Vec<Vec<u32>> {
     order.sort_by_key(|&v| (std::cmp::Reverse(inst.graph.degree(v)), v));
 
     let mut used_vert = vec![false; inst.n];
-    let mut used_inst = vec![false; inst.insts.len()];
+    let mut used_inst = vec![false; inst.view.len()];
     let mut out = Vec::new();
 
     for &seed in &order {
@@ -54,14 +54,7 @@ pub(crate) fn clique_evidence(inst: &Instance, comp: &[u32]) -> Vec<Vec<u32>> {
             continue;
         }
         // Support: instructions holding >= 2 clique members.
-        let in_clique = |v: u32| clique.contains(&v);
-        let support: Vec<u32> = inst
-            .insts
-            .iter()
-            .enumerate()
-            .filter(|(_, vs)| vs.iter().filter(|&&v| in_clique(v)).count() >= 2)
-            .map(|(i, _)| i as u32)
-            .collect();
+        let support: Vec<u32> = inst.view.support_of(|v| clique.contains(&v));
         if support.iter().any(|&i| used_inst[i as usize]) {
             continue;
         }

@@ -1,12 +1,15 @@
 //! Dense problem representation shared by the solver passes.
 //!
 //! The access-conflict graph already gives every distinct trace value a
-//! dense vertex id (sorted by [`ValueId`]); this module adds the instruction
-//! view the exact objective needs: which *multi-operand* instructions exist
-//! (only those can conflict under a single-copy assignment) and which of
-//! them each vertex participates in.
+//! dense vertex id (sorted by [`ValueId`](parmem_core::types::ValueId));
+//! the instruction view the exact objective needs — which *multi-operand*
+//! instructions exist (only those can conflict under a single-copy
+//! assignment) and which of them each vertex participates in — is the
+//! shared CSR [`InstructionView`] from `parmem-core`, the same structure
+//! `parmem-verify` validates certificates against.
 
 use parmem_core::graph::ConflictGraph;
+use parmem_core::instview::InstructionView;
 use parmem_core::types::AccessTrace;
 
 /// Sentinel for "vertex not yet colored".
@@ -18,10 +21,8 @@ pub(crate) struct Instance {
     pub n: usize,
     /// Number of memory modules.
     pub k: usize,
-    /// Multi-operand instructions as dense vertex lists, in program order.
-    pub insts: Vec<Vec<u32>>,
-    /// For each vertex, the indices into `insts` it appears in.
-    pub vert_insts: Vec<Vec<u32>>,
+    /// Multi-operand instruction/vertex cross-reference, in program order.
+    pub view: InstructionView,
 }
 
 impl Instance {
@@ -29,47 +30,13 @@ impl Instance {
         let graph = ConflictGraph::build(trace);
         let n = graph.len();
         let k = trace.modules;
-        let mut insts = Vec::new();
-        for op in &trace.instructions {
-            if op.len() < 2 {
-                continue;
-            }
-            let vs: Vec<u32> = op
-                .iter()
-                .map(|v| graph.vertex_of(v).expect("operand has a vertex"))
-                .collect();
-            insts.push(vs);
-        }
-        let mut vert_insts = vec![Vec::new(); n];
-        for (i, vs) in insts.iter().enumerate() {
-            for &v in vs {
-                vert_insts[v as usize].push(i as u32);
-            }
-        }
-        Instance {
-            graph,
-            n,
-            k,
-            insts,
-            vert_insts,
-        }
+        let view = InstructionView::build(&graph, trace);
+        Instance { graph, n, k, view }
     }
 
     /// Residual of a complete coloring: the number of multi-operand
     /// instructions with two operands in the same module.
     pub fn residual_of(&self, colors: &[u8]) -> usize {
-        self.insts
-            .iter()
-            .filter(|vs| {
-                for i in 0..vs.len() {
-                    for j in (i + 1)..vs.len() {
-                        if colors[vs[i] as usize] == colors[vs[j] as usize] {
-                            return true;
-                        }
-                    }
-                }
-                false
-            })
-            .count()
+        self.view.residual_of(colors)
     }
 }

@@ -89,7 +89,7 @@ pub fn solve(trace: &AccessTrace, cfg: &ExactConfig) -> ExactOutcome {
     let k = inst.k;
     sp.attr("k", k);
     sp.attr("values", inst.n);
-    sp.attr("multi_op_insts", inst.insts.len());
+    sp.attr("multi_op_insts", inst.view.len());
 
     let mut colors = vec![NONE; inst.n];
     let mut cliques_out: Vec<Vec<u32>> = Vec::new();
@@ -111,7 +111,7 @@ pub fn solve(trace: &AccessTrace, cfg: &ExactConfig) -> ExactOutcome {
             }
         }
         let mut comp_insts: Vec<Vec<u32>> = vec![Vec::new(); comps.len()];
-        for (i, vs) in inst.insts.iter().enumerate() {
+        for (i, vs) in inst.view.iter().enumerate() {
             comp_insts[comp_of[vs[0] as usize] as usize].push(i as u32);
         }
 
@@ -179,7 +179,8 @@ pub fn solve(trace: &AccessTrace, cfg: &ExactConfig) -> ExactOutcome {
                         .iter()
                         .map(|&i| {
                             OperandSet::new(
-                                inst.insts[i as usize]
+                                inst.view
+                                    .operands(i)
                                     .iter()
                                     .map(|&v| inst.graph.value(v))
                                     .collect(),

@@ -47,10 +47,12 @@ pub(crate) fn dsatur_seed(
             Some(m) => m,
             None => (0..k)
                 .min_by_key(|&m| {
-                    let newly_bad = inst.vert_insts[v as usize]
+                    let newly_bad = inst
+                        .view
+                        .instructions_of(v)
                         .iter()
                         .filter(|&&i| {
-                            let ops = &inst.insts[i as usize];
+                            let ops = inst.view.operands(i);
                             let already = pairs_conflicting(ops, colors, v) > 0;
                             !already && ops.iter().any(|&u| u != v && colors[u as usize] == m as u8)
                         })
@@ -67,7 +69,7 @@ pub(crate) fn dsatur_seed(
 
     local_insts
         .iter()
-        .filter(|&&i| is_bad(&inst.insts[i as usize], colors))
+        .filter(|&&i| is_bad(inst.view.operands(i), colors))
         .count()
 }
 
@@ -127,10 +129,10 @@ pub(crate) fn ils_improve(
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut cur: Vec<u8> = colors.to_vec();
     // Conflicting-pair count per instruction (global index space).
-    let mut pair_cnt = vec![0usize; inst.insts.len()];
+    let mut pair_cnt = vec![0usize; inst.view.len()];
     let mut cur_cost = 0usize;
     for &i in local_insts {
-        let ops = &inst.insts[i as usize];
+        let ops = inst.view.operands(i);
         let mut c = 0;
         for a in 0..ops.len() {
             for b in (a + 1)..ops.len() {
@@ -160,7 +162,7 @@ pub(crate) fn ils_improve(
                 if pair_cnt[i as usize] == 0 {
                     continue;
                 }
-                let ops: Vec<u32> = inst.insts[i as usize].clone();
+                let ops: Vec<u32> = inst.view.operands(i).to_vec();
                 for &v in &ops {
                     let old_m = cur[v as usize];
                     for m in 0..k {
@@ -170,16 +172,16 @@ pub(crate) fn ils_improve(
                         evals += 1;
                         // Bad-instruction delta of moving v: old_m -> m.
                         let mut delta = 0isize;
-                        for &vi in &inst.vert_insts[v as usize] {
-                            let vops = &inst.insts[vi as usize];
+                        for &vi in inst.view.instructions_of(v) {
+                            let vops = inst.view.operands(vi);
                             let old_c = pair_cnt[vi as usize];
                             let new_c = old_c - count_color(vops, &cur, v, old_m)
                                 + count_color(vops, &cur, v, m);
                             delta += (new_c > 0) as isize - (old_c > 0) as isize;
                         }
                         if delta < 0 {
-                            for &vi in &inst.vert_insts[v as usize] {
-                                let vops = &inst.insts[vi as usize];
+                            for &vi in inst.view.instructions_of(v) {
+                                let vops = inst.view.operands(vi);
                                 pair_cnt[vi as usize] = pair_cnt[vi as usize]
                                     - count_color(vops, &cur, v, old_m)
                                     + count_color(vops, &cur, v, m);
@@ -222,7 +224,7 @@ pub(crate) fn ils_improve(
         }
         for _ in 0..3 {
             let i = bad[rng.gen_range(0..bad.len())];
-            let ops = &inst.insts[i as usize];
+            let ops = inst.view.operands(i);
             let v = ops[rng.gen_range(0..ops.len())];
             let m: u8 = rng.gen_range(0..k as usize) as u8;
             let old_m = cur[v as usize];
@@ -230,8 +232,8 @@ pub(crate) fn ils_improve(
                 continue;
             }
             let mut delta = 0isize;
-            for &vi in &inst.vert_insts[v as usize] {
-                let vops = &inst.insts[vi as usize];
+            for &vi in inst.view.instructions_of(v) {
+                let vops = inst.view.operands(vi);
                 let old_c = pair_cnt[vi as usize];
                 let new_c =
                     old_c - count_color(vops, &cur, v, old_m) + count_color(vops, &cur, v, m);
@@ -256,7 +258,7 @@ mod tests {
         let trace = AccessTrace::from_lists(2, &[&[0, 1], &[1, 2]]);
         let inst = Instance::build(&trace);
         let comp: Vec<u32> = (0..3).collect();
-        let local: Vec<u32> = (0..inst.insts.len() as u32).collect();
+        let local: Vec<u32> = (0..inst.view.len() as u32).collect();
         let mut colors = vec![crate::instance::NONE; inst.n];
         let cost = dsatur_seed(&inst, &comp, &local, &mut colors);
         assert_eq!(cost, 0);
@@ -270,7 +272,7 @@ mod tests {
         let trace = AccessTrace::from_lists(2, &[&[0, 1], &[1, 2], &[2, 3], &[3, 0]]);
         let inst = Instance::build(&trace);
         let comp: Vec<u32> = (0..4).collect();
-        let local: Vec<u32> = (0..inst.insts.len() as u32).collect();
+        let local: Vec<u32> = (0..inst.view.len() as u32).collect();
         let mut colors = vec![0u8; inst.n];
         let (cost, _) = ils_improve(&inst, &comp, &local, &mut colors, 4, 0, 42);
         assert_eq!(cost, 0);
@@ -282,7 +284,7 @@ mod tests {
         let trace = AccessTrace::from_lists(2, &[&[0, 1, 2], &[2, 3, 4], &[4, 5, 0], &[1, 3, 5]]);
         let inst = Instance::build(&trace);
         let comp: Vec<u32> = (0..6).collect();
-        let local: Vec<u32> = (0..inst.insts.len() as u32).collect();
+        let local: Vec<u32> = (0..inst.view.len() as u32).collect();
         let mut a = vec![0u8; inst.n];
         let mut b = vec![0u8; inst.n];
         let ra = ils_improve(&inst, &comp, &local, &mut a, 4, 0, 7);

@@ -19,12 +19,18 @@
 //! * **PM206** — when a heuristic residual is supplied, it is not below the
 //!   certified lower bound (the optimality gap can never be negative).
 //!
-//! The counting here is deliberately written against the raw trace — not
-//! against `parmem-exact`'s internal instance representation — so agreement
-//! is evidence in the same sense as the rest of this crate.
+//! The witness residual (PM202) is recounted directly against the raw
+//! trace, independent of any solver structure. The clique-evidence checks
+//! (PM203) re-derive co-occurrence and instruction support through the
+//! shared CSR structures of `parmem-core` — [`ConflictGraph`] for pairwise
+//! co-occurrence and [`InstructionView`] for support counting — the same
+//! API `parmem-exact` builds its evidence from, rather than each side
+//! maintaining its own pair map.
 
 use std::collections::{HashMap, HashSet};
 
+use parmem_core::graph::ConflictGraph;
+use parmem_core::instview::InstructionView;
 use parmem_core::types::{AccessTrace, ValueId};
 use parmem_exact::{CertStatus, Certificate};
 
@@ -107,24 +113,19 @@ pub fn check_certificate(
         ));
     }
 
-    // PM203: clique evidence. Build the co-occurrence relation and the
-    // pair -> instructions map from the trace.
-    let mut cooccur: HashMap<(ValueId, ValueId), Vec<usize>> = HashMap::new();
-    for (idx, inst) in trace.instructions.iter().enumerate() {
-        let vals: Vec<ValueId> = inst.iter().collect();
-        for i in 0..vals.len() {
-            for j in (i + 1)..vals.len() {
-                let key = if vals[i] < vals[j] {
-                    (vals[i], vals[j])
-                } else {
-                    (vals[j], vals[i])
-                };
-                cooccur.entry(key).or_default().push(idx);
-            }
+    // PM203: clique evidence. Two values co-occur iff they share a conflict
+    // graph edge; a clique's support is the set of multi-operand
+    // instructions holding >= 2 of its members (the instruction view).
+    let graph = ConflictGraph::build(trace);
+    let view = InstructionView::build(&graph, trace);
+    let cooccur = |a: ValueId, b: ValueId| -> bool {
+        match (graph.vertex_of(a), graph.vertex_of(b)) {
+            (Some(u), Some(v)) => graph.has_edge(u, v),
+            _ => false,
         }
-    }
+    };
     let mut used_values: HashSet<ValueId> = HashSet::new();
-    let mut used_insts: HashSet<usize> = HashSet::new();
+    let mut used_insts: HashSet<u32> = HashSet::new();
     let mut valid_cliques = 0usize;
     for (ci, clique) in cert.cliques.iter().enumerate() {
         let mut ok = true;
@@ -145,8 +146,7 @@ pub fn check_certificate(
         }
         for (ai, &a) in clique.iter().enumerate() {
             for &b in &clique[ai + 1..] {
-                let key = if a < b { (a, b) } else { (b, a) };
-                if !cooccur.contains_key(&key) {
+                if !cooccur(a, b) {
                     out.push(
                         Diagnostic::new(
                             Code::PM203,
@@ -166,12 +166,7 @@ pub fn check_certificate(
             ok = false;
         }
         // Support: instructions holding >= 2 clique members.
-        let mut support: HashSet<usize> = HashSet::new();
-        for (idx, inst) in trace.instructions.iter().enumerate() {
-            if inst.iter().filter(|v| set.contains(v)).count() >= 2 {
-                support.insert(idx);
-            }
-        }
+        let support: Vec<u32> = view.support_of(|u| set.contains(&graph.value(u)));
         if support.iter().any(|i| used_insts.contains(i)) {
             out.push(Diagnostic::new(
                 Code::PM203,

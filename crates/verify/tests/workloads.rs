@@ -3,9 +3,9 @@
 //! duplication strategies, and a deliberately corrupted assignment must be
 //! caught with a diagnostic naming the offending instruction.
 
-use liw_sched::MachineSpec;
 use parmem_core::assignment::{assign_trace, AssignParams, DuplicationStrategy};
 use parmem_core::types::{ModuleId, ModuleSet};
+use parmem_driver::Session;
 use parmem_verify::{verify_all, verify_trace, Code};
 use rliw_sim::ArrayPlacement;
 
@@ -13,7 +13,9 @@ use rliw_sim::ArrayPlacement;
 fn all_six_workloads_verify_clean() {
     for bench in workloads::benchmarks() {
         for k in [4, 8] {
-            let prog = rliw_sim::compile(bench.source, MachineSpec::with_modules(k))
+            let prog = Session::new(k)
+                .without_optimizer()
+                .compile(bench.source)
                 .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
             let (a, r) = assign_trace(&prog.sched.access_trace(), &AssignParams::default());
             let report = verify_all(&prog.tac, &prog.sched, &a, Some(&r));
@@ -29,7 +31,10 @@ fn both_duplication_strategies_verify_clean() {
             DuplicationStrategy::Backtrack,
             DuplicationStrategy::HittingSet,
         ] {
-            let prog = rliw_sim::compile(bench.source, MachineSpec::with_modules(4)).unwrap();
+            let prog = Session::new(4)
+                .without_optimizer()
+                .compile(bench.source)
+                .unwrap();
             let params = AssignParams {
                 duplication: dup,
                 ..AssignParams::default()
@@ -47,7 +52,10 @@ fn static_prediction_matches_simulator_on_all_workloads() {
     // the simulator must agree exactly, workload by workload.
     for bench in workloads::benchmarks() {
         for k in [2, 4, 8] {
-            let prog = rliw_sim::compile(bench.source, MachineSpec::with_modules(k)).unwrap();
+            let prog = Session::new(k)
+                .without_optimizer()
+                .compile(bench.source)
+                .unwrap();
             let (a, r) = assign_trace(&prog.sched.access_trace(), &AssignParams::default());
             assert_eq!(r.residual_conflicts, 0, "{} k={k}", bench.name);
             let prediction = parmem_verify::differential::predict(&prog.sched, &a);
@@ -72,7 +80,10 @@ fn corrupted_assignment_yields_pm_diagnostic_naming_the_instruction() {
     let bench = workloads::by_name("taylor1")
         .or_else(|| workloads::benchmarks().into_iter().next())
         .expect("at least one workload");
-    let prog = rliw_sim::compile(bench.source, MachineSpec::with_modules(8)).unwrap();
+    let prog = Session::new(8)
+        .without_optimizer()
+        .compile(bench.source)
+        .unwrap();
     let trace = prog.sched.access_trace();
     let (mut a, _) = assign_trace(&trace, &AssignParams::default());
 
@@ -100,7 +111,10 @@ fn corrupted_assignment_yields_pm_diagnostic_naming_the_instruction() {
 #[test]
 fn extended_workload_set_verifies_clean() {
     for bench in workloads::all_benchmarks() {
-        let prog = rliw_sim::compile(bench.source, MachineSpec::with_modules(8)).unwrap();
+        let prog = Session::new(8)
+            .without_optimizer()
+            .compile(bench.source)
+            .unwrap();
         let (a, r) = assign_trace(&prog.sched.access_trace(), &AssignParams::default());
         let report = verify_all(&prog.tac, &prog.sched, &a, Some(&r));
         assert!(report.is_clean(), "{}: {report}", bench.name);

@@ -9,9 +9,8 @@
 //! `<benchmark>` is one of TAYLOR1, TAYLOR2, EXACT, FFT, SORT, COLOR
 //! (default FFT).
 
-use liw_sched::MachineSpec;
 use parallel_memories::core::baseline;
-use parallel_memories::core::prelude::*;
+use parallel_memories::driver::Session;
 use parallel_memories::sim::{self, ArrayPlacement};
 
 fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
@@ -23,7 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         "compiling {} for an RLIW with {k} memory modules...",
         bench.name
     );
-    let prog = sim::compile(bench.source, MachineSpec::with_modules(k))?;
+    let session = Session::new(k).without_optimizer();
+    let prog = session.compile(bench.source)?;
     let trace = prog.sched.access_trace();
     println!(
         "  {} long words (static), {} data values, {} regions",
@@ -33,13 +33,13 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     );
 
     // Conflict-aware assignment (the paper's pipeline).
-    let (smart, report) = sim::assign(&prog.sched, Strategy::Stor1, &AssignParams::default());
+    let (smart, report) = session.assign(&prog);
     println!(
         "  assignment: {} single-copy, {} duplicated, residual conflicts {}",
         report.single_copy, report.multi_copy, report.residual_conflicts
     );
 
-    let smart_run = sim::verified_run(&prog, &smart, ArrayPlacement::Interleaved)?;
+    let smart_run = session.verified_run(&prog, &smart, ArrayPlacement::Interleaved)?;
     println!("\nconflict-aware layout (interleaved arrays):");
     print_stats(&smart_run.stats);
     println!(

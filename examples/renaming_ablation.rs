@@ -11,9 +11,9 @@
 //! cargo run --example renaming_ablation
 //! ```
 
-use liw_sched::{schedule_with, MachineSpec, ScheduleOptions};
 use parallel_memories::core::graph::ConflictGraph;
 use parallel_memories::core::prelude::*;
+use parallel_memories::driver::Session;
 use parallel_memories::sim::{self, ArrayPlacement};
 
 fn main() {
@@ -39,18 +39,11 @@ fn main() {
     println!("{}", "-".repeat(100));
 
     for b in workloads::benchmarks() {
-        let tac = liw_ir::compile(b.source).unwrap();
-        let reference = liw_ir::run(&tac).unwrap();
+        let reference = liw_ir::run_source(b.source).unwrap();
         let mut cells = Vec::new();
         for rename in [true, false] {
-            let sp = schedule_with(
-                &tac,
-                MachineSpec::with_modules(k),
-                ScheduleOptions {
-                    rename,
-                    ..Default::default()
-                },
-            );
+            let session = Session::new(k).without_optimizer().with_renaming(rename);
+            let sp = session.compile(b.source).unwrap().sched;
             let trace = sp.access_trace();
             let g = ConflictGraph::build(&trace);
             let (a, report) = assign_trace(&trace, &AssignParams::default());
@@ -91,18 +84,11 @@ fn main() {
           t := g * h;  w := t + a;
           print x + y + z + w;
         end.";
-    let tac = liw_ir::compile(reuse).unwrap();
-    let reference = liw_ir::run(&tac).unwrap();
+    let reference = liw_ir::run_source(reuse).unwrap();
     println!();
     for rename in [true, false] {
-        let sp = schedule_with(
-            &tac,
-            MachineSpec::with_modules(k),
-            ScheduleOptions {
-                rename,
-                ..Default::default()
-            },
-        );
+        let session = Session::new(k).without_optimizer().with_renaming(rename);
+        let sp = session.compile(reuse).unwrap().sched;
         let trace = sp.access_trace();
         let (a, report) = assign_trace(&trace, &AssignParams::default());
         let run = sim::run(&sp, &a, ArrayPlacement::Interleaved).unwrap();

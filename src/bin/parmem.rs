@@ -62,58 +62,131 @@
 //!   --trace-out <file>    write a Chrome trace of the whole command
 //!   --trace-summary <f>   write the deterministic span tree + metrics dump
 //!                         (byte-identical across runs and `--jobs`)
+//!
+//! Unknown options are rejected with an error listing what the subcommand
+//! accepts. All argument parsing goes through `parmem_driver::CommonArgs`,
+//! and every pipeline-running subcommand drives the stages through
+//! `parmem_driver::Session`.
 //! ```
 
 use std::process::ExitCode;
 
-use liw_sched::MachineSpec;
 use parallel_memories::batch::{self, BatchOptions, ErrorPolicy};
 use parallel_memories::core::prelude::*;
 use parallel_memories::core::trace_io;
+use parallel_memories::driver::{args, CommonArgs, Session};
 use parallel_memories::obs;
-use parallel_memories::sim::{self, ArrayPlacement, CompileOptions};
+use parallel_memories::sim::ArrayPlacement;
 use parallel_memories::verify;
 
-// Per-stage allocation metrics are measured by the batch engine's counting
-// allocator; installing it here is what makes the `alloc_bytes`/`allocs`
-// fields of `--timings` reports nonzero.
+// Per-stage allocation metrics are measured by the obs counting allocator;
+// installing it here is what makes the `alloc_bytes`/`allocs` fields of
+// `--timings` reports nonzero.
 #[global_allocator]
 static ALLOC: parallel_memories::batch::metrics::CountingAlloc =
     parallel_memories::batch::metrics::CountingAlloc;
+
+type CliError = Box<dyn std::error::Error + Send + Sync>;
+
+/// Per-subcommand argument contract: boolean flags and value-taking
+/// options (the uniform profiling options are accepted implicitly).
+fn arg_spec(cmd: &str) -> Option<(&'static [&'static str], &'static [&'static str])> {
+    match cmd {
+        "assign" => Some((&["--backtrack", "--no-atoms"], &[])),
+        "compile" => Some((&["--no-opt"], &["-k", "--stor", "--unroll"])),
+        "run" => Some((&[], &[])),
+        "verify" => Some((
+            &[
+                "--json",
+                "--backtrack",
+                "--no-atoms",
+                "--exact",
+                "--no-portfolio",
+            ],
+            &["-k", "--stor", "--budget-nodes", "--budget-ms", "--seed"],
+        )),
+        "exact" => Some((
+            &["--all", "--no-portfolio", "--no-opt"],
+            &[
+                "-k",
+                "--budget-nodes",
+                "--budget-ms",
+                "--seed",
+                "--jobs",
+                "--format",
+                "--out",
+                "--unroll",
+            ],
+        )),
+        "batch" => Some((
+            &[
+                "--all",
+                "--json",
+                "--csv",
+                "--timings",
+                "--fail-fast",
+                "--no-opt",
+                "--backtrack",
+                "--no-atoms",
+            ],
+            &["-k", "--stor", "--jobs", "--out", "--seed", "--unroll"],
+        )),
+        "trace" => Some((
+            &[
+                "--deterministic",
+                "--validate",
+                "--no-opt",
+                "--backtrack",
+                "--no-atoms",
+            ],
+            &["-k", "--stor", "--format", "--out", "--seed", "--unroll"],
+        )),
+        _ => None,
+    }
+}
 
 fn main() -> ExitCode {
     // Register the exact solver so `--stor exact` works in every
     // subcommand that dispatches through `run_strategy`.
     parallel_memories::exact::install();
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = args.first().map(String::as_str);
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = raw.first().map(String::as_str).unwrap_or("");
+
+    let Some((flags, value_opts)) = arg_spec(cmd) else {
+        eprintln!(
+            "usage: parmem <assign|compile|run|verify|batch|trace|exact> [file|workloads] [options]"
+        );
+        eprintln!("       see crate docs for details");
+        return ExitCode::from(2);
+    };
+    let a = match CommonArgs::parse(cmd, &raw[1..], flags, value_opts) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("parmem: {e}");
+            return ExitCode::from(2);
+        }
+    };
 
     // `trace` manages the collector itself; every other subcommand gets the
     // uniform profiling flags handled here so the instrumentation in the
     // library crates lights up without per-command plumbing.
-    let trace_out = opt_value::<String>(&args, "--trace-out");
-    let trace_summary = opt_value::<String>(&args, "--trace-summary");
-    let profiling = cmd != Some("trace")
-        && (flag(&args, "--profile") || trace_out.is_some() || trace_summary.is_some());
+    let trace_out = a.value("--trace-out").map(str::to_string);
+    let trace_summary = a.value("--trace-summary").map(str::to_string);
+    let profiling =
+        cmd != "trace" && (a.flag("--profile") || trace_out.is_some() || trace_summary.is_some());
     if profiling {
         obs::set_enabled(true);
     }
 
     let result = match cmd {
-        Some("assign") => cmd_assign(&args[1..]),
-        Some("compile") => cmd_compile(&args[1..]),
-        Some("run") => cmd_run(&args[1..]),
-        Some("verify") => cmd_verify(&args[1..]),
-        Some("batch") => cmd_batch(&args[1..]),
-        Some("trace") => cmd_trace(&args[1..]),
-        Some("exact") => cmd_exact(&args[1..]),
-        _ => {
-            eprintln!(
-                "usage: parmem <assign|compile|run|verify|batch|trace|exact> [file|workloads] [options]"
-            );
-            eprintln!("       see crate docs for details");
-            return ExitCode::from(2);
-        }
+        "assign" => cmd_assign(&a),
+        "compile" => cmd_compile(&a),
+        "run" => cmd_run(&a),
+        "verify" => cmd_verify(&a),
+        "batch" => cmd_batch(&a),
+        "trace" => cmd_trace(&a),
+        "exact" => cmd_exact(&a),
+        _ => unreachable!("arg_spec gates the dispatch"),
     };
 
     let result = if profiling {
@@ -129,7 +202,7 @@ fn main() -> ExitCode {
                 summary.push_str(&session.metrics_text());
                 std::fs::write(path, summary)?;
             }
-            if flag(&args, "--profile") {
+            if a.flag("--profile") {
                 eprint!("{}", session.span_tree(true));
                 eprint!("{}", session.metrics_text());
             }
@@ -148,82 +221,11 @@ fn main() -> ExitCode {
     }
 }
 
-/// Options that consume the following argument — shared by every
-/// subcommand's positional-argument scan.
-const VALUE_OPTS: [&str; 12] = [
-    "-k",
-    "--k",
-    "--stor",
-    "--jobs",
-    "--out",
-    "--seed",
-    "--unroll",
-    "--format",
-    "--trace-out",
-    "--trace-summary",
-    "--budget-nodes",
-    "--budget-ms",
-];
-
-fn flag(args: &[String], name: &str) -> bool {
-    args.iter().any(|a| a == name)
-}
-
-fn opt_value<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-}
-
-/// Positional (non-flag) arguments, skipping the values of [`VALUE_OPTS`].
-fn positionals(args: &[String]) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < args.len() {
-        let a = &args[i];
-        if VALUE_OPTS.contains(&a.as_str()) {
-            i += 2;
-            continue;
-        }
-        if !a.starts_with('-') {
-            out.push(a.clone());
-        }
-        i += 1;
-    }
-    out
-}
-
-fn file_arg(args: &[String]) -> Result<String, Box<dyn std::error::Error + Send + Sync>> {
-    positionals(args)
-        .into_iter()
-        .find(|a| a.parse::<f64>().is_err())
-        .ok_or_else(|| "missing input file".into())
-}
-
-/// Parse `--stor` through the strategy registry (flags `1|2|3|exact` and
-/// names `STOR1|STOR2|STOR3|EXACT`); defaults to STOR1 when absent.
-fn stor_arg(args: &[String]) -> Result<Strategy, Box<dyn std::error::Error + Send + Sync>> {
-    match opt_value::<String>(args, "--stor") {
-        None => Ok(Strategy::Stor1),
-        Some(v) => Strategy::parse(&v)
-            .ok_or_else(|| format!("bad --stor `{v}` (1|2|3|exact, or all in batch)").into()),
-    }
-}
-
-fn cmd_assign(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
-    let path = file_arg(args)?;
+fn cmd_assign(a: &CommonArgs) -> Result<(), CliError> {
+    let path = a.file_arg()?;
     let text = std::fs::read_to_string(&path)?;
     let named = trace_io::parse_trace(&text)?;
-    let params = AssignParams {
-        duplication: if flag(args, "--backtrack") {
-            DuplicationStrategy::Backtrack
-        } else {
-            DuplicationStrategy::HittingSet
-        },
-        use_atoms: !flag(args, "--no-atoms"),
-        ..AssignParams::default()
-    };
+    let params = args::assign_params(a);
     let (assignment, report) = assign_trace(&named.trace, &params);
 
     let k = named.trace.modules;
@@ -265,36 +267,30 @@ fn cmd_assign(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + 
     Ok(())
 }
 
-fn cmd_compile(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
-    let path = file_arg(args)?;
+fn cmd_compile(a: &CommonArgs) -> Result<(), CliError> {
+    let path = a.file_arg()?;
     let src = std::fs::read_to_string(&path)?;
-    let k: usize = opt_value(args, "-k").unwrap_or(8);
-    let opts = CompileOptions {
-        unroll: opt_value::<usize>(args, "--unroll").map(|factor| liw_ir::unroll::UnrollConfig {
-            factor,
-            max_body_stmts: 16,
-        }),
-        optimize: !flag(args, "--no-opt"),
-        rename: true,
-    };
-    let strategy = stor_arg(args)?;
+    let k = a.parsed::<usize>("-k")?.unwrap_or(8);
+    let session = Session::new(k)
+        .with_strategy(args::strategy(a)?)
+        .with_opts(args::compile_options(a)?);
 
-    let prog = sim::compile_with(&src, MachineSpec::with_modules(k), opts)?;
+    let prog = session.compile(&src)?;
     let trace = prog.sched.access_trace();
     println!(
         "compiled `{path}`: {} long words (static), {} data values, k={k}",
         trace.instructions.len(),
         trace.distinct_values().len()
     );
-    let (assignment, report) = sim::assign(&prog.sched, strategy, &AssignParams::default());
+    let (assignment, report) = session.assign(&prog);
     println!(
         "{}: single-copy {}  duplicated {}  residual conflicts {}",
-        strategy.name(),
+        session.strategy.name(),
         report.single_copy,
         report.multi_copy,
         report.residual_conflicts
     );
-    let run = sim::verified_run(&prog, &assignment, ArrayPlacement::Interleaved)?;
+    let run = session.verified_run(&prog, &assignment, ArrayPlacement::Interleaved)?;
     println!(
         "executed {} words in {} cycles  (transfer time {}Δ, scalar-conflict words {})",
         run.stats.words, run.stats.cycles, run.stats.transfer_time, run.stats.scalar_conflict_words
@@ -312,29 +308,26 @@ fn cmd_compile(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send +
     Ok(())
 }
 
-fn cmd_verify(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
-    if flag(args, "--exact") {
-        return cmd_verify_exact(args);
+fn cmd_verify(a: &CommonArgs) -> Result<(), CliError> {
+    if a.flag("--exact") {
+        return cmd_verify_exact(a);
     }
-    let path = file_arg(args)?;
+    let path = a.file_arg()?;
     let text = std::fs::read_to_string(&path)?;
-    let params = AssignParams {
-        duplication: if flag(args, "--backtrack") {
-            DuplicationStrategy::Backtrack
-        } else {
-            DuplicationStrategy::HittingSet
-        },
-        use_atoms: !flag(args, "--no-atoms"),
-        ..AssignParams::default()
-    };
+    let params = args::assign_params(a);
 
     let report = if text.trim_start().starts_with("program") {
         // MiniLang source: run the whole pipeline and check all invariants.
-        let k: usize = opt_value(args, "-k").unwrap_or(8);
-        let strategy = stor_arg(args)?;
-        let prog = sim::compile(&text, MachineSpec::with_modules(k))?;
-        let (assignment, areport) = sim::assign(&prog.sched, strategy, &params);
-        verify::verify_all(&prog.tac, &prog.sched, &assignment, Some(&areport))
+        // `without_optimizer` matches the historical plain-compile behavior
+        // of this subcommand (the checker re-derives, it does not optimize).
+        let k = a.parsed::<usize>("-k")?.unwrap_or(8);
+        let session = Session::new(k)
+            .with_strategy(args::strategy(a)?)
+            .with_params(params)
+            .without_optimizer();
+        let prog = session.compile(&text)?;
+        let (assignment, areport) = session.assign(&prog);
+        session.verify(&prog, &assignment, Some(&areport))
     } else {
         // Text access trace: assignment-level checks only.
         let named = trace_io::parse_trace(&text)?;
@@ -342,7 +335,7 @@ fn cmd_verify(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + 
         verify::verify_trace(&named.trace, &assignment, Some(&areport))
     };
 
-    if flag(args, "--json") {
+    if a.flag("--json") {
         println!("{}", report.to_json());
     } else {
         print!("{report}");
@@ -354,57 +347,21 @@ fn cmd_verify(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + 
     }
 }
 
-/// Resolve a positional target as a workload name first, a MiniLang file
-/// second (the same rule `parmem trace` uses).
-fn resolve_program(
-    target: &str,
-) -> Result<(String, String), Box<dyn std::error::Error + Send + Sync>> {
-    match workloads::by_name(target) {
-        Some(b) => Ok((b.name.to_string(), b.source.to_string())),
-        None => {
-            let src = std::fs::read_to_string(target).map_err(|e| {
-                format!("`{target}` is neither a workload nor a readable file ({e})")
-            })?;
-            Ok((target.to_string(), src))
-        }
-    }
-}
-
-/// Exact-solver budget/portfolio configuration from the uniform flags.
-fn exact_cfg(args: &[String]) -> parallel_memories::exact::ExactConfig {
-    let mut cfg = parallel_memories::exact::ExactConfig::default();
-    if let Some(n) = opt_value(args, "--budget-nodes") {
-        cfg.budget_nodes = n;
-    }
-    if let Some(ms) = opt_value(args, "--budget-ms") {
-        cfg.budget_ms = ms;
-    }
-    if flag(args, "--no-portfolio") {
-        cfg.portfolio = false;
-    }
-    if let Some(seed) = opt_value(args, "--seed") {
-        cfg.seed = seed;
-    }
-    cfg
-}
-
 /// `parmem verify --exact`: solve one workload/file exactly and re-validate
 /// the resulting certificate against the trace (PM201–PM206).
-fn cmd_verify_exact(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
-    let target = positionals(args)
-        .into_iter()
-        .next()
-        .ok_or("missing workload name or MiniLang file")?;
-    let (program, source) = resolve_program(&target)?;
-    let k: usize = opt_value(args, "-k").unwrap_or(4);
-    let prog = sim::compile(&source, MachineSpec::with_modules(k))?;
+fn cmd_verify_exact(a: &CommonArgs) -> Result<(), CliError> {
+    let target = a.target_arg()?;
+    let (program, source) = args::resolve_program(&target)?;
+    let k = a.parsed::<usize>("-k")?.unwrap_or(4);
+    let session = Session::new(k).without_optimizer();
+    let prog = session.compile(&source)?;
     let trace = prog.sched.access_trace();
-    let cfg = exact_cfg(args);
+    let cfg = args::exact_config(a)?;
     let cert = parallel_memories::exact::solve_certificate(&trace, &cfg);
     let heuristic =
         parallel_memories::exact::heuristic_single_copy_residual(&trace, &AssignParams::default());
     let report = verify::verify_certificate(&trace, &cert, Some(heuristic));
-    if flag(args, "--json") {
+    if a.flag("--json") {
         println!(
             "{{\"schema\":\"parmem-verify-exact/v1\",\"program\":\"{program}\",\"heuristic_residual\":{heuristic},\"certificate\":{},\"report\":{}}}",
             cert.to_json(),
@@ -430,37 +387,13 @@ fn cmd_verify_exact(args: &[String]) -> Result<(), Box<dyn std::error::Error + S
 
 /// `parmem exact`: the gap sweep — exact bounds vs heuristic residual per
 /// (workload, k), with every certificate independently re-validated.
-fn cmd_exact(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+fn cmd_exact(a: &CommonArgs) -> Result<(), CliError> {
     use parallel_memories::exact_report::{self, ExactJobSpec};
 
-    let names = positionals(args);
-    let benches: Vec<workloads::Benchmark> = if !names.is_empty() {
-        names
-            .iter()
-            .map(|n| workloads::by_name(n).ok_or_else(|| format!("unknown workload `{n}`")))
-            .collect::<Result<_, _>>()?
-    } else if flag(args, "--all") {
-        workloads::all_benchmarks()
-    } else {
-        workloads::benchmarks()
-    };
-    let ks: Vec<usize> = match opt_value::<String>(args, "-k") {
-        None => vec![2, 4],
-        Some(list) => list
-            .split(',')
-            .map(|p| p.trim().parse::<usize>())
-            .collect::<Result<_, _>>()
-            .map_err(|_| format!("bad -k list `{list}` (expected e.g. 2,4)"))?,
-    };
-    let cfg = exact_cfg(args);
-    let opts = CompileOptions {
-        unroll: opt_value::<usize>(args, "--unroll").map(|factor| liw_ir::unroll::UnrollConfig {
-            factor,
-            max_body_stmts: 16,
-        }),
-        optimize: !flag(args, "--no-opt"),
-        rename: true,
-    };
+    let benches = args::select_benchmarks(a)?;
+    let ks = args::k_list(a, &[2, 4])?;
+    let cfg = args::exact_config(a)?;
+    let opts = args::compile_options(a)?;
 
     let mut specs = Vec::with_capacity(benches.len() * ks.len());
     for b in &benches {
@@ -475,10 +408,10 @@ fn cmd_exact(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + S
             });
         }
     }
-    let results = exact_report::run_exact_jobs(specs, opt_value(args, "--jobs").unwrap_or(0));
+    let results = exact_report::run_exact_jobs(specs, a.parsed("--jobs")?.unwrap_or(0));
 
-    let format = opt_value::<String>(args, "--format").unwrap_or_else(|| "text".to_string());
-    let output = match format.as_str() {
+    let format = a.value("--format").unwrap_or("text");
+    let output = match format {
         "text" => exact_report::to_text(&results),
         "json" => {
             let mut j = exact_report::to_json(&results);
@@ -487,8 +420,8 @@ fn cmd_exact(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + S
         }
         other => return Err(format!("bad --format `{other}` (text|json)").into()),
     };
-    match opt_value::<String>(args, "--out") {
-        Some(path) => std::fs::write(&path, &output)?,
+    match a.value("--out") {
+        Some(path) => std::fs::write(path, &output)?,
         None => print!("{output}"),
     }
 
@@ -506,8 +439,8 @@ fn cmd_exact(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + S
     }
 }
 
-fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
-    let path = file_arg(args)?;
+fn cmd_run(a: &CommonArgs) -> Result<(), CliError> {
+    let path = a.file_arg()?;
     let src = std::fs::read_to_string(&path)?;
     let result = liw_ir::run_source(&src)?;
     for v in &result.output {
@@ -517,72 +450,37 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + Syn
     Ok(())
 }
 
-fn cmd_trace(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
-    let target = positionals(args)
-        .into_iter()
-        .next()
-        .ok_or("missing workload name or MiniLang file")?;
-
-    // A known benchmark name wins; anything else is a path to a source file.
-    let (program, source): (String, String) = match workloads::by_name(&target) {
-        Some(b) => (b.name.to_string(), b.source.to_string()),
-        None => {
-            let src = std::fs::read_to_string(&target).map_err(|e| {
-                format!("`{target}` is neither a workload nor a readable file ({e})")
-            })?;
-            (target.clone(), src)
-        }
-    };
-
-    let k: usize = opt_value(args, "-k")
-        .or_else(|| opt_value(args, "--k"))
-        .unwrap_or(8);
-    let strategy = stor_arg(args)?;
-    let opts = CompileOptions {
-        unroll: opt_value::<usize>(args, "--unroll").map(|factor| liw_ir::unroll::UnrollConfig {
-            factor,
-            max_body_stmts: 16,
-        }),
-        optimize: !flag(args, "--no-opt"),
-        rename: true,
-    };
-    let params = AssignParams {
-        duplication: if flag(args, "--backtrack") {
-            DuplicationStrategy::Backtrack
-        } else {
-            DuplicationStrategy::HittingSet
-        },
-        use_atoms: !flag(args, "--no-atoms"),
-        ..AssignParams::default()
-    };
-
-    let mut spec = batch::JobSpec::new(program, source, k)
-        .with_strategy(strategy)
-        .with_opts(opts)
-        .with_seed(opt_value(args, "--seed").unwrap_or(0xC0FFEE));
-    spec.params = params;
+fn cmd_trace(a: &CommonArgs) -> Result<(), CliError> {
+    let target = a.target_arg()?;
+    let (program, source) = args::resolve_program(&target)?;
+    let k = a.parsed::<usize>("-k")?.unwrap_or(8);
+    let session = Session::new(k)
+        .with_strategy(args::strategy(a)?)
+        .with_opts(args::compile_options(a)?)
+        .with_params(args::assign_params(a))
+        .with_seed(a.parsed("--seed")?.unwrap_or(0xC0FFEE));
 
     // Run the one job with the collector live, then drain it exactly once.
     obs::set_enabled(true);
-    let result = batch::job::run_job(&spec);
+    let result = session.run(program, source);
     obs::set_enabled(false);
-    let session = obs::take();
+    let obs_session = obs::take();
 
-    let deterministic = flag(args, "--deterministic");
-    let format = opt_value::<String>(args, "--format").unwrap_or_else(|| "tree".to_string());
-    let output = match format.as_str() {
-        "tree" => session.span_tree(!deterministic),
-        "json" => session.to_json(!deterministic),
-        "chrome" => session.chrome_trace(),
-        "metrics" => session.metrics_text(),
+    let deterministic = a.flag("--deterministic");
+    let format = a.value("--format").unwrap_or("tree");
+    let output = match format {
+        "tree" => obs_session.span_tree(!deterministic),
+        "json" => obs_session.to_json(!deterministic),
+        "chrome" => obs_session.chrome_trace(),
+        "metrics" => obs_session.metrics_text(),
         other => return Err(format!("bad --format `{other}` (tree|json|chrome|metrics)").into()),
     };
 
-    if flag(args, "--validate") {
+    if a.flag("--validate") {
         let chrome = if format == "chrome" {
             output.clone()
         } else {
-            session.chrome_trace()
+            obs_session.chrome_trace()
         };
         let stats = obs::validate_chrome_trace(&chrome).map_err(|e| format!("trace: {e}"))?;
         eprintln!(
@@ -591,8 +489,8 @@ fn cmd_trace(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + S
         );
     }
 
-    match opt_value::<String>(args, "--out") {
-        Some(path) => std::fs::write(&path, &output)?,
+    match a.value("--out") {
+        Some(path) => std::fs::write(path, &output)?,
         None => print!("{output}"),
     }
 
@@ -614,30 +512,11 @@ fn cmd_trace(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + S
     }
 }
 
-fn cmd_batch(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
-    let names = positionals(args);
+fn cmd_batch(a: &CommonArgs) -> Result<(), CliError> {
+    let benches = args::select_benchmarks(a)?;
+    let ks = args::k_list(a, &[2, 4, 8])?;
 
-    let benches: Vec<workloads::Benchmark> = if !names.is_empty() {
-        names
-            .iter()
-            .map(|n| workloads::by_name(n).ok_or_else(|| format!("unknown workload `{n}`")))
-            .collect::<Result<_, _>>()?
-    } else if flag(args, "--all") {
-        workloads::all_benchmarks()
-    } else {
-        workloads::benchmarks()
-    };
-
-    let ks: Vec<usize> = match opt_value::<String>(args, "-k") {
-        None => vec![2, 4, 8],
-        Some(list) => list
-            .split(',')
-            .map(|p| p.trim().parse::<usize>())
-            .collect::<Result<_, _>>()
-            .map_err(|_| format!("bad -k list `{list}` (expected e.g. 2,4,8)"))?,
-    };
-
-    let strategies: Vec<Strategy> = match opt_value::<String>(args, "--stor").as_deref() {
+    let strategies: Vec<Strategy> = match a.value("--stor") {
         None => vec![Strategy::Stor1],
         // The paper's three heuristics; `exact` must be asked for by name.
         Some("all") => Strategy::heuristics().collect(),
@@ -647,24 +526,9 @@ fn cmd_batch(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + S
         },
     };
 
-    let seed: u64 = opt_value(args, "--seed").unwrap_or(0xC0FFEE);
-    let opts = CompileOptions {
-        unroll: opt_value::<usize>(args, "--unroll").map(|factor| liw_ir::unroll::UnrollConfig {
-            factor,
-            max_body_stmts: 16,
-        }),
-        optimize: !flag(args, "--no-opt"),
-        rename: true,
-    };
-    let params = AssignParams {
-        duplication: if flag(args, "--backtrack") {
-            DuplicationStrategy::Backtrack
-        } else {
-            DuplicationStrategy::HittingSet
-        },
-        use_atoms: !flag(args, "--no-atoms"),
-        ..AssignParams::default()
-    };
+    let seed: u64 = a.parsed("--seed")?.unwrap_or(0xC0FFEE);
+    let opts = args::compile_options(a)?;
+    let params = args::assign_params(a);
 
     let mut specs = batch::sweep_jobs(&benches, &ks, &strategies, seed);
     for s in &mut specs {
@@ -673,8 +537,8 @@ fn cmd_batch(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + S
     }
 
     let batch_opts = BatchOptions {
-        jobs: opt_value(args, "--jobs").unwrap_or(0),
-        policy: if flag(args, "--fail-fast") {
+        jobs: a.parsed("--jobs")?.unwrap_or(0),
+        policy: if a.flag("--fail-fast") {
             ErrorPolicy::FailFast
         } else {
             ErrorPolicy::CollectAll
@@ -683,17 +547,17 @@ fn cmd_batch(args: &[String]) -> Result<(), Box<dyn std::error::Error + Send + S
     let n_jobs = specs.len();
     let report = batch::run_batch(specs, &batch_opts);
 
-    let timings = flag(args, "--timings");
-    if flag(args, "--json") {
+    let timings = a.flag("--timings");
+    if a.flag("--json") {
         println!("{}", report.to_json(timings));
-    } else if flag(args, "--csv") {
+    } else if a.flag("--csv") {
         print!("{}", report.to_csv(timings));
     } else {
         print!("{}", report.format_text_with(timings));
     }
-    if let Some(path) = opt_value::<String>(args, "--out") {
+    if let Some(path) = a.value("--out") {
         // The file report always carries timings — it is the CI artifact.
-        std::fs::write(&path, report.to_json(true))?;
+        std::fs::write(path, report.to_json(true))?;
     }
     eprintln!(
         "batch: {n_jobs} job(s) on {} worker(s) in {:.1} ms",

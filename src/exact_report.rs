@@ -10,8 +10,8 @@
 
 use std::fmt::Write as _;
 
-use liw_sched::MachineSpec;
 use parmem_core::assignment::AssignParams;
+use parmem_driver::Session;
 use parmem_exact::{heuristic_single_copy_residual, solve_certificate, Certificate, ExactConfig};
 use rliw_sim::pipeline::CompileOptions;
 
@@ -70,12 +70,8 @@ pub fn run_exact_job(spec: &ExactJobSpec) -> ExactJobResult {
     sp.attr("program", spec.program.clone());
     sp.attr("k", spec.k);
     let outcome = (|| {
-        let prog = rliw_sim::pipeline::compile_with(
-            &spec.source,
-            MachineSpec::with_modules(spec.k),
-            spec.opts,
-        )
-        .map_err(|e| e.to_string())?;
+        let session = Session::new(spec.k).with_opts(spec.opts);
+        let prog = session.compile(&spec.source).map_err(|e| e.to_string())?;
         let trace = prog.sched.access_trace();
         let certificate = solve_certificate(&trace, &spec.cfg);
         let heuristic_residual = heuristic_single_copy_residual(&trace, &spec.params);

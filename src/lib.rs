@@ -17,6 +17,10 @@
 //! * [`exact`] (`parmem-exact`) — exact branch-and-bound assignment solver
 //!   with clique lower bounds, an anytime DSATUR/ILS portfolio, and
 //!   machine-checkable optimality certificates.
+//! * [`driver`] (`parmem-driver`) — the pipeline session layer: the single
+//!   place the staged pipeline is chained, instrumented, and configured
+//!   ([`driver::Session`] / [`driver::PipelineContext`]), plus the CLI's
+//!   shared argument parser.
 //! * [`batch`] (`parmem-batch`) — parallel batch pipeline engine: runs many
 //!   (program, k, strategy) jobs on a work-stealing pool with per-stage
 //!   metrics, panic isolation, and deterministic reports.
@@ -34,6 +38,7 @@ pub use liw_ir as ir;
 pub use liw_sched as sched;
 pub use parmem_batch as batch;
 pub use parmem_core as core;
+pub use parmem_driver as driver;
 pub use parmem_exact as exact;
 pub use parmem_obs as obs;
 pub use parmem_verify as verify;

@@ -1,0 +1,98 @@
+//! Byte-compare golden tests for the `parmem` CLI.
+//!
+//! Each case runs the real binary (via `CARGO_BIN_EXE_parmem`) on a
+//! deterministic input and compares stdout byte-for-byte against a
+//! committed snapshot in `tests/golden/cli/`. Together with the library
+//! golden tests this pins the CLI's observable behavior across the
+//! `parmem-driver` session layer and the CSR conflict-graph core: any
+//! change to parsing, staging, assignment, or report rendering shows up as
+//! a diff here.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test cli_golden
+//! ```
+//!
+//! then review the diffs like any other code change.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+/// Run the CLI with `args`, requiring success, and return stdout verbatim.
+fn parmem_stdout(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_parmem"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("spawn parmem");
+    assert!(
+        out.status.success(),
+        "parmem {args:?} failed with {}:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("stdout is UTF-8")
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = repo_path(&format!("tests/golden/cli/{name}.txt"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        eprintln!("golden: rewrote {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run `UPDATE_GOLDEN=1 cargo test --test cli_golden`",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "`parmem` output diverged from {} — diff the snapshot after\n\
+         `UPDATE_GOLDEN=1 cargo test --test cli_golden` to inspect",
+        path.display()
+    );
+}
+
+#[test]
+fn assign_output_is_stable() {
+    let actual = parmem_stdout(&["assign", "tests/golden/fig1.trace"]);
+    check_golden("assign_fig1", &actual);
+}
+
+#[test]
+fn trace_output_is_stable() {
+    // `--deterministic` omits wall times and thread ids; the span tree and
+    // every attribute (word counts, graph sizes, conflicts) must be
+    // byte-identical run to run.
+    let actual = parmem_stdout(&["trace", "FFT", "-k", "4", "--deterministic"]);
+    check_golden("trace_fft_k4", &actual);
+}
+
+#[test]
+fn exact_output_is_stable() {
+    // The default budget is clock-free, so bounds, gaps, and node counts
+    // are deterministic.
+    let actual = parmem_stdout(&["exact", "FFT", "SORT", "-k", "2,4"]);
+    check_golden("exact_fft_sort", &actual);
+}
+
+#[test]
+fn batch_output_is_stable_across_jobs() {
+    let args = ["batch", "FFT", "SORT", "-k", "2,4"];
+    let actual = parmem_stdout(&args);
+    check_golden("batch_fft_sort", &actual);
+
+    // The report must not depend on worker count.
+    let serial = parmem_stdout(&["batch", "FFT", "SORT", "-k", "2,4", "--jobs", "1"]);
+    let wide = parmem_stdout(&["batch", "FFT", "SORT", "-k", "2,4", "--jobs", "4"]);
+    assert_eq!(serial, actual, "--jobs 1 must match the default report");
+    assert_eq!(wide, actual, "--jobs 4 must match the default report");
+}

@@ -2,17 +2,28 @@
 //! scheduled, module-assigned under every strategy, and executed on the
 //! simulated RLIW — with outputs checked against the reference interpreter
 //! and the paper's timing inequalities checked on the measurements.
+//!
+//! All pipeline driving goes through `parmem_driver::Session`; the plain
+//! simulator entry points (`sim::run`, `sim::table2_row`) are exercised
+//! directly where a test wants an unverified run.
 
-use liw_sched::MachineSpec;
 use parallel_memories::core::prelude::*;
+use parallel_memories::driver::Session;
 use parallel_memories::sim::{self, ArrayPlacement};
+
+/// The historical plain-compile pipeline: frontend → schedule with
+/// renaming, no scalar optimizer.
+fn plain(k: usize) -> Session {
+    Session::new(k).without_optimizer()
+}
 
 #[test]
 fn all_benchmarks_all_strategies_run_conflict_free_k8() {
     for b in workloads::benchmarks() {
-        let prog = sim::compile(b.source, MachineSpec::with_modules(8)).unwrap();
+        let prog = plain(8).compile(b.source).unwrap();
         for strategy in [Strategy::Stor1, Strategy::Stor2, Strategy::STOR3] {
-            let (a, report) = sim::assign(&prog.sched, strategy, &AssignParams::default());
+            let session = plain(8).with_strategy(strategy);
+            let (a, report) = session.assign(&prog);
             assert_eq!(
                 report.residual_conflicts,
                 0,
@@ -20,7 +31,8 @@ fn all_benchmarks_all_strategies_run_conflict_free_k8() {
                 b.name,
                 strategy.name()
             );
-            let run = sim::verified_run(&prog, &a, ArrayPlacement::Interleaved)
+            let run = session
+                .verified_run(&prog, &a, ArrayPlacement::Interleaved)
                 .unwrap_or_else(|e| panic!("{} {}: {e}", b.name, strategy.name()));
             assert_eq!(
                 run.stats.scalar_conflict_words,
@@ -38,10 +50,12 @@ fn all_benchmarks_all_strategies_run_conflict_free_k8() {
 fn all_benchmarks_verify_on_small_machines() {
     for b in workloads::benchmarks() {
         for k in [2, 3, 4] {
-            let prog = sim::compile(b.source, MachineSpec::with_modules(k)).unwrap();
-            let (a, report) = sim::assign(&prog.sched, Strategy::Stor1, &AssignParams::default());
+            let session = plain(k);
+            let prog = session.compile(b.source).unwrap();
+            let (a, report) = session.assign(&prog);
             assert_eq!(report.residual_conflicts, 0, "{} k={k}", b.name);
-            let run = sim::verified_run(&prog, &a, ArrayPlacement::Interleaved)
+            let run = session
+                .verified_run(&prog, &a, ArrayPlacement::Interleaved)
                 .unwrap_or_else(|e| panic!("{} k={k}: {e}", b.name, k = k));
             assert_eq!(run.stats.scalar_conflict_words, 0, "{} k={k}", b.name);
         }
@@ -51,8 +65,9 @@ fn all_benchmarks_verify_on_small_machines() {
 #[test]
 fn timing_inequalities_hold_for_every_benchmark() {
     for b in workloads::benchmarks() {
-        let prog = sim::compile(b.source, MachineSpec::with_modules(8)).unwrap();
-        let (a, _) = sim::assign(&prog.sched, Strategy::Stor1, &AssignParams::default());
+        let session = plain(8);
+        let prog = session.compile(b.source).unwrap();
+        let (a, _) = session.assign(&prog);
         let row = sim::table2_row(b.name, &prog.sched, &a, 7).unwrap();
         assert!(row.t_min > 0, "{}", b.name);
         assert!(
@@ -74,12 +89,13 @@ fn output_is_invariant_under_layout_and_policy() {
     // Whatever the memory layout or array policy, program semantics must
     // not change — only timing.
     let b = workloads::by_name("SORT").unwrap();
-    let prog = sim::compile(b.source, MachineSpec::with_modules(4)).unwrap();
+    let session = plain(4);
+    let prog = session.compile(b.source).unwrap();
     let reference = liw_ir::run_source(b.source).unwrap().output;
 
     let trace = prog.sched.access_trace();
     let layouts = [
-        sim::assign(&prog.sched, Strategy::Stor1, &AssignParams::default()).0,
+        session.assign(&prog).0,
         parallel_memories::core::baseline::round_robin(&trace),
         parallel_memories::core::baseline::single_module(&trace),
         parallel_memories::core::baseline::random_assignment(&trace, 3),
@@ -101,7 +117,7 @@ fn output_is_invariant_under_layout_and_policy() {
 #[test]
 fn duplication_strategies_agree_on_feasibility() {
     for b in workloads::benchmarks() {
-        let prog = sim::compile(b.source, MachineSpec::with_modules(4)).unwrap();
+        let prog = plain(4).compile(b.source).unwrap();
         let trace = prog.sched.access_trace();
         for dup in [
             DuplicationStrategy::Backtrack,
@@ -134,12 +150,15 @@ fn speedup_band_is_plausible() {
 }
 
 fn parmem_bench_speedups() -> Vec<(String, f64)> {
+    let session = plain(8);
     workloads::benchmarks()
         .iter()
         .map(|b| {
-            let prog = sim::compile(b.source, MachineSpec::with_modules(8)).unwrap();
-            let (a, _) = sim::assign(&prog.sched, Strategy::Stor1, &AssignParams::default());
-            let run = sim::verified_run(&prog, &a, ArrayPlacement::Interleaved).unwrap();
+            let prog = session.compile(b.source).unwrap();
+            let (a, _) = session.assign(&prog);
+            let run = session
+                .verified_run(&prog, &a, ArrayPlacement::Interleaved)
+                .unwrap();
             (b.name.to_string(), run.speedup)
         })
         .collect()
@@ -150,9 +169,10 @@ fn copy_transfer_overhead_is_small() {
     // Table 1's point: little duplication → few compile-time-scheduled copy
     // transfers. Check the runtime cost of those transfers is a tiny
     // fraction of total transfer time.
+    let session = plain(8);
     for b in workloads::benchmarks() {
-        let prog = sim::compile(b.source, MachineSpec::with_modules(8)).unwrap();
-        let (a, _) = sim::assign(&prog.sched, Strategy::Stor1, &AssignParams::default());
+        let prog = session.compile(b.source).unwrap();
+        let (a, _) = session.assign(&prog);
         let run = sim::run(&prog.sched, &a, ArrayPlacement::Interleaved).unwrap();
         let frac = run.copy_write_transfers as f64 / run.transfer_time.max(1) as f64;
         assert!(
@@ -193,8 +213,9 @@ fn optimizer_and_unroller_preserve_benchmark_semantics() {
                 rename: false,
             },
         ] {
-            let prog = sim::compile_with(b.source, MachineSpec::with_modules(8), opts).unwrap();
-            let (a, report) = sim::assign(&prog.sched, Strategy::Stor1, &AssignParams::default());
+            let session = Session::new(8).with_opts(opts);
+            let prog = session.compile(b.source).unwrap();
+            let (a, report) = session.assign(&prog);
             assert_eq!(report.residual_conflicts, 0, "{} {opts:?}", b.name);
             let run = sim::run(&prog.sched, &a, ArrayPlacement::Interleaved).unwrap();
             assert_eq!(run.output, reference, "{} {opts:?}", b.name);
@@ -206,33 +227,15 @@ fn optimizer_and_unroller_preserve_benchmark_semantics() {
 #[test]
 fn optimizer_never_increases_cycles_materially() {
     for b in workloads::benchmarks() {
-        let plain = sim::compile_with(
-            b.source,
-            MachineSpec::with_modules(8),
-            sim::CompileOptions {
-                unroll: None,
-                optimize: false,
-                rename: true,
-            },
-        )
-        .unwrap();
-        let opt = sim::compile_with(
-            b.source,
-            MachineSpec::with_modules(8),
-            sim::CompileOptions {
-                unroll: None,
-                optimize: true,
-                rename: true,
-            },
-        )
-        .unwrap();
+        let plain_prog = plain(8).compile(b.source).unwrap();
+        let opt_prog = Session::new(8).compile(b.source).unwrap();
         let run = |p: &sim::CompiledProgram| {
-            let (a, _) = sim::assign(&p.sched, Strategy::Stor1, &AssignParams::default());
+            let (a, _) = plain(8).assign(p);
             sim::run(&p.sched, &a, ArrayPlacement::Ideal)
                 .unwrap()
                 .cycles
         };
-        let (c_plain, c_opt) = (run(&plain), run(&opt));
+        let (c_plain, c_opt) = (run(&plain_prog), run(&opt_prog));
         assert!(
             c_opt <= c_plain + c_plain / 20,
             "{}: optimizer regressed cycles {c_plain} -> {c_opt}",
@@ -246,8 +249,9 @@ fn extended_workloads_run_conflict_free() {
     for b in workloads::extended::extended() {
         let reference = liw_ir::run_source(b.source).unwrap().output;
         for k in [4, 8] {
-            let prog = sim::compile(b.source, MachineSpec::with_modules(k)).unwrap();
-            let (a, report) = sim::assign(&prog.sched, Strategy::Stor1, &AssignParams::default());
+            let session = plain(k);
+            let prog = session.compile(b.source).unwrap();
+            let (a, report) = session.assign(&prog);
             assert_eq!(report.residual_conflicts, 0, "{} k={k}", b.name);
             let run = sim::run(&prog.sched, &a, ArrayPlacement::Interleaved).unwrap();
             assert_eq!(run.output, reference, "{} k={k}", b.name);
@@ -272,17 +276,9 @@ fn if_converted_code_runs_correctly_on_the_machine() {
     let reference = liw_ir::run_source(src).unwrap().output;
     let mut cycles = Vec::new();
     for optimize in [false, true] {
-        let prog = sim::compile_with(
-            src,
-            MachineSpec::with_modules(8),
-            sim::CompileOptions {
-                unroll: None,
-                optimize,
-                rename: true,
-            },
-        )
-        .unwrap();
-        let (a, r) = sim::assign(&prog.sched, Strategy::Stor1, &AssignParams::default());
+        let session = if optimize { Session::new(8) } else { plain(8) };
+        let prog = session.compile(src).unwrap();
+        let (a, r) = session.assign(&prog);
         assert_eq!(r.residual_conflicts, 0);
         let run = sim::run(&prog.sched, &a, ArrayPlacement::Interleaved).unwrap();
         assert_eq!(run.output, reference, "optimize={optimize}");

@@ -218,7 +218,7 @@ fn brute_force_matching(operands: &[ModuleSet]) -> bool {
 /// loops, arrays — used to fuzz the optimizer and the full pipeline.
 mod rich_fuzz {
     use super::*;
-    use liw_sched::MachineSpec;
+    use parallel_memories::driver::Session;
     use parallel_memories::sim::{self, ArrayPlacement, CompileOptions};
 
     #[derive(Clone, Debug)]
@@ -361,9 +361,9 @@ mod rich_fuzz {
                 optimize: true,
                 rename: true,
             };
-            let prog = sim::compile_with(&src, MachineSpec::with_modules(k), opts).unwrap();
-            let stor1 = parallel_memories::core::strategies::Strategy::Stor1;
-            let (a, report) = sim::assign(&prog.sched, stor1, &AssignParams::default());
+            let session = Session::new(k).with_opts(opts);
+            let prog = session.compile(&src).unwrap();
+            let (a, report) = session.assign(&prog);
             prop_assert_eq!(report.residual_conflicts, 0);
             let run = sim::run(&prog.sched, &a, ArrayPlacement::Interleaved).unwrap();
             prop_assert!(outputs_equal(&run.output, &reference.output));
@@ -376,7 +376,7 @@ mod rich_fuzz {
 /// pipeline produces must pass every re-derived invariant check.
 mod verification {
     use super::*;
-    use liw_sched::MachineSpec;
+    use parallel_memories::driver::Session;
     use parallel_memories::sim::{self, ArrayPlacement};
     use parallel_memories::verify;
 
@@ -404,7 +404,10 @@ mod verification {
     fn static_prediction_matches_simulator_stalls_on_paper_workloads() {
         for bench in workloads::benchmarks() {
             for k in [2, 4, 8] {
-                let prog = sim::compile(bench.source, MachineSpec::with_modules(k)).unwrap();
+                let prog = Session::new(k)
+                    .without_optimizer()
+                    .compile(bench.source)
+                    .unwrap();
                 let (a, r) = assign_trace(&prog.sched.access_trace(), &AssignParams::default());
                 let prediction = verify::differential::predict(&prog.sched, &a);
                 let stats = sim::run(&prog.sched, &a, ArrayPlacement::Ideal).unwrap();
@@ -430,7 +433,7 @@ mod verification {
 /// loops, compiled through the whole stack and cross-checked sim vs interp.
 mod program_fuzz {
     use super::*;
-    use liw_sched::MachineSpec;
+    use parallel_memories::driver::Session;
     use parallel_memories::sim::{self, ArrayPlacement};
 
     fn arb_program() -> impl Strategy<Value = String> {
@@ -469,10 +472,10 @@ mod program_fuzz {
 
         #[test]
         fn scheduled_execution_matches_reference(src in arb_program(), k in 2usize..=8) {
-            let prog = sim::compile(&src, MachineSpec::with_modules(k)).unwrap();
+            let session = Session::new(k).without_optimizer();
+            let prog = session.compile(&src).unwrap();
             let reference = liw_ir::run_source(&src).unwrap();
-            let stor1 = parallel_memories::core::strategies::Strategy::Stor1;
-            let (a, report) = sim::assign(&prog.sched, stor1, &AssignParams::default());
+            let (a, report) = session.assign(&prog);
             prop_assert_eq!(report.residual_conflicts, 0);
             let run = sim::run(&prog.sched, &a, ArrayPlacement::Interleaved).unwrap();
             prop_assert_eq!(run.output, reference.output);
