@@ -43,8 +43,14 @@ impl CommonArgs {
         value_opts: &[&str],
     ) -> Result<CommonArgs, String> {
         let known_flag = |a: &str| flags.contains(&a) || COMMON_FLAGS.contains(&a);
-        let known_value =
-            |a: &str| value_opts.contains(&a) || COMMON_VALUES.contains(&a) || a == "--k";
+        // `--k` is a spelling of `-k`, accepted only where the subcommand
+        // declares `-k` — it must not sneak past the unknown-option check on
+        // subcommands that take no module count.
+        let known_value = |a: &str| {
+            value_opts.contains(&a)
+                || COMMON_VALUES.contains(&a)
+                || (a == "--k" && value_opts.contains(&"-k"))
+        };
         let mut out = CommonArgs::default();
         let mut i = 0;
         while i < raw.len() {
@@ -275,6 +281,15 @@ mod tests {
     fn normalises_double_dash_k() {
         let a = CommonArgs::parse("trace", &argv(&["--k", "4"]), &[], &["-k"]).unwrap();
         assert_eq!(a.parsed::<usize>("-k").unwrap(), Some(4));
+    }
+
+    #[test]
+    fn double_dash_k_rejected_where_k_is_not_declared() {
+        // `run` and `assign` declare no `-k`; `--k` must be an unknown
+        // option there, not a silently swallowed value pair.
+        let err = CommonArgs::parse("run", &argv(&["--k", "4"]), &[], &[]).unwrap_err();
+        assert!(err.contains("unknown option `--k`"), "{err}");
+        assert!(err.contains("accepted:"), "{err}");
     }
 
     #[test]

@@ -157,6 +157,35 @@ impl Session {
         parmem_verify::verify_all(&prog.tac, &prog.sched, assignment, report)
     }
 
+    /// Run the static lints over one program's TAC and, when `predict` is
+    /// set, the compile-time conflict predictor cross-checked against the
+    /// simulator's measured per-module transfer counters (paper Table 2's
+    /// t_min / t_ave / t_max, computed without executing the program).
+    pub fn lint(
+        &self,
+        program: impl Into<String>,
+        source: &str,
+        predict: bool,
+    ) -> Result<parmem_lint::LintReport, PipelineError> {
+        let prog = self.compile(source)?;
+        let opts = parmem_lint::LintOptions { modules: self.k };
+        let diags = parmem_lint::lint_program(&prog.tac, &opts);
+        let predict = if predict {
+            let (assignment, _) = self.assign(&prog);
+            Some(parmem_lint::compare(&prog.sched, &assignment, self.seed)?)
+        } else {
+            None
+        };
+        Ok(parmem_lint::LintReport {
+            program: program.into(),
+            k: self.k,
+            blocks: prog.tac.blocks.len(),
+            instrs: prog.tac.instr_count(),
+            diags,
+            predict,
+        })
+    }
+
     /// Simulate under `policy` and cross-check against the reference
     /// interpreter (panics on divergence, like
     /// `rliw_sim::pipeline::verified_run`).
@@ -214,6 +243,16 @@ mod tests {
             .verified_run(&prog, &a, ArrayPlacement::Interleaved)
             .unwrap();
         assert!(run.speedup > 1.0);
+    }
+
+    #[test]
+    fn session_lint_reports_and_predicts() {
+        let s = Session::new(4);
+        let r = s.lint("S", SRC, true).unwrap();
+        assert_eq!(r.program, "S");
+        assert_eq!(r.k, 4);
+        let p = r.predict.expect("predict section");
+        assert!(p.within_tolerance(), "rel err {}", p.t_ave_rel_err());
     }
 
     #[test]

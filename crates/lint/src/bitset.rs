@@ -1,0 +1,159 @@
+//! A dense fixed-capacity bit set — the workhorse domain of the powerset
+//! analyses (liveness, reaching definitions, definite assignment).
+//!
+//! The dataflow engine only requires `Clone + PartialEq` of its domains;
+//! this set exists so the common powerset lattices get word-parallel
+//! `join`/`transfer` operations instead of hashing.
+
+/// A set of small integers in `0..capacity`, stored one bit each.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// The empty set over the universe `0..capacity`.
+    pub fn new(capacity: usize) -> BitSet {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// The full set over the universe `0..capacity` (the ⊤ of a must
+    /// analysis).
+    pub fn full(capacity: usize) -> BitSet {
+        let mut s = BitSet::new(capacity);
+        for i in 0..capacity {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Universe size this set was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Add `i`; returns `true` if it was not already present.
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.capacity);
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        let fresh = self.words[w] & b == 0;
+        self.words[w] |= b;
+        fresh
+    }
+
+    /// Remove `i`; returns `true` if it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.capacity);
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        let had = self.words[w] & b != 0;
+        self.words[w] &= !b;
+        had
+    }
+
+    /// Whether `i` is in the set.
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.capacity);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// `self ∪= other`; returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let merged = *a | b;
+            changed |= merged != *a;
+            *a = merged;
+        }
+        changed
+    }
+
+    /// `self ∩= other`; returns `true` if `self` changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let merged = *a & b;
+            changed |= merged != *a;
+            *a = merged;
+        }
+        changed
+    }
+
+    /// `self −= other` (set difference).
+    pub fn subtract(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w & (1u64 << b) != 0)
+                .map(move |b| wi * 64 + b)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(100);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(99));
+        assert!(s.contains(3) && s.contains(99) && !s.contains(4));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(!s.contains(3));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        a.insert(1);
+        a.insert(65);
+        b.insert(2);
+        b.insert(65);
+        let mut u = a.clone();
+        assert!(u.union_with(&b));
+        assert!(!u.union_with(&b), "idempotent");
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 65]);
+        let mut i = a.clone();
+        assert!(i.intersect_with(&b));
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![65]);
+        let mut d = u.clone();
+        d.subtract(&a);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn full_is_everything() {
+        let f = BitSet::full(130);
+        assert_eq!(f.len(), 130);
+        assert!(f.contains(0) && f.contains(129));
+        assert!(BitSet::new(0).is_empty());
+    }
+}

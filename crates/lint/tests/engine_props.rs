@@ -1,0 +1,225 @@
+//! Property tests pinning the worklist engine to a naive reference solver
+//! on random flow graphs, and exercising the termination guard on
+//! arbitrary (including irreducible) looping graphs.
+//!
+//! The reference is the textbook O(n²) round-robin solver: sweep every
+//! reachable node applying the same equations the engine uses, until a
+//! full sweep changes nothing. Both liveness-shaped (backward, use/def)
+//! and reaching-defs-shaped (forward, gen/kill) instances are generated.
+
+use parmem_lint::engine::{solve, steps_bound, Analysis, Direction, FlowGraph};
+use parmem_lint::BitSet;
+use proptest::prelude::*;
+
+/// A randomly generated gen/kill (equivalently use/def) bitvector problem.
+#[derive(Clone, Debug)]
+struct RandGenKill {
+    dir: Direction,
+    bits: usize,
+    gen: Vec<BitSet>,
+    kill: Vec<BitSet>,
+    boundary: BitSet,
+}
+
+impl Analysis for RandGenKill {
+    type Domain = BitSet;
+    fn direction(&self) -> Direction {
+        self.dir
+    }
+    fn boundary(&self) -> BitSet {
+        self.boundary.clone()
+    }
+    fn init(&self) -> BitSet {
+        BitSet::new(self.bits)
+    }
+    fn join(&self, into: &mut BitSet, from: &BitSet) {
+        into.union_with(from);
+    }
+    fn transfer(&self, n: usize, input: &BitSet) -> BitSet {
+        let mut out = input.clone();
+        out.subtract(&self.kill[n]);
+        out.union_with(&self.gen[n]);
+        out
+    }
+}
+
+/// The naive reference: full round-robin sweeps until a sweep is quiescent.
+/// Replicates the engine's equations exactly — boundary nodes start from
+/// `boundary()`, everything else from `init()`, joined with the outputs of
+/// every *reachable* dependency.
+fn reference_solve(g: &FlowGraph, a: &RandGenKill) -> (Vec<BitSet>, Vec<BitSet>) {
+    let n = g.len();
+    let mut input: Vec<BitSet> = vec![a.init(); n];
+    let mut output: Vec<BitSet> = vec![a.init(); n];
+    let deps = match a.dir {
+        Direction::Forward => &g.preds,
+        Direction::Backward => &g.succs,
+    };
+    let is_boundary = |b: usize| match a.dir {
+        Direction::Forward => b == g.entry,
+        Direction::Backward => g.succs[b].is_empty(),
+    };
+    loop {
+        let mut changed = false;
+        for &b in &g.rpo {
+            let mut inp = if is_boundary(b) {
+                a.boundary()
+            } else {
+                a.init()
+            };
+            for &d in &deps[b] {
+                if g.is_reachable(d) {
+                    a.join(&mut inp, &output[d]);
+                }
+            }
+            let out = a.transfer(b, &inp);
+            if inp != input[b] || out != output[b] {
+                changed = true;
+            }
+            input[b] = inp;
+            output[b] = out;
+        }
+        if !changed {
+            return (input, output);
+        }
+    }
+}
+
+/// Random graph: node count, edge list (dense enough to produce loops and
+/// irreducible regions), and per-node gen/kill sets.
+fn graph_and_problem(
+    dir: Direction,
+) -> impl Strategy<Value = (usize, Vec<(usize, usize)>, RandGenKill)> {
+    (1usize..10).prop_flat_map(move |n| {
+        let bits = 8usize;
+        let edges = proptest::collection::vec((0..n, 0..n), 0..n * 2);
+        let sets = proptest::collection::vec(
+            (
+                proptest::collection::vec(0..bits, 0..4),
+                proptest::collection::vec(0..bits, 0..4),
+            ),
+            n,
+        );
+        let bound = proptest::collection::vec(0..bits, 0..4);
+        (Just(n), edges, sets, bound).prop_map(move |(n, edges, sets, bound)| {
+            let mk = |idxs: &[usize]| {
+                let mut bs = BitSet::new(bits);
+                for &i in idxs {
+                    bs.insert(i);
+                }
+                bs
+            };
+            let problem = RandGenKill {
+                dir,
+                bits,
+                gen: sets.iter().map(|(g, _)| mk(g)).collect(),
+                kill: sets.iter().map(|(_, k)| mk(k)).collect(),
+                boundary: mk(&bound),
+            };
+            (n, edges, problem)
+        })
+    })
+}
+
+fn check_against_reference(n: usize, edges: &[(usize, usize)], a: &RandGenKill) {
+    let g = FlowGraph::from_edges(n, 0, edges);
+    let sol = solve(&g, a, steps_bound(g.rpo.len(), a.bits));
+    assert!(sol.converged, "monotone analysis must converge in bound");
+    let (ref_in, ref_out) = reference_solve(&g, a);
+    for &b in &g.rpo {
+        assert_eq!(
+            sol.input[b].iter().collect::<Vec<_>>(),
+            ref_in[b].iter().collect::<Vec<_>>(),
+            "input mismatch at node {b} ({:?})",
+            a.dir
+        );
+        assert_eq!(
+            sol.output[b].iter().collect::<Vec<_>>(),
+            ref_out[b].iter().collect::<Vec<_>>(),
+            "output mismatch at node {b} ({:?})",
+            a.dir
+        );
+    }
+    // Unreachable nodes keep init in both solvers by construction.
+    for b in 0..n {
+        if !g.is_reachable(b) {
+            assert!(sol.input[b].is_empty() && sol.output[b].is_empty());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Forward gen/kill (the shape of reaching definitions) matches the
+    /// naive reference on random graphs.
+    #[test]
+    fn forward_matches_naive_reference(case in graph_and_problem(Direction::Forward)) {
+        let (n, edges, a) = case;
+        check_against_reference(n, &edges, &a);
+    }
+
+    /// Backward use/def (the shape of liveness) matches the naive
+    /// reference on random graphs.
+    #[test]
+    fn backward_matches_naive_reference(case in graph_and_problem(Direction::Backward)) {
+        let (n, edges, a) = case;
+        check_against_reference(n, &edges, &a);
+    }
+
+    /// The termination guard: on arbitrary looping/irreducible graphs the
+    /// solver never exceeds its step cap, and a monotone analysis always
+    /// converges strictly inside `steps_bound`.
+    #[test]
+    fn solver_always_stops_within_the_cap(
+        case in graph_and_problem(Direction::Forward),
+        cap in 1u64..64u64,
+    ) {
+        let (n, edges, a) = case;
+        let g = FlowGraph::from_edges(n, 0, &edges);
+        let sol = solve(&g, &a, cap);
+        prop_assert!(sol.steps <= cap);
+        // Whatever the cap, a second run with the full budget converges.
+        let full = solve(&g, &a, steps_bound(g.rpo.len(), a.bits));
+        prop_assert!(full.converged);
+    }
+}
+
+/// A non-monotone toggle on graphs with a self-loop must hit the cap and
+/// report it, rather than looping forever (the guard the satellite asks
+/// for on irreducible/looping CFGs).
+#[test]
+fn non_monotone_client_is_caught_by_the_guard() {
+    struct Toggle;
+    impl Analysis for Toggle {
+        type Domain = BitSet;
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn boundary(&self) -> BitSet {
+            BitSet::new(1)
+        }
+        fn init(&self) -> BitSet {
+            BitSet::new(1)
+        }
+        fn join(&self, into: &mut BitSet, from: &BitSet) {
+            into.union_with(from);
+        }
+        fn transfer(&self, n: usize, input: &BitSet) -> BitSet {
+            if n != 1 {
+                return input.clone();
+            }
+            let mut out = BitSet::new(1);
+            if !input.contains(0) {
+                out.insert(0);
+            }
+            out
+        }
+    }
+    // Node 1 toggles its own self-loop fact; every other node is the
+    // identity, so nothing in the join ever pins it down.
+    let g = FlowGraph::from_edges(3, 0, &[(0, 1), (1, 1), (1, 2)]);
+    let sol = solve(&g, &Toggle, 500);
+    assert!(!sol.converged);
+    assert_eq!(sol.steps, 500);
+}

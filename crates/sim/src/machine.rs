@@ -60,6 +60,9 @@ pub struct SimStats {
     pub dup_alt_reads: u64,
     /// Operations executed.
     pub ops: u64,
+    /// Executions per basic block (indexed by block id) — the trip counts
+    /// the static conflict predictor weights its per-word model with.
+    pub block_exec: Vec<u64>,
     /// `print` output, in order.
     pub output: Vec<Value>,
 }
@@ -165,7 +168,10 @@ pub fn run_with_fuel(
         .map(|a| vec![zero(a.elem); a.len])
         .collect();
 
-    let mut stats = SimStats::default();
+    let mut stats = SimStats {
+        block_exec: vec![0; prog.blocks.len()],
+        ..SimStats::default()
+    };
     let mut block = prog.entry;
 
     let read = |values: &[Value], o: &SOperand| -> Value {
@@ -176,6 +182,7 @@ pub fn run_with_fuel(
     };
 
     'outer: loop {
+        stats.block_exec[block.index()] += 1;
         let b = &prog.blocks[block.index()];
         for wi in 0..b.words.len() {
             if fuel == 0 {

@@ -1,17 +1,19 @@
 //! Independent dataflow analyses over the `liw-ir` TAC and the scheduled
 //! program, used to re-prove the renaming (fresh-value) assumption.
 //!
-//! Everything here is derived from first principles — its own reaching-
-//! definitions and liveness solvers, its own CFG walk — precisely so it can
-//! check the `Webs` partition that `liw_ir::compute_webs` produced rather
-//! than trusting it.
+//! The TAC-level liveness and reaching-definitions solvers now delegate to
+//! the shared `parmem-lint` fixpoint engine behind a source-compatible shim
+//! (`tests/dataflow_shim.rs` pins the results byte-identical to the
+//! historical from-scratch solvers over the whole workload corpus). The
+//! scheduled-program checks below remain self-contained: they analyze the
+//! *scheduled* CFG, which the lint engine's TAC front end does not see.
 
 use std::collections::{HashMap, HashSet};
 
-use liw_ir::cfg::Cfg;
 use liw_ir::tac::{BlockId, TacProgram, VarId};
-use liw_ir::webs::{Webs, TERM_IDX};
+use liw_ir::webs::Webs;
 use liw_sched::{SchedProgram, SchedTerm};
+use parmem_lint::analyses as lint;
 
 use crate::diag::{Code, Diagnostic};
 
@@ -34,114 +36,25 @@ pub struct ReachingDefs {
 
 impl ReachingDefs {
     /// Solve the forward may-reach problem over `p` and collect, for every
-    /// scalar use, the set of definitions reaching it.
+    /// scalar use, the set of definitions reaching it. Delegates to the
+    /// shared `parmem-lint` engine; the result is pinned byte-identical to
+    /// the historical in-crate solver by `tests/dataflow_shim.rs`.
     pub fn compute(p: &TacProgram) -> ReachingDefs {
-        let cfg = Cfg::build(p);
-        let n_vars = p.vars.len();
-
-        // Enumerate definition sites densely: entry defs first.
-        let mut defs: Vec<Def> = (0..n_vars as u32).map(|v| Def::Entry(VarId(v))).collect();
-        let mut def_var: Vec<VarId> = (0..n_vars as u32).map(VarId).collect();
-        for (bi, b) in p.blocks.iter().enumerate() {
-            for (ii, inst) in b.instrs.iter().enumerate() {
-                if let Some(v) = inst.writes() {
-                    defs.push(Def::Instr(BlockId(bi as u32), ii as u32));
-                    def_var.push(v);
-                }
-            }
-        }
-        let mut defs_of_var: Vec<Vec<usize>> = vec![Vec::new(); n_vars];
-        for (d, &v) in def_var.iter().enumerate() {
-            defs_of_var[v.index()].push(d);
-        }
-
-        // Per-block gen (last def of each var) and kill (all other defs of a
-        // var the block writes).
-        let nb = p.blocks.len();
-        let mut gen: Vec<HashSet<usize>> = vec![HashSet::new(); nb];
-        let mut kill: Vec<HashSet<usize>> = vec![HashSet::new(); nb];
-        let site_index: HashMap<Def, usize> =
-            defs.iter().enumerate().map(|(i, &d)| (d, i)).collect();
-        for (bi, b) in p.blocks.iter().enumerate() {
-            let mut last: HashMap<VarId, usize> = HashMap::new();
-            for (ii, inst) in b.instrs.iter().enumerate() {
-                if let Some(v) = inst.writes() {
-                    last.insert(v, site_index[&Def::Instr(BlockId(bi as u32), ii as u32)]);
-                }
-            }
-            for (&v, &d) in &last {
-                gen[bi].insert(d);
-                for &other in &defs_of_var[v.index()] {
-                    if other != d {
-                        kill[bi].insert(other);
-                    }
-                }
-            }
-        }
-
-        // Worklist iteration to a fixed point.
-        let mut inb: Vec<HashSet<usize>> = vec![HashSet::new(); nb];
-        let mut outb: Vec<HashSet<usize>> = vec![HashSet::new(); nb];
-        inb[p.entry.index()].extend(0..n_vars);
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for &b in &cfg.rpo {
-                let bi = b.index();
-                let mut new_in = inb[bi].clone();
-                for pred in &cfg.preds[bi] {
-                    for &d in &outb[pred.index()] {
-                        new_in.insert(d);
-                    }
-                }
-                let mut new_out: HashSet<usize> = new_in
-                    .iter()
-                    .copied()
-                    .filter(|d| !kill[bi].contains(d))
+        let rd = lint::ReachingDefs::compute(p);
+        let at_use = rd
+            .at_use
+            .into_iter()
+            .map(|(site, defs)| {
+                let defs = defs
+                    .into_iter()
+                    .map(|d| match d {
+                        lint::DefSite::Entry(v) => Def::Entry(v),
+                        lint::DefSite::Instr(b, i) => Def::Instr(b, i),
+                    })
                     .collect();
-                new_out.extend(gen[bi].iter().copied());
-                if new_in != inb[bi] || new_out != outb[bi] {
-                    changed = true;
-                }
-                inb[bi] = new_in;
-                outb[bi] = new_out;
-            }
-        }
-
-        // Walk each reachable block collecting the defs reaching each use.
-        let mut at_use = HashMap::new();
-        for &b in &cfg.rpo {
-            let bi = b.index();
-            let mut local_last: HashMap<VarId, usize> = HashMap::new();
-            let reaching = |v: VarId, local_last: &HashMap<VarId, usize>| -> Vec<Def> {
-                if let Some(&d) = local_last.get(&v) {
-                    return vec![defs[d]];
-                }
-                let mut out: Vec<Def> = inb[bi]
-                    .iter()
-                    .copied()
-                    .filter(|&d| def_var[d] == v)
-                    .map(|d| defs[d])
-                    .collect();
-                out.sort_by_key(|d| match *d {
-                    Def::Entry(v) => (0, 0, v.0),
-                    Def::Instr(b, i) => (1, b.0, i),
-                });
-                out
-            };
-            for (ii, inst) in p.blocks[bi].instrs.iter().enumerate() {
-                for v in inst.reads() {
-                    at_use.insert((b, ii as u32, v), reaching(v, &local_last));
-                }
-                if let Some(v) = inst.writes() {
-                    local_last.insert(v, site_index[&Def::Instr(b, ii as u32)]);
-                }
-            }
-            for v in p.blocks[bi].term.reads() {
-                at_use.insert((b, TERM_IDX, v), reaching(v, &local_last));
-            }
-        }
-
+                (site, defs)
+            })
+            .collect();
         ReachingDefs { at_use }
     }
 }
@@ -155,53 +68,18 @@ pub struct Liveness {
 }
 
 impl Liveness {
-    /// Solve backward liveness over `p`.
+    /// Solve backward liveness over `p`. Delegates to the shared
+    /// `parmem-lint` engine (see `tests/dataflow_shim.rs` for the pin
+    /// against the historical solver).
     pub fn compute(p: &TacProgram) -> Liveness {
-        let cfg = Cfg::build(p);
-        let nb = p.blocks.len();
-
-        // Per-block upward-exposed uses and defs.
-        let mut use_b: Vec<HashSet<VarId>> = vec![HashSet::new(); nb];
-        let mut def_b: Vec<HashSet<VarId>> = vec![HashSet::new(); nb];
-        for (bi, b) in p.blocks.iter().enumerate() {
-            for inst in &b.instrs {
-                for v in inst.reads() {
-                    if !def_b[bi].contains(&v) {
-                        use_b[bi].insert(v);
-                    }
-                }
-                if let Some(v) = inst.writes() {
-                    def_b[bi].insert(v);
-                }
-            }
-            for v in b.term.reads() {
-                if !def_b[bi].contains(&v) {
-                    use_b[bi].insert(v);
-                }
-            }
+        let lv = lint::Liveness::compute(p);
+        let to_set = |bs: &parmem_lint::BitSet| -> HashSet<VarId> {
+            bs.iter().map(|i| VarId(i as u32)).collect()
+        };
+        Liveness {
+            live_in: lv.live_in.iter().map(to_set).collect(),
+            live_out: lv.live_out.iter().map(to_set).collect(),
         }
-
-        let mut live_in: Vec<HashSet<VarId>> = vec![HashSet::new(); nb];
-        let mut live_out: Vec<HashSet<VarId>> = vec![HashSet::new(); nb];
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for &b in cfg.rpo.iter().rev() {
-                let bi = b.index();
-                let mut new_out = HashSet::new();
-                for s in &cfg.succs[bi] {
-                    new_out.extend(live_in[s.index()].iter().copied());
-                }
-                let mut new_in = use_b[bi].clone();
-                new_in.extend(new_out.iter().filter(|v| !def_b[bi].contains(v)));
-                if new_in != live_in[bi] || new_out != live_out[bi] {
-                    changed = true;
-                }
-                live_in[bi] = new_in;
-                live_out[bi] = new_out;
-            }
-        }
-        Liveness { live_in, live_out }
     }
 }
 

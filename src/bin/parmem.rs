@@ -46,6 +46,23 @@
 //!     allocation metrics appear only with `--timings` (stdout) or in the
 //!     `--out` JSON file, and the batch wall time goes to stderr.
 //!
+//! parmem lint [workload-or-file ...] [--all] [-k 2,4] [--json] [--predict]
+//!             [--deny] [--jobs N] [--out <file>] [--seed S]
+//!             [--unroll <factor>] [--no-opt]
+//!     Run the static analyses (fixpoint liveness / reaching definitions /
+//!     definite-init / constant & stride propagation) over each
+//!     (program, k) job and print the `PMLxxx` lint diagnostics. With
+//!     `--predict`, additionally compute the compile-time conflict
+//!     estimates t_min / t_ave / t_max per program (the paper's Table 2
+//!     quantities, derived without executing anything) and cross-check
+//!     them against the simulator's measured per-module transfer counters.
+//!     Without names, lints the paper's six benchmarks; `--all` adds the
+//!     extended kernels; a positional that is not a workload name is read
+//!     as a MiniLang file. Exit status is nonzero if any pipeline stage
+//!     fails or a prediction falls outside the documented tolerance;
+//!     `--deny` additionally fails on any lint diagnostic. Stdout is
+//!     byte-identical across `--jobs` settings.
+//!
 //! parmem trace <workload-or-file> [-k <modules>] [--stor 1|2|3]
 //!              [--format tree|json|chrome|metrics] [--out <file>]
 //!              [--deterministic] [--validate] [--seed S]
@@ -131,6 +148,10 @@ fn arg_spec(cmd: &str) -> Option<(&'static [&'static str], &'static [&'static st
             ],
             &["-k", "--stor", "--jobs", "--out", "--seed", "--unroll"],
         )),
+        "lint" => Some((
+            &["--all", "--json", "--predict", "--deny", "--no-opt"],
+            &["-k", "--jobs", "--out", "--seed", "--unroll"],
+        )),
         "trace" => Some((
             &[
                 "--deterministic",
@@ -154,7 +175,7 @@ fn main() -> ExitCode {
 
     let Some((flags, value_opts)) = arg_spec(cmd) else {
         eprintln!(
-            "usage: parmem <assign|compile|run|verify|batch|trace|exact> [file|workloads] [options]"
+            "usage: parmem <assign|compile|run|verify|batch|trace|exact|lint> [file|workloads] [options]"
         );
         eprintln!("       see crate docs for details");
         return ExitCode::from(2);
@@ -186,6 +207,7 @@ fn main() -> ExitCode {
         "batch" => cmd_batch(&a),
         "trace" => cmd_trace(&a),
         "exact" => cmd_exact(&a),
+        "lint" => cmd_lint(&a),
         _ => unreachable!("arg_spec gates the dispatch"),
     };
 
@@ -436,6 +458,67 @@ fn cmd_exact(a: &CommonArgs) -> Result<(), CliError> {
         Ok(())
     } else {
         Err(format!("{failed} job(s) failed or produced dirty certificates").into())
+    }
+}
+
+/// `parmem lint`: static PML diagnostics and (with `--predict`) the
+/// compile-time conflict model cross-checked against the simulator.
+fn cmd_lint(a: &CommonArgs) -> Result<(), CliError> {
+    use parallel_memories::lint_report::{self, LintJobSpec};
+
+    // Positionals may be workload names or MiniLang files; without any, the
+    // paper corpus (or `--all` extended corpus) is linted.
+    let programs: Vec<(String, String)> = if a.positionals().is_empty() {
+        args::select_benchmarks(a)?
+            .into_iter()
+            .map(|b| (b.name.to_string(), b.source.to_string()))
+            .collect()
+    } else {
+        a.positionals()
+            .iter()
+            .map(|t| args::resolve_program(t))
+            .collect::<Result<_, _>>()?
+    };
+    let ks = args::k_list(a, &[4])?;
+    let opts = args::compile_options(a)?;
+    let predict = a.flag("--predict");
+    let seed: u64 = a.parsed("--seed")?.unwrap_or(0xC0FFEE);
+
+    let mut specs = Vec::with_capacity(programs.len() * ks.len());
+    for (program, source) in &programs {
+        for &k in &ks {
+            specs.push(LintJobSpec {
+                program: program.clone(),
+                source: source.clone(),
+                k,
+                opts,
+                predict,
+                seed,
+            });
+        }
+    }
+    let results = lint_report::run_lint_jobs(specs, a.parsed("--jobs")?.unwrap_or(0));
+
+    let output = if a.flag("--json") {
+        let mut j = lint_report::to_json(&results);
+        j.push('\n');
+        j
+    } else {
+        lint_report::to_text(&results)
+    };
+    match a.value("--out") {
+        Some(path) => std::fs::write(path, &output)?,
+        None => print!("{output}"),
+    }
+
+    let failures = lint_report::failure_count(&results);
+    let diags = lint_report::diag_count(&results);
+    if failures > 0 {
+        Err(format!("{failures} job(s) failed or predicted out of tolerance").into())
+    } else if a.flag("--deny") && diags > 0 {
+        Err(format!("{diags} lint diagnostic(s) with --deny").into())
+    } else {
+        Ok(())
     }
 }
 

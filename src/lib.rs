@@ -17,6 +17,10 @@
 //! * [`exact`] (`parmem-exact`) — exact branch-and-bound assignment solver
 //!   with clique lower bounds, an anytime DSATUR/ILS portfolio, and
 //!   machine-checkable optimality certificates.
+//! * [`lint`] (`parmem-lint`) — lattice-based fixpoint dataflow engine
+//!   (liveness, reaching definitions, definite init, constants, subscript
+//!   strides) feeding `PMLxxx` lint diagnostics and a static bank-conflict
+//!   predictor for the paper's t_min / t_ave / t_max.
 //! * [`driver`] (`parmem-driver`) — the pipeline session layer: the single
 //!   place the staged pipeline is chained, instrumented, and configured
 //!   ([`driver::Session`] / [`driver::PipelineContext`]), plus the CLI's
@@ -33,6 +37,7 @@
 //! paper-vs-measured record.
 
 pub mod exact_report;
+pub mod lint_report;
 
 pub use liw_ir as ir;
 pub use liw_sched as sched;
@@ -40,6 +45,7 @@ pub use parmem_batch as batch;
 pub use parmem_core as core;
 pub use parmem_driver as driver;
 pub use parmem_exact as exact;
+pub use parmem_lint as lint;
 pub use parmem_obs as obs;
 pub use parmem_verify as verify;
 pub use rliw_sim as sim;

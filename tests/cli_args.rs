@@ -1,0 +1,79 @@
+//! Argument-contract audit for every `parmem` subcommand: unknown options
+//! must exit with status 2 and an error listing the accepted flags, so no
+//! subcommand silently swallows a typo'd or out-of-place option.
+
+use std::process::Command;
+
+/// All subcommands the CLI dispatches (kept in sync with `arg_spec` in
+/// `src/bin/parmem.rs` — a new subcommand that misses this list fails the
+/// completeness test below).
+const SUBCOMMANDS: &[&str] = &[
+    "assign", "compile", "run", "verify", "batch", "trace", "exact", "lint",
+];
+
+fn parmem(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_parmem"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("spawn parmem")
+}
+
+#[test]
+fn every_subcommand_rejects_unknown_options_with_exit_2() {
+    for cmd in SUBCOMMANDS {
+        let out = parmem(&[cmd, "--definitely-not-a-flag"]);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "`parmem {cmd}` accepted a bogus flag (stderr: {stderr})"
+        );
+        assert!(
+            stderr.contains("unknown option `--definitely-not-a-flag`"),
+            "`parmem {cmd}` stderr does not name the bad option: {stderr}"
+        );
+        assert!(
+            stderr.contains("accepted:"),
+            "`parmem {cmd}` stderr does not list accepted options: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn double_dash_k_only_works_where_k_is_declared() {
+    // `run` takes no module count: `--k` must be rejected like any other
+    // unknown option, not silently swallowed with its value.
+    let out = parmem(&["run", "--k", "4"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("unknown option `--k`"), "{stderr}");
+
+    // `lint` declares `-k`, so the `--k` spelling parses there.
+    let out = parmem(&["lint", "FFT", "--k", "4"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn unknown_subcommand_exits_2_with_usage() {
+    let out = parmem(&["frobnicate"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr.contains("usage: parmem"), "{stderr}");
+    // The usage line advertises every dispatchable subcommand.
+    for cmd in SUBCOMMANDS {
+        assert!(stderr.contains(cmd), "usage line misses `{cmd}`: {stderr}");
+    }
+}
+
+#[test]
+fn missing_option_values_exit_2() {
+    let out = parmem(&["lint", "--seed"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("requires a value"), "{stderr}");
+}

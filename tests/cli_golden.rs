@@ -85,6 +85,30 @@ fn exact_output_is_stable() {
 }
 
 #[test]
+fn lint_corpus_output_is_stable_across_jobs() {
+    // The full extended corpus: every diagnostic the static analyses emit
+    // today is pinned here, so a new PML finding (or a lost one) on any
+    // workload shows up as golden drift.
+    let actual = parmem_stdout(&["lint", "--all", "-k", "4"]);
+    check_golden("lint_corpus", &actual);
+
+    // The report must not depend on worker count.
+    let serial = parmem_stdout(&["lint", "--all", "-k", "4", "--jobs", "1"]);
+    let wide = parmem_stdout(&["lint", "--all", "-k", "4", "--jobs", "4"]);
+    assert_eq!(serial, actual, "--jobs 1 must match the default report");
+    assert_eq!(wide, actual, "--jobs 4 must match the default report");
+}
+
+#[test]
+fn lint_predict_json_is_stable() {
+    // Predicted-vs-measured JSON for FFT at two module counts: pins the
+    // static conflict model's t_min / t_ave / t_max alongside the measured
+    // counters (exact analyses + deterministic seed → byte-stable).
+    let actual = parmem_stdout(&["lint", "FFT", "-k", "2,4", "--json", "--predict"]);
+    check_golden("lint_fft_predict_json", &actual);
+}
+
+#[test]
 fn batch_output_is_stable_across_jobs() {
     let args = ["batch", "FFT", "SORT", "-k", "2,4"];
     let actual = parmem_stdout(&args);
