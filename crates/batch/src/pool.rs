@@ -1,160 +1,9 @@
-//! Vendored work-stealing thread pool (no external deps, same spirit as the
-//! `rand`/`proptest` stubs): every worker owns a deque seeded round-robin
-//! with tasks; a worker that drains its own deque steals from the *back* of
-//! its neighbours', so an unlucky worker stuck on one heavy job sheds the
-//! rest of its queue to idle peers. All tasks are enqueued up front and no
-//! task spawns new tasks, so a worker may exit as soon as every deque is
-//! empty — an in-flight task on another worker can no longer produce work.
+//! Work-stealing pool, re-exported verbatim from `parmem-pool`.
 //!
-//! Results are returned **in item order** regardless of which worker ran
-//! what, which is what makes batch output reproducible across `--jobs`.
+//! The pool started life here; it moved to its own std-only crate so the
+//! conflict-graph core can parallelize CSR construction and per-component
+//! assignment without a `core -> batch` dependency cycle (batch depends on
+//! core). This shim keeps `parmem_batch::pool::*` source-compatible for
+//! existing callers.
 
-use std::collections::VecDeque;
-use std::sync::Mutex;
-
-/// Worker count to use when the caller passes `jobs == 0`: the
-/// `PARMEM_JOBS` environment variable if set to a positive integer,
-/// otherwise the machine's available parallelism.
-pub fn default_jobs() -> usize {
-    std::env::var("PARMEM_JOBS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-}
-
-/// Resolve a requested worker count (`0` = auto, see [`default_jobs`]).
-pub fn effective_jobs(requested: usize) -> usize {
-    if requested == 0 {
-        default_jobs()
-    } else {
-        requested
-    }
-}
-
-/// Apply `f` to every item on a work-stealing pool of `jobs` workers
-/// (`0` = auto) and return the results in item order.
-///
-/// `f` runs concurrently on plain OS threads; a panic inside `f` propagates
-/// (callers wanting isolation catch panics inside `f`, as the batch job
-/// runner does).
-pub fn map_indexed<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(usize, T) -> R + Sync,
-{
-    let n = items.len();
-    let jobs = effective_jobs(jobs).min(n.max(1));
-    if jobs <= 1 || n <= 1 {
-        return items
-            .into_iter()
-            .enumerate()
-            .map(|(i, t)| f(i, t))
-            .collect();
-    }
-
-    let queues: Vec<Mutex<VecDeque<(usize, T)>>> =
-        (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
-    for (i, t) in items.into_iter().enumerate() {
-        queues[i % jobs].lock().unwrap().push_back((i, t));
-    }
-
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..jobs)
-            .map(|w| {
-                let queues = &queues;
-                let f = &f;
-                s.spawn(move || {
-                    let mut out: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        // Own work first (front), then steal (back).
-                        let mut task = queues[w].lock().unwrap().pop_front();
-                        if task.is_none() {
-                            for off in 1..queues.len() {
-                                let victim = (w + off) % queues.len();
-                                task = queues[victim].lock().unwrap().pop_back();
-                                if task.is_some() {
-                                    break;
-                                }
-                            }
-                        }
-                        match task {
-                            Some((i, t)) => out.push((i, f(i, t))),
-                            None => break,
-                        }
-                    }
-                    out
-                })
-            })
-            .collect();
-        for h in handles {
-            let out = h.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
-            for (i, r) in out {
-                results[i] = Some(r);
-            }
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every enqueued task produces exactly one result"))
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    #[test]
-    fn preserves_order_for_any_worker_count() {
-        let items: Vec<usize> = (0..97).collect();
-        for jobs in [1, 2, 3, 8, 64] {
-            let out = map_indexed(items.clone(), jobs, |i, x| {
-                assert_eq!(i, x);
-                x * 2
-            });
-            assert_eq!(out, (0..97).map(|x| x * 2).collect::<Vec<_>>());
-        }
-    }
-
-    #[test]
-    fn runs_every_item_exactly_once() {
-        let hits: Vec<AtomicUsize> = (0..50).map(|_| AtomicUsize::new(0)).collect();
-        map_indexed((0..50).collect::<Vec<usize>>(), 8, |_, x| {
-            hits[x].fetch_add(1, Ordering::Relaxed);
-        });
-        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
-    }
-
-    #[test]
-    fn stealing_drains_uneven_queues() {
-        // One heavy item pins a worker; the rest must still complete via
-        // stealing (this terminates even without stealing, but stealing is
-        // what keeps it fast — the assertion is on completeness).
-        let out = map_indexed((0..32).collect::<Vec<usize>>(), 4, |_, x| {
-            if x == 0 {
-                std::thread::sleep(std::time::Duration::from_millis(30));
-            }
-            x
-        });
-        assert_eq!(out, (0..32).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn zero_jobs_resolves_to_positive() {
-        assert!(effective_jobs(0) >= 1);
-        assert_eq!(effective_jobs(3), 3);
-    }
-
-    #[test]
-    fn empty_input_is_fine() {
-        let out: Vec<u32> = map_indexed(Vec::<u32>::new(), 8, |_, x| x);
-        assert!(out.is_empty());
-    }
-}
+pub use parmem_pool::{default_jobs, effective_jobs, map_indexed};

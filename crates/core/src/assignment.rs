@@ -18,6 +18,17 @@ use crate::graph::ConflictGraph;
 use crate::matching;
 use crate::types::{AccessTrace, ModuleId, ModuleSet, OperandSet, ValueId};
 
+/// Below this many vertices the per-component coloring fan-out stays on the
+/// calling thread regardless of `AssignParams::jobs`: paper-scale graphs gain
+/// nothing from threads, and inline execution keeps their obs span traces
+/// single-threaded (and therefore golden-stable).
+const PAR_COMPONENT_MIN_VERTICES: usize = 4096;
+
+/// Atom decomposition (MCS-M) is quadratic in component size; past this many
+/// vertices a component is colored whole. Synthetic scale workloads land
+/// here, the paper's traces never do.
+const ATOM_MAX_VERTICES: usize = 2048;
+
 /// Where each data value's copies live. Indexed densely by [`ValueId`].
 #[derive(Clone, Debug)]
 pub struct Assignment {
@@ -152,6 +163,10 @@ pub struct AssignParams {
     /// Whether to decompose the conflict graph into atoms first (paper §2.1).
     /// Disabling this is an ablation knob; results stay correct either way.
     pub use_atoms: bool,
+    /// Worker threads for graph construction and per-component coloring
+    /// (`0` = auto, `1` = sequential). Results are byte-identical for every
+    /// value: parallelism only changes who computes what, never the outcome.
+    pub jobs: usize,
 }
 
 impl Default for AssignParams {
@@ -160,6 +175,7 @@ impl Default for AssignParams {
             module_choice: ModuleChoice::LowestIndex,
             duplication: DuplicationStrategy::HittingSet,
             use_atoms: true,
+            jobs: 0,
         }
     }
 }
@@ -212,7 +228,7 @@ pub fn assign_trace_into(
     pipeline_span.attr("instructions", trace.instructions.len());
     let g = {
         let mut gsp = parmem_obs::span("assign.graph");
-        let g = ConflictGraph::build(trace);
+        let g = ConflictGraph::build_with_jobs(trace, params.jobs);
         gsp.attr("nodes", g.len());
         g
     };
@@ -221,54 +237,37 @@ pub fn assign_trace_into(
     //
     // Per connected component: decompose into atoms (paper §2.1) and color
     // them in order, holding clique-separator vertices fixed across atoms.
-    // Tarjan's theorem guarantees a per-atom coloring extends to the whole
-    // graph, but only up to a *permutation* of colors per atom — the greedy
-    // heuristic with hard-fixed separators can therefore strand nodes an
-    // un-decomposed run would color. When that happens we fall back to
-    // coloring the whole component at once and keep the better result, so
-    // the decomposition is a pure win (smaller graphs) and never a quality
-    // loss.
+    //
+    // Components are vertex-disjoint, so each one only ever reads its *own*
+    // values' pre-existing copies (stage fixing from STOR2/STOR3): coloring
+    // every component against the assignment as it stood before the loop is
+    // byte-identical to interleaving reads with the sequential apply order.
+    // That independence is what lets large graphs fan components out across
+    // the pool; results are applied sequentially in component order either
+    // way, so the outcome does not depend on `jobs`.
+    let color_span = parmem_obs::span("assign.color");
+    let comps = g.connected_components();
+    let comp_jobs = if g.len() >= PAR_COMPONENT_MIN_VERTICES {
+        params.jobs
+    } else {
+        1
+    };
+    let colored = {
+        let frozen: &Assignment = assignment;
+        parmem_pool::map_indexed(comps, comp_jobs, |_, comp| {
+            color_component(&g, &comp, k, params, frozen)
+        })
+    };
+
     let mut n_atoms = 0usize;
     let mut unassigned: Vec<ValueId> = Vec::new();
     let mut seen_unassigned: HashSet<ValueId> = HashSet::new();
-
-    let color_span = parmem_obs::span("assign.color");
-    for comp in g.connected_components() {
-        let sub = g.induced(&comp);
-
-        let (mut colors, mut unas) = if params.use_atoms {
-            color_component_by_atoms(&sub, k, params, assignment, &mut n_atoms)
-        } else {
-            n_atoms += 1;
-            let c = color_graph(&sub, k, params.module_choice, |v| {
-                assignment.copies(sub.value(v))
-            });
-            (c.assigned, c.unassigned)
-        };
-
-        if params.use_atoms {
-            // Fall back to whole-component coloring when the atom-wise merge
-            // produced a violation (possible when stage-fixed values defeat
-            // the permutation merge) or strands more nodes than a direct run
-            // would. The direct run is valid by construction, so this keeps
-            // atom decomposition a pure efficiency feature.
-            let valid = merged_coloring_valid(&sub, &colors, assignment);
-            if !valid || !unas.is_empty() {
-                let whole = color_graph(&sub, k, params.module_choice, |v| {
-                    assignment.copies(sub.value(v))
-                });
-                if !valid || whole.unassigned.len() < unas.len() {
-                    colors = whole.assigned;
-                    unas = whole.unassigned;
-                }
-            }
+    for cc in colored {
+        n_atoms += cc.atoms;
+        for (val, m) in cc.colors {
+            assignment.add_copy(val, m);
         }
-
-        for (v, m) in colors {
-            assignment.add_copy(sub.value(v), m);
-        }
-        for v in unas {
-            let val = sub.value(v);
+        for val in cc.unassigned {
             if seen_unassigned.insert(val) {
                 unassigned.push(val);
             }
@@ -353,6 +352,69 @@ fn debug_validate(trace: &AccessTrace, assignment: &Assignment, report: &Assignm
         assignment.placed_values().count(),
         "copy bookkeeping does not add up"
     );
+}
+
+/// Result of coloring one connected component, in [`ValueId`] terms so the
+/// caller can apply it without re-deriving the dense-vertex mapping.
+struct ColoredComponent {
+    colors: Vec<(ValueId, ModuleId)>,
+    unassigned: Vec<ValueId>,
+    atoms: usize,
+}
+
+/// Color one connected component of `g` (read-only; safe to run on a pool
+/// worker). Atoms decompose the component first (paper §2.1) unless it is
+/// too large for quadratic MCS-M — Tarjan's theorem guarantees a per-atom
+/// coloring extends to the whole graph, but only up to a *permutation* of
+/// colors per atom, so the greedy heuristic with hard-fixed separators can
+/// strand nodes an un-decomposed run would color. When that happens we fall
+/// back to coloring the whole component at once and keep the better result,
+/// so the decomposition is a pure win (smaller graphs) and never a quality
+/// loss.
+fn color_component(
+    g: &ConflictGraph,
+    comp: &[u32],
+    k: usize,
+    params: &AssignParams,
+    frozen: &Assignment,
+) -> ColoredComponent {
+    let sub = g.induced(comp);
+    let use_atoms = params.use_atoms && sub.len() <= ATOM_MAX_VERTICES;
+    let mut n_atoms = 0usize;
+
+    let (mut colors, mut unas) = if use_atoms {
+        color_component_by_atoms(&sub, k, params, frozen, &mut n_atoms)
+    } else {
+        n_atoms += 1;
+        let c = color_graph(&sub, k, params.module_choice, |v| {
+            frozen.copies(sub.value(v))
+        });
+        (c.assigned, c.unassigned)
+    };
+
+    if use_atoms {
+        // Fall back to whole-component coloring when the atom-wise merge
+        // produced a violation (possible when stage-fixed values defeat
+        // the permutation merge) or strands more nodes than a direct run
+        // would. The direct run is valid by construction, so this keeps
+        // atom decomposition a pure efficiency feature.
+        let valid = merged_coloring_valid(&sub, &colors, frozen);
+        if !valid || !unas.is_empty() {
+            let whole = color_graph(&sub, k, params.module_choice, |v| {
+                frozen.copies(sub.value(v))
+            });
+            if !valid || whole.unassigned.len() < unas.len() {
+                colors = whole.assigned;
+                unas = whole.unassigned;
+            }
+        }
+    }
+
+    ColoredComponent {
+        colors: colors.into_iter().map(|(v, m)| (sub.value(v), m)).collect(),
+        unassigned: unas.into_iter().map(|v| sub.value(v)).collect(),
+        atoms: n_atoms,
+    }
 }
 
 /// Color one connected component atom by atom.

@@ -16,7 +16,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::graph::ConflictGraph;
+use crate::graph::{BitAdjacency, ConflictGraph};
 
 /// Result of MCS-M: a minimal elimination ordering plus the fill edges that
 /// make the graph chordal.
@@ -37,6 +37,14 @@ pub struct MinimalOrdering {
 /// vertex reachable through strictly-smaller-weight unnumbered intermediates
 /// has its weight incremented; non-edges among those pairs become fill.
 pub fn mcs_m(g: &ConflictGraph) -> MinimalOrdering {
+    mcs_m_with(g, &g.bit_adjacency(0))
+}
+
+/// [`mcs_m`] reusing an already-built [`BitAdjacency`] (the decomposition
+/// builds one and shares it between the ordering and the clique checks —
+/// both probe `(u, v)` adjacency, which the bitset answers in O(1) for the
+/// high-degree hubs where the CSR search is slowest).
+fn mcs_m_with(g: &ConflictGraph, badj: &BitAdjacency) -> MinimalOrdering {
     let n = g.len();
     let mut weight = vec![0i64; n];
     let mut numbered = vec![false; n];
@@ -97,7 +105,7 @@ pub fn mcs_m(g: &ConflictGraph) -> MinimalOrdering {
         for &u in &touched {
             if incoming[u as usize] < weight[u as usize] {
                 weight[u as usize] += 1;
-                if !g.has_edge(u, v) {
+                if !badj.has_edge(g, u, v) {
                     fill.push((u.min(v), u.max(v)));
                 }
             }
@@ -123,7 +131,8 @@ pub fn atoms(g: &ConflictGraph) -> Vec<Vec<u32>> {
     if n == 0 {
         return Vec::new();
     }
-    let mo = mcs_m(g);
+    let badj = g.bit_adjacency(0);
+    let mo = mcs_m_with(g, &badj);
 
     // Filled-graph adjacency (original edges + fill).
     let mut filled_adj: Vec<Vec<u32>> = (0..n).map(|v| g.neighbors(v as u32).to_vec()).collect();
@@ -148,7 +157,7 @@ pub fn atoms(g: &ConflictGraph) -> Vec<Vec<u32>> {
             .copied()
             .filter(|&w| mo.position[w as usize] > i && alive[w as usize])
             .collect();
-        if madj.is_empty() || !g.is_clique(&madj) {
+        if madj.is_empty() || !badj.is_clique(g, &madj) {
             continue;
         }
         // madj is a clique — but it only yields an atom if it genuinely

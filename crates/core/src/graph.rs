@@ -5,7 +5,27 @@
 //! instructions in which both endpoints occur — the weight source for the
 //! coloring heuristic of Fig. 4.
 
-use crate::types::{AccessTrace, ValueId};
+use crate::types::{AccessTrace, OperandSet, ValueId};
+
+/// Instruction count below which [`ConflictGraph::build_with_jobs`] stays on
+/// the plain sequential path — fanning out over the pool costs more than the
+/// build itself at paper scale, and keeping small traces single-threaded
+/// keeps their observability spans on one thread.
+const PAR_BUILD_MIN_INSTRUCTIONS: usize = 4096;
+
+/// Instructions per shard for parallel pair counting. Fixed (not derived
+/// from the worker count) so the shard decomposition — and therefore every
+/// intermediate — is identical at any `--jobs`.
+const PAR_SHARD_INSTRUCTIONS: usize = 8192;
+
+/// Edge-list length below which the parallel CSR fill is not worth the
+/// scatter bookkeeping; `assemble` handles the rest.
+const PAR_ASSEMBLE_MIN_EDGES: usize = 1 << 16;
+
+/// Minimum degree for a vertex to earn a dedicated [`BitAdjacency`] row:
+/// below this a CSR binary search costs at most ~6 probes and a full bitset
+/// row would be wasted memory.
+const BIT_ROW_MIN_DEGREE: usize = 64;
 
 /// Access conflict graph over the distinct values of an [`AccessTrace`],
 /// stored as an immutable compressed-sparse-row (CSR) structure.
@@ -43,6 +63,54 @@ impl ConflictGraph {
     /// in `conf`.
     pub fn build(trace: &AccessTrace) -> ConflictGraph {
         Self::build_filtered(trace, |_| true)
+    }
+
+    /// Build the conflict graph of `trace`, fanning the pair counting and
+    /// CSR fill out over `jobs` pool workers (`0` = auto) when the trace is
+    /// large enough to pay for it. The result is byte-identical to
+    /// [`ConflictGraph::build`] at every worker count: shards are a fixed
+    /// size, shard merges are order-independent count sums, and the CSR fill
+    /// writes disjoint row ranges of the same sorted edge list.
+    pub fn build_with_jobs(trace: &AccessTrace, jobs: usize) -> ConflictGraph {
+        let jobs = parmem_pool::effective_jobs(jobs);
+        if jobs <= 1 || trace.instructions.len() < PAR_BUILD_MIN_INSTRUCTIONS {
+            return Self::build_filtered(trace, |_| true);
+        }
+
+        let shards: Vec<&[OperandSet]> =
+            trace.instructions.chunks(PAR_SHARD_INSTRUCTIONS).collect();
+
+        // Distinct values: shard-local sorted dedup, then a merge tournament.
+        let local_values = parmem_pool::map_indexed(shards.clone(), jobs, |_, shard| {
+            let mut vs: Vec<ValueId> = shard.iter().flat_map(|i| i.iter()).collect();
+            vs.sort_unstable();
+            vs.dedup();
+            vs
+        });
+        let values = merge_tournament(local_values, jobs, merge_dedup);
+
+        // Per-shard edge counting: dense normalized pairs, sorted, run-length
+        // counted, then pairwise merges summing the counts (sums are
+        // associative and commutative, so the tournament shape cannot show).
+        let counted = parmem_pool::map_indexed(shards, jobs, |_, shard| {
+            let mut pairs: Vec<(u32, u32)> = Vec::new();
+            for inst in shard {
+                let ops: Vec<u32> = inst
+                    .iter()
+                    .filter_map(|v| values.binary_search(&v).ok().map(|i| i as u32))
+                    .collect();
+                for i in 0..ops.len() {
+                    for j in (i + 1)..ops.len() {
+                        pairs.push((ops[i], ops[j]));
+                    }
+                }
+            }
+            pairs.sort_unstable();
+            count_runs(pairs)
+        });
+        let edge_list = merge_tournament(counted, jobs, merge_counted);
+
+        Self::assemble_par(values, &edge_list, jobs)
     }
 
     /// Build the conflict graph considering only values for which `keep`
@@ -115,6 +183,25 @@ impl ConflictGraph {
         Self::assemble(values, &dedup)
     }
 
+    /// Build directly from an edge list that is already normalized — strictly
+    /// ascending `(a, b)` pairs with `a < b`, no duplicates — over the dense
+    /// vertices `0..n`, using the parallel CSR fill when the list is large
+    /// (`jobs` follows the pool convention, `0` = auto). The synthetic scale
+    /// generator emits exactly this shape; the result equals
+    /// [`ConflictGraph::from_edges`] on the same list at any worker count.
+    pub fn from_sorted_edges(
+        n: usize,
+        edge_list: &[(u32, u32, u32)],
+        jobs: usize,
+    ) -> ConflictGraph {
+        debug_assert!(edge_list
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+        debug_assert!(edge_list.iter().all(|&(a, b, _)| a < b && (b as usize) < n));
+        let values: Vec<ValueId> = (0..n as u32).map(ValueId).collect();
+        Self::assemble_par(values, edge_list, parmem_pool::effective_jobs(jobs))
+    }
+
     /// Assemble the CSR arrays from a deduplicated normalized edge list
     /// (`a < b`, no self loops, unique pairs).
     fn assemble(values: Vec<ValueId>, edge_list: &[(u32, u32, u32)]) -> ConflictGraph {
@@ -147,6 +234,143 @@ impl ConflictGraph {
             conf_weights,
             edges: edge_list.len(),
         }
+    }
+
+    /// Parallel [`ConflictGraph::assemble`]: count degrees and prefix-sum
+    /// sequentially (linear and cheap), then fill disjoint contiguous CSR
+    /// segments from pool workers. Each worker owns a contiguous vertex
+    /// range, whose rows form one contiguous slice of `neighbors`; scanning
+    /// the `(a, b)`-sorted undirected list keeps every row ascending (for a
+    /// vertex `v`, reverse entries `(x, v)` with `x < v` all sort before the
+    /// forward run `(v, b)` with `b > v`), exactly matching the sequential
+    /// sort-based fill.
+    fn assemble_par(
+        values: Vec<ValueId>,
+        edge_list: &[(u32, u32, u32)],
+        jobs: usize,
+    ) -> ConflictGraph {
+        let n = values.len();
+        if jobs <= 1 || edge_list.len() < PAR_ASSEMBLE_MIN_EDGES {
+            return Self::assemble(values, edge_list);
+        }
+        let mut by_value: Vec<u32> = (0..n as u32).collect();
+        by_value.sort_unstable_by_key(|&i| values[i as usize]);
+
+        let mut offsets = vec![0u32; n + 1];
+        for &(a, b, _) in edge_list {
+            offsets[a as usize + 1] += 1;
+            offsets[b as usize + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let total = offsets[n] as usize;
+        let mut neighbors = vec![0u32; total];
+        let mut conf_weights = vec![0u32; total];
+
+        // Vertex ranges of roughly equal slot count; range boundaries only
+        // decide who writes where, never what is written, so a jobs-dependent
+        // partition is still deterministic output-wise.
+        let mut bounds = vec![0usize];
+        for w in 1..jobs {
+            let target = (total * w / jobs) as u32;
+            let v = offsets.partition_point(|&o| o < target).min(n);
+            if v > *bounds.last().unwrap() {
+                bounds.push(v);
+            }
+        }
+        if *bounds.last().unwrap() < n {
+            bounds.push(n);
+        }
+
+        struct FillTask<'a> {
+            lo: usize,
+            hi: usize,
+            base: usize,
+            nbrs: &'a mut [u32],
+            confs: &'a mut [u32],
+        }
+        let mut tasks: Vec<FillTask> = Vec::new();
+        {
+            let mut nrest: &mut [u32] = &mut neighbors;
+            let mut crest: &mut [u32] = &mut conf_weights;
+            let mut consumed = 0usize;
+            for win in bounds.windows(2) {
+                let (lo, hi) = (win[0], win[1]);
+                let end = offsets[hi] as usize;
+                let (na, nb) = nrest.split_at_mut(end - consumed);
+                let (ca, cb) = crest.split_at_mut(end - consumed);
+                tasks.push(FillTask {
+                    lo,
+                    hi,
+                    base: consumed,
+                    nbrs: na,
+                    confs: ca,
+                });
+                nrest = nb;
+                crest = cb;
+                consumed = end;
+            }
+        }
+        parmem_pool::map_indexed(tasks, jobs, |_, task| {
+            let FillTask {
+                lo,
+                hi,
+                base,
+                nbrs,
+                confs,
+            } = task;
+            let mut cursor: Vec<usize> =
+                offsets[lo..hi].iter().map(|&o| o as usize - base).collect();
+            let (lo, hi) = (lo as u32, hi as u32);
+            for &(a, b, c) in edge_list {
+                if lo <= a && a < hi {
+                    let cur = &mut cursor[(a - lo) as usize];
+                    nbrs[*cur] = b;
+                    confs[*cur] = c;
+                    *cur += 1;
+                }
+                if lo <= b && b < hi {
+                    let cur = &mut cursor[(b - lo) as usize];
+                    nbrs[*cur] = a;
+                    confs[*cur] = c;
+                    *cur += 1;
+                }
+            }
+        });
+
+        ConflictGraph {
+            values,
+            by_value,
+            offsets,
+            neighbors,
+            conf_weights,
+            edges: edge_list.len(),
+        }
+    }
+
+    /// Order-stable FNV-1a digest of the entire representation (values,
+    /// offsets, adjacency, conf weights): two graphs digest equal exactly
+    /// when their CSR arrays are identical. The differential scale tests and
+    /// the bench harness use this to compare build paths without a full
+    /// structural walk.
+    pub fn digest(&self) -> u64 {
+        fn eat(h: &mut u64, x: u64) {
+            *h ^= x;
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        eat(&mut h, self.values.len() as u64);
+        for v in &self.values {
+            eat(&mut h, v.0 as u64);
+        }
+        for &o in &self.offsets {
+            eat(&mut h, o as u64);
+        }
+        for (&nb, &c) in self.neighbors.iter().zip(&self.conf_weights) {
+            eat(&mut h, ((nb as u64) << 32) | c as u64);
+        }
+        h
     }
 
     /// Number of vertices.
@@ -237,15 +461,36 @@ impl ConflictGraph {
     /// returned graph's vertex `i` corresponds to `vertices[i]`; its
     /// `value()` mapping is preserved from the parent.
     pub fn induced(&self, vertices: &[u32]) -> ConflictGraph {
-        let mut local = vec![u32::MAX; self.len()];
-        for (i, &v) in vertices.iter().enumerate() {
-            local[v as usize] = i as u32;
+        // Local-id lookup: a flat array when the subset is a sizable slice of
+        // the graph, a hash map when it is tiny relative to `self` — carving
+        // many small components out of a huge graph must cost the components'
+        // total size, not O(n) scratch per component.
+        let use_map = vertices.len().saturating_mul(16) < self.len();
+        let mut flat = Vec::new();
+        let mut map: std::collections::HashMap<u32, u32> = Default::default();
+        if use_map {
+            map.reserve(vertices.len());
+            for (i, &v) in vertices.iter().enumerate() {
+                map.insert(v, i as u32);
+            }
+        } else {
+            flat = vec![u32::MAX; self.len()];
+            for (i, &v) in vertices.iter().enumerate() {
+                flat[v as usize] = i as u32;
+            }
         }
+        let local = |w: u32| -> u32 {
+            if use_map {
+                map.get(&w).copied().unwrap_or(u32::MAX)
+            } else {
+                flat[w as usize]
+            }
+        };
         let values: Vec<ValueId> = vertices.iter().map(|&v| self.value(v)).collect();
         let mut edge_list: Vec<(u32, u32, u32)> = Vec::new();
         for (i, &v) in vertices.iter().enumerate() {
             for (w, c) in self.neighbors_with_conf(v) {
-                let j = local[w as usize];
+                let j = local(w);
                 if j != u32::MAX && (i as u32) < j {
                     edge_list.push((i as u32, j, c));
                 }
@@ -253,6 +498,49 @@ impl ConflictGraph {
         }
         edge_list.sort_unstable();
         Self::assemble(values, &edge_list)
+    }
+
+    /// Build a [`BitAdjacency`] over this graph spending at most
+    /// `budget_words` u64 words on bitset rows (`0` picks a default of
+    /// `8·n + 1024` words). Rows go to the highest-degree vertices first
+    /// (ties to the lower id) while the budget lasts and degrees stay at or
+    /// above [`BIT_ROW_MIN_DEGREE`] — the selection is a pure function of
+    /// the graph and the budget, never of thread count or timing.
+    pub fn bit_adjacency(&self, budget_words: usize) -> BitAdjacency {
+        let n = self.len();
+        let words = n.div_ceil(64).max(1);
+        let budget = if budget_words == 0 {
+            8 * n + 1024
+        } else {
+            budget_words
+        };
+        let mut by_degree: Vec<u32> = (0..n as u32).collect();
+        by_degree.sort_unstable_by_key(|&v| (std::cmp::Reverse(self.degree(v)), v));
+        let mut row_of = vec![u32::MAX; n];
+        let mut rows = 0u32;
+        for &v in by_degree.iter().take(budget / words) {
+            if self.degree(v) < BIT_ROW_MIN_DEGREE {
+                break;
+            }
+            row_of[v as usize] = rows;
+            rows += 1;
+        }
+        let mut bits = vec![0u64; rows as usize * words];
+        for v in 0..n as u32 {
+            let r = row_of[v as usize];
+            if r == u32::MAX {
+                continue;
+            }
+            let row = &mut bits[r as usize * words..(r as usize + 1) * words];
+            for &w in self.neighbors(v) {
+                row[(w / 64) as usize] |= 1u64 << (w % 64);
+            }
+        }
+        BitAdjacency {
+            words,
+            row_of,
+            bits,
+        }
     }
 
     /// Iterate all edges as `(u, v, conf)` with `u < v`, ascending by
@@ -293,6 +581,155 @@ impl ConflictGraph {
         }
         comps
     }
+}
+
+/// Bitset adjacency rows for the highest-degree vertices of a
+/// [`ConflictGraph`]: an O(1) `has_edge` exactly where the CSR binary search
+/// is at its worst, with the search as the fallback everywhere else. Built
+/// by [`ConflictGraph::bit_adjacency`]; used by the probe-shaped inner loops
+/// (clique checks in the separator decomposition, adjacency tests in the
+/// exact solver's clique bound) on graphs with heavy hubs.
+#[derive(Clone, Debug)]
+pub struct BitAdjacency {
+    /// u64 words per row (`ceil(n / 64)`).
+    words: usize,
+    /// Vertex -> row index, `u32::MAX` when the vertex has no row.
+    row_of: Vec<u32>,
+    /// Concatenated rows.
+    bits: Vec<u64>,
+}
+
+impl BitAdjacency {
+    /// Number of vertices holding a dedicated bitset row.
+    pub fn rows(&self) -> usize {
+        self.bits.len() / self.words
+    }
+
+    /// Whether `v` has a dedicated row.
+    pub fn covers(&self, v: u32) -> bool {
+        self.row_of[v as usize] != u32::MAX
+    }
+
+    #[inline]
+    fn test(&self, row: u32, v: u32) -> bool {
+        self.bits[row as usize * self.words + (v / 64) as usize] >> (v % 64) & 1 != 0
+    }
+
+    /// Adjacency test: O(1) when either endpoint has a row, CSR binary
+    /// search on `g` otherwise. `g` must be the graph this was built from.
+    #[inline]
+    pub fn has_edge(&self, g: &ConflictGraph, u: u32, v: u32) -> bool {
+        let ru = self.row_of[u as usize];
+        if ru != u32::MAX {
+            return self.test(ru, v);
+        }
+        let rv = self.row_of[v as usize];
+        if rv != u32::MAX {
+            return self.test(rv, u);
+        }
+        g.has_edge(u, v)
+    }
+
+    /// [`ConflictGraph::is_clique`] with the bitset fast path.
+    pub fn is_clique(&self, g: &ConflictGraph, set: &[u32]) -> bool {
+        for i in 0..set.len() {
+            for j in (i + 1)..set.len() {
+                if !self.has_edge(g, set[i], set[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Repeatedly merge adjacent pairs of sorted lists on the pool until one
+/// remains. The merge operator must be associative with order-independent
+/// combination of equal keys (ours sum counts), so the tournament shape —
+/// which depends on the shard count, not the worker count — never shows in
+/// the result.
+fn merge_tournament<T: Send>(
+    mut lists: Vec<Vec<T>>,
+    jobs: usize,
+    merge2: impl Fn(Vec<T>, Vec<T>) -> Vec<T> + Sync,
+) -> Vec<T> {
+    while lists.len() > 1 {
+        let mut paired: Vec<(Vec<T>, Option<Vec<T>>)> = Vec::with_capacity(lists.len().div_ceil(2));
+        let mut it = lists.into_iter();
+        while let Some(a) = it.next() {
+            paired.push((a, it.next()));
+        }
+        lists = parmem_pool::map_indexed(paired, jobs, |_, (a, b)| match b {
+            Some(b) => merge2(a, b),
+            None => a,
+        });
+    }
+    lists.pop().unwrap_or_default()
+}
+
+/// Merge two sorted deduplicated lists into one.
+fn merge_dedup(a: Vec<ValueId>, b: Vec<ValueId>) -> Vec<ValueId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Merge two sorted counted edge lists, summing counts of equal pairs.
+fn merge_counted(a: Vec<(u32, u32, u32)>, b: Vec<(u32, u32, u32)>) -> Vec<(u32, u32, u32)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (ka, kb) = ((a[i].0, a[i].1), (b[j].0, b[j].1));
+        match ka.cmp(&kb) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((ka.0, ka.1, a[i].2 + b[j].2));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Run-length count a sorted pair list into `(a, b, count)` triples.
+fn count_runs(pairs: Vec<(u32, u32)>) -> Vec<(u32, u32, u32)> {
+    let mut out: Vec<(u32, u32, u32)> = Vec::new();
+    for (a, b) in pairs {
+        match out.last_mut() {
+            Some((la, lb, c)) if *la == a && *lb == b => *c += 1,
+            _ => out.push((a, b, 1)),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -402,6 +839,92 @@ mod tests {
                 assert_eq!(g.conf(u, v), c);
             }
         }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_on_large_trace() {
+        // Enough instructions to cross PAR_BUILD_MIN_INSTRUCTIONS; a value
+        // universe small enough to force shared edges across shards.
+        let insts: Vec<OperandSet> = (0..6000u32)
+            .map(|i| {
+                let a = (i * 7) % 97;
+                let b = (i * 13 + 1) % 97;
+                let c = (i * 29 + 2) % 97;
+                OperandSet::new(vec![ValueId(a), ValueId(b), ValueId(c)])
+            })
+            .collect();
+        let t = AccessTrace::new(4, insts);
+        let seq = ConflictGraph::build(&t);
+        for jobs in [2, 3, 8] {
+            let par = ConflictGraph::build_with_jobs(&t, jobs);
+            assert_eq!(par.digest(), seq.digest(), "jobs={jobs}");
+            assert_eq!(par.len(), seq.len());
+            assert_eq!(par.edge_count(), seq.edge_count());
+        }
+    }
+
+    #[test]
+    fn from_sorted_edges_matches_from_edges() {
+        let n = 400usize;
+        let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+        for a in 0..n as u32 {
+            for off in 1..=3u32 {
+                let b = a + off * 7;
+                if (b as usize) < n {
+                    edges.push((a, b, 1 + (a + b) % 4));
+                }
+            }
+        }
+        edges.sort_unstable();
+        let reference = ConflictGraph::from_edges(n, &edges);
+        for jobs in [1, 4] {
+            let fast = ConflictGraph::from_sorted_edges(n, &edges, jobs);
+            assert_eq!(fast.digest(), reference.digest(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn digest_distinguishes_graphs() {
+        let a = ConflictGraph::from_edges(3, &[(0, 1, 1)]);
+        let b = ConflictGraph::from_edges(3, &[(0, 1, 2)]);
+        let c = ConflictGraph::from_edges(3, &[(0, 2, 1)]);
+        assert_ne!(a.digest(), b.digest(), "conf weight must show");
+        assert_ne!(a.digest(), c.digest(), "edge identity must show");
+        assert_eq!(
+            a.digest(),
+            ConflictGraph::from_edges(3, &[(0, 1, 1)]).digest()
+        );
+    }
+
+    #[test]
+    fn bit_adjacency_agrees_with_csr() {
+        // A star forces one high-degree hub past BIT_ROW_MIN_DEGREE.
+        let n = 200usize;
+        let mut edges: Vec<(u32, u32, u32)> = (1..n as u32).map(|v| (0, v, 1)).collect();
+        edges.push((5, 9, 1));
+        let g = ConflictGraph::from_edges(n, &edges);
+        let badj = g.bit_adjacency(0);
+        assert!(badj.covers(0), "the hub must earn a row");
+        assert_eq!(badj.rows(), 1, "leaves are below the degree floor");
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                if u != v {
+                    assert_eq!(badj.has_edge(&g, u, v), g.has_edge(u, v), "({u},{v})");
+                }
+            }
+        }
+        assert!(badj.is_clique(&g, &[0, 5, 9]));
+        assert!(!badj.is_clique(&g, &[0, 5, 10]));
+    }
+
+    #[test]
+    fn bit_adjacency_budget_zero_rows_still_answers() {
+        let g = ConflictGraph::from_edges(3, &[(0, 1, 1), (1, 2, 1)]);
+        // Tiny budget, tiny degrees: no rows at all, pure fallback.
+        let badj = g.bit_adjacency(1);
+        assert_eq!(badj.rows(), 0);
+        assert!(badj.has_edge(&g, 0, 1));
+        assert!(!badj.has_edge(&g, 0, 2));
     }
 
     #[test]

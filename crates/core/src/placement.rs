@@ -10,7 +10,7 @@
 //! tie-breaks (fewest pairwise clashes, then lightest module, then lowest
 //! index) so runs are reproducible.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use crate::assignment::Assignment;
 use crate::types::{AccessTrace, ModuleId, ModuleSet, ValueId};
@@ -70,10 +70,27 @@ pub fn place_values(
         uniq.dedup();
         uniq
     };
+
+    // Inverted occurrence index: the instruction indices containing each
+    // value to place, built in one trace scan. Every use below (priority
+    // vectors, the live conflict set, the clash tie-break) walks only a
+    // value's own occurrences instead of the whole trace — the difference
+    // between O(U·I) and O(total occurrences) when U and I are both large.
+    let slot: HashMap<ValueId, usize> = ordered.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut occ: Vec<Vec<u32>> = vec![Vec::new(); ordered.len()];
+    for (idx, inst) in trace.instructions.iter().enumerate() {
+        for v in inst.iter() {
+            if let Some(&s) = slot.get(&v) {
+                occ[s].push(idx as u32);
+            }
+        }
+    }
+
     let count_vector = |v: ValueId, conflicting: &[bool]| -> Vec<usize> {
         let mut counts = vec![0usize; k + 1];
-        for (idx, inst) in trace.instructions.iter().enumerate() {
-            if conflicting[idx] && group_of[idx] >= 1 && inst.contains(v) {
+        for &idx in &occ[slot[&v]] {
+            let idx = idx as usize;
+            if conflicting[idx] && group_of[idx] >= 1 {
                 counts[group_of[idx].min(k)] += 1;
             }
         }
@@ -96,12 +113,10 @@ pub fn place_values(
         }
 
         // Instructions that contain v and currently conflict.
-        let relevant: Vec<usize> = trace
-            .instructions
+        let relevant: Vec<usize> = occ[slot[&v]]
             .iter()
-            .enumerate()
-            .filter(|(idx, inst)| conflicting[*idx] && inst.contains(v))
-            .map(|(idx, _)| idx)
+            .map(|&idx| idx as usize)
+            .filter(|&idx| conflicting[idx])
             .collect();
 
         let mut best: Option<(Vec<usize>, usize, usize, ModuleId)> = None;
@@ -118,10 +133,8 @@ pub fn place_values(
 
             // Tie-break 1: pairwise clashes with single-copy co-operands.
             let mut clashes = 0usize;
-            for inst in &trace.instructions {
-                if !inst.contains(v) {
-                    continue;
-                }
+            for &idx in &occ[slot[&v]] {
+                let inst = &trace.instructions[idx as usize];
                 for o in inst.iter() {
                     if o != v {
                         let oc = assignment.copies(o);

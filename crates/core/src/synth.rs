@@ -6,6 +6,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use crate::graph::ConflictGraph;
 use crate::types::{AccessTrace, OperandSet, ValueId};
 
 /// Parameters for [`random_trace`].
@@ -146,6 +147,210 @@ pub fn clique_trace(modules: usize, cliques: usize, extra: usize, seed: u64) -> 
         }
     }
     AccessTrace::new(modules, instructions)
+}
+
+/// Parameters for the scale-workload generators ([`scale_edges`],
+/// [`scale_graph`], [`scale_trace`]): conflict graphs of 10⁴–10⁶ values with
+/// controlled structure, for exercising the parallel CSR build, the bitset
+/// adjacency, and the per-component coloring fan-out.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleSpec {
+    /// Number of values (graph vertices). Must be at least `2 * components`
+    /// so every component holds an edge (which keeps the emitted trace's
+    /// value set equal to `0..values`).
+    pub values: usize,
+    /// Target edge count. The generator lands exactly here for sparse specs;
+    /// it only falls short when the components saturate, and never goes
+    /// below the structural minimum (spanning trees + planted cliques).
+    pub edges: usize,
+    /// Number of planted cliques (each a guaranteed-dense subgraph the
+    /// coloring must spend `clique_size` colors on).
+    pub cliques: usize,
+    /// Vertices per planted clique (clamped to the host component's size).
+    pub clique_size: usize,
+    /// Exact number of connected components: vertices split into contiguous
+    /// near-equal blocks, each internally spanned by a random tree, with no
+    /// cross-block edges.
+    pub components: usize,
+    /// Memory modules `k` for the emitted trace.
+    pub modules: usize,
+}
+
+impl Default for ScaleSpec {
+    fn default() -> Self {
+        ScaleSpec {
+            values: 1_000,
+            edges: 4_000,
+            cliques: 4,
+            clique_size: 10,
+            components: 4,
+            modules: 8,
+        }
+    }
+}
+
+/// A generated scale workload: the edge list plus the structural plan that
+/// produced it, so property tests can check the plan was honored.
+#[derive(Clone, Debug)]
+pub struct ScaleWorkload {
+    /// `(a, b, conf)` triples with `a < b`, strictly ascending — ready for
+    /// [`ConflictGraph::from_sorted_edges`].
+    pub edges: Vec<(u32, u32, u32)>,
+    /// The planted cliques' members, each sorted ascending.
+    pub cliques: Vec<Vec<u32>>,
+    /// Component blocks as `[start, end)` vertex ranges.
+    pub blocks: Vec<(u32, u32)>,
+    /// Edges forced by structure (spanning trees + planted cliques) before
+    /// random top-up; the edge count can never go below this.
+    pub forced_edges: usize,
+}
+
+/// The edge list of a [`ScaleSpec`] workload (see [`scale_workload`] for the
+/// full plan). Deterministic in `(spec, seed)`.
+pub fn scale_edges(spec: &ScaleSpec, seed: u64) -> Vec<(u32, u32, u32)> {
+    scale_workload(spec, seed).edges
+}
+
+/// Generate a [`ScaleSpec`] workload. Deterministic in `(spec, seed)`.
+///
+/// Construction: per-component random spanning trees (pinning the component
+/// count exactly), planted cliques assigned round-robin to components with
+/// members drawn by partial Fisher-Yates, then random intra-component edges
+/// topped up to the target in bounded sort-merge-dedup rounds (no hash sets,
+/// so the 10⁶-value case stays memory-lean). Every 7th edge (index ≡ 3
+/// mod 7) gets conflict weight 2, the rest weight 1 — enough weight variety
+/// to exercise the urgency heuristic without swamping it.
+pub fn scale_workload(spec: &ScaleSpec, seed: u64) -> ScaleWorkload {
+    assert!(spec.components >= 1, "need at least one component");
+    assert!(
+        spec.values >= 2 * spec.components,
+        "every component needs at least 2 vertices"
+    );
+    assert!(spec.values <= u32::MAX as usize);
+    let n = spec.values;
+    let c = spec.components;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // Contiguous component blocks, sizes as even as possible.
+    let (base, rem) = (n / c, n % c);
+    let mut starts = Vec::with_capacity(c + 1);
+    let mut s = 0usize;
+    for i in 0..c {
+        starts.push(s);
+        s += base + usize::from(i < rem);
+    }
+    starts.push(n);
+
+    let mut forced: Vec<(u32, u32)> =
+        Vec::with_capacity(n + spec.cliques * spec.clique_size * spec.clique_size / 2);
+
+    // Random spanning tree per block: vertex v attaches to a uniform earlier
+    // vertex of its block, so each block is connected and blocks never mix —
+    // the component count is exactly `c`.
+    for b in 0..c {
+        let (lo, hi) = (starts[b], starts[b + 1]);
+        for v in (lo + 1)..hi {
+            let u = rng.gen_range(lo..v) as u32;
+            forced.push((u, v as u32));
+        }
+    }
+
+    // Planted cliques, round-robin over blocks.
+    let mut planted: Vec<Vec<u32>> = Vec::with_capacity(spec.cliques);
+    for q in 0..spec.cliques {
+        let b = q % c;
+        let (lo, hi) = (starts[b], starts[b + 1]);
+        let size = spec.clique_size.min(hi - lo);
+        let mut pool: Vec<u32> = (lo as u32..hi as u32).collect();
+        for i in 0..size {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        let mut members: Vec<u32> = pool[..size].to_vec();
+        members.sort_unstable();
+        for i in 0..size {
+            for j in (i + 1)..size {
+                forced.push((members[i], members[j]));
+            }
+        }
+        planted.push(members);
+    }
+    forced.sort_unstable();
+    forced.dedup();
+    let forced_edges = forced.len();
+
+    // Random intra-block edges up to the target. Each round oversamples a
+    // little, dedups against everything seen, and truncates back to the
+    // deficit; sparse specs converge in one or two rounds.
+    let target_extra = spec.edges.saturating_sub(forced.len());
+    let mut extra: Vec<(u32, u32)> = Vec::new();
+    for _round in 0..16 {
+        if extra.len() >= target_extra {
+            break;
+        }
+        let need = target_extra - extra.len();
+        let mut batch: Vec<(u32, u32)> = Vec::with_capacity(need + need / 4 + 8);
+        for _ in 0..(need + need / 4 + 8) {
+            let u = rng.gen_range(0..n);
+            let b = starts.partition_point(|&st| st <= u) - 1;
+            let v = rng.gen_range(starts[b]..starts[b + 1]);
+            if u != v {
+                batch.push((u.min(v) as u32, u.max(v) as u32));
+            }
+        }
+        batch.sort_unstable();
+        batch.dedup();
+        batch.retain(|p| forced.binary_search(p).is_err());
+        extra.extend(batch);
+        extra.sort_unstable();
+        extra.dedup();
+        extra.truncate(target_extra);
+    }
+
+    // Merge and weight.
+    let mut all = forced;
+    all.extend(extra);
+    all.sort_unstable();
+    let edges = all
+        .into_iter()
+        .enumerate()
+        .map(|(i, (a, b))| (a, b, if i % 7 == 3 { 2 } else { 1 }))
+        .collect();
+    ScaleWorkload {
+        edges,
+        cliques: planted,
+        blocks: (0..c)
+            .map(|b| (starts[b] as u32, starts[b + 1] as u32))
+            .collect(),
+        forced_edges,
+    }
+}
+
+/// The conflict graph of a [`ScaleSpec`] workload, assembled directly from
+/// the sorted edge list (through the parallel CSR path when `jobs` and the
+/// size warrant it). Byte-identical for every `jobs` value, and equal — by
+/// [`ConflictGraph::digest`] — to building from [`scale_trace`]'s
+/// instruction stream.
+pub fn scale_graph(spec: &ScaleSpec, seed: u64, jobs: usize) -> ConflictGraph {
+    let edges = scale_edges(spec, seed);
+    ConflictGraph::from_sorted_edges(spec.values, &edges, jobs)
+}
+
+/// An access trace realizing a [`ScaleSpec`] workload: one two-operand
+/// instruction per edge, repeated `conf` times, so the trace-built conflict
+/// graph reproduces [`scale_graph`] exactly (the spanning trees guarantee
+/// every value appears).
+pub fn scale_trace(spec: &ScaleSpec, seed: u64) -> AccessTrace {
+    let edges = scale_edges(spec, seed);
+    let mut instructions = Vec::with_capacity(edges.len() + edges.len() / 7 + 1);
+    for &(a, b, w) in &edges {
+        let inst = OperandSet::new(vec![ValueId(a), ValueId(b)]);
+        for _ in 1..w {
+            instructions.push(inst.clone());
+        }
+        instructions.push(inst);
+    }
+    AccessTrace::new(spec.modules, instructions)
 }
 
 /// A synthetic *regionized* workload reproducing the pressure regime where
@@ -329,6 +534,45 @@ mod tests {
                 .count();
             assert!(n >= 2, "{g} appears in {n} regions");
         }
+    }
+
+    #[test]
+    fn scale_edges_hits_target_and_structure() {
+        let spec = ScaleSpec::default();
+        let edges = scale_edges(&spec, 42);
+        assert_eq!(edges.len(), spec.edges);
+        assert!(edges
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+        assert!(edges
+            .iter()
+            .all(|&(a, b, _)| a < b && (b as usize) < spec.values));
+        assert!(edges.iter().any(|&(_, _, w)| w == 2));
+    }
+
+    #[test]
+    fn scale_graph_matches_trace_built_graph() {
+        let spec = ScaleSpec {
+            values: 500,
+            edges: 2_000,
+            cliques: 3,
+            clique_size: 9,
+            components: 3,
+            modules: 8,
+        };
+        let g = scale_graph(&spec, 7, 1);
+        let t = scale_trace(&spec, 7);
+        let from_trace = ConflictGraph::build(&t);
+        assert_eq!(g.digest(), from_trace.digest());
+        assert_eq!(g.connected_components().len(), spec.components);
+    }
+
+    #[test]
+    fn scale_graph_jobs_invariant() {
+        let spec = ScaleSpec::default();
+        let a = scale_graph(&spec, 11, 1);
+        let b = scale_graph(&spec, 11, 8);
+        assert_eq!(a.digest(), b.digest());
     }
 
     #[test]

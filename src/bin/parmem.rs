@@ -63,6 +63,19 @@
 //!     `--deny` additionally fails on any lint diagnostic. Stdout is
 //!     byte-identical across `--jobs` settings.
 //!
+//! parmem synth [-n <values>] [--edges <E>] [--cliques <C>]
+//!              [--clique-size <S>] [--components <P>] [-k <modules>]
+//!              [--seed S] [--jobs N] [--check] [--assign] [--out <file>]
+//!     Generate a seeded synthetic scale workload (per-component spanning
+//!     trees + planted cliques + random intra-component edges), build its
+//!     conflict graph through the parallel CSR path, and print deterministic
+//!     structure stats including the graph digest. `--check` rebuilds the
+//!     graph from the emitted access trace and fails unless both builds are
+//!     byte-identical; `--assign` runs the full assignment pipeline on the
+//!     workload and reports the copy/conflict counts; `--out` writes the
+//!     access trace in the text format `parmem assign` reads. Stdout is
+//!     byte-identical across `--jobs` settings.
+//!
 //! parmem trace <workload-or-file> [-k <modules>] [--stor 1|2|3]
 //!              [--format tree|json|chrome|metrics] [--out <file>]
 //!              [--deterministic] [--validate] [--seed S]
@@ -162,6 +175,20 @@ fn arg_spec(cmd: &str) -> Option<(&'static [&'static str], &'static [&'static st
             ],
             &["-k", "--stor", "--format", "--out", "--seed", "--unroll"],
         )),
+        "synth" => Some((
+            &["--check", "--assign", "--backtrack", "--no-atoms"],
+            &[
+                "-n",
+                "--edges",
+                "--cliques",
+                "--clique-size",
+                "--components",
+                "-k",
+                "--seed",
+                "--jobs",
+                "--out",
+            ],
+        )),
         _ => None,
     }
 }
@@ -175,7 +202,7 @@ fn main() -> ExitCode {
 
     let Some((flags, value_opts)) = arg_spec(cmd) else {
         eprintln!(
-            "usage: parmem <assign|compile|run|verify|batch|trace|exact|lint> [file|workloads] [options]"
+            "usage: parmem <assign|compile|run|verify|batch|trace|exact|lint|synth> [file|workloads] [options]"
         );
         eprintln!("       see crate docs for details");
         return ExitCode::from(2);
@@ -208,6 +235,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&a),
         "exact" => cmd_exact(&a),
         "lint" => cmd_lint(&a),
+        "synth" => cmd_synth(&a),
         _ => unreachable!("arg_spec gates the dispatch"),
     };
 
@@ -520,6 +548,84 @@ fn cmd_lint(a: &CommonArgs) -> Result<(), CliError> {
     } else {
         Ok(())
     }
+}
+
+/// `parmem synth`: seeded synthetic scale workloads through the parallel
+/// CSR build, with optional round-trip check and full-pipeline assignment.
+/// Every line printed is deterministic in `(spec, seed)` — never in `--jobs`.
+fn cmd_synth(a: &CommonArgs) -> Result<(), CliError> {
+    use parallel_memories::core::graph::ConflictGraph;
+    use parallel_memories::core::synth::{scale_trace, scale_workload, ScaleSpec};
+
+    let values = a.parsed::<usize>("-n")?.unwrap_or(1_000);
+    let spec = ScaleSpec {
+        values,
+        edges: a.parsed("--edges")?.unwrap_or(values.saturating_mul(4)),
+        cliques: a.parsed("--cliques")?.unwrap_or(4),
+        clique_size: a.parsed("--clique-size")?.unwrap_or(10),
+        components: a.parsed("--components")?.unwrap_or(4),
+        modules: a.parsed("-k")?.unwrap_or(8),
+    };
+    if spec.values < 2 * spec.components {
+        return Err(format!(
+            "-n {} is too small for --components {} (need at least 2 values per component)",
+            spec.values, spec.components
+        )
+        .into());
+    }
+    let seed: u64 = a.parsed("--seed")?.unwrap_or(0xC0FFEE);
+    let jobs: usize = a.parsed("--jobs")?.unwrap_or(0);
+
+    let w = scale_workload(&spec, seed);
+    let g = ConflictGraph::from_sorted_edges(spec.values, &w.edges, jobs);
+    println!(
+        "synth: {} values, {} edges ({} forced), {} components, {} cliques (size {}), k={}, seed {seed}",
+        spec.values,
+        w.edges.len(),
+        w.forced_edges,
+        spec.components,
+        w.cliques.len(),
+        spec.clique_size,
+        spec.modules
+    );
+    let max_degree = (0..g.len() as u32).map(|v| g.degree(v)).max().unwrap_or(0);
+    println!(
+        "graph: digest {:016x}, max degree {max_degree}, {} components",
+        g.digest(),
+        g.connected_components().len()
+    );
+
+    let need_trace = a.flag("--check") || a.flag("--assign") || a.value("--out").is_some();
+    let trace = need_trace.then(|| scale_trace(&spec, seed));
+
+    if a.flag("--check") {
+        let trace = trace.as_ref().expect("built above");
+        let from_trace = ConflictGraph::build_with_jobs(trace, jobs);
+        if from_trace.digest() != g.digest() {
+            return Err("trace-built graph diverges from direct CSR assembly".into());
+        }
+        println!(
+            "check: trace round-trip ok ({} instructions)",
+            trace.instructions.len()
+        );
+    }
+    if a.flag("--assign") {
+        let trace = trace.as_ref().expect("built above");
+        let params = AssignParams {
+            jobs,
+            ..args::assign_params(a)
+        };
+        let (_, r) = assign_trace(trace, &params);
+        println!(
+            "assign: single-copy {}  duplicated {}  extra copies {}  uncolored {}  atoms {}  residual conflicts {}",
+            r.single_copy, r.multi_copy, r.extra_copies, r.uncolored, r.atoms, r.residual_conflicts
+        );
+    }
+    if let Some(path) = a.value("--out") {
+        let trace = trace.as_ref().expect("built above");
+        std::fs::write(path, trace_io::format_trace(trace, None))?;
+    }
+    Ok(())
 }
 
 fn cmd_run(a: &CommonArgs) -> Result<(), CliError> {

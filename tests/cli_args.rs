@@ -8,7 +8,7 @@ use std::process::Command;
 /// `src/bin/parmem.rs` — a new subcommand that misses this list fails the
 /// completeness test below).
 const SUBCOMMANDS: &[&str] = &[
-    "assign", "compile", "run", "verify", "batch", "trace", "exact", "lint",
+    "assign", "compile", "run", "verify", "batch", "trace", "exact", "lint", "synth",
 ];
 
 fn parmem(args: &[&str]) -> std::process::Output {

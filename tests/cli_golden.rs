@@ -109,6 +109,44 @@ fn lint_predict_json_is_stable() {
 }
 
 #[test]
+fn synth_output_is_stable_across_jobs() {
+    // The generator, the CSR build (sequential here), the round-trip check
+    // and the assignment report are all seeded and deterministic — including
+    // the graph digest, which pins the exact bytes of the CSR arrays.
+    let args = [
+        "synth",
+        "-n",
+        "600",
+        "--edges",
+        "2400",
+        "--components",
+        "3",
+        "--cliques",
+        "3",
+        "--clique-size",
+        "9",
+        "-k",
+        "8",
+        "--seed",
+        "42",
+        "--check",
+        "--assign",
+    ];
+    let actual = parmem_stdout(&args);
+    check_golden("synth_n600", &actual);
+
+    // The report must not depend on worker count.
+    let mut wide_args: Vec<&str> = args.to_vec();
+    wide_args.extend(["--jobs", "8"]);
+    let mut serial_args: Vec<&str> = args.to_vec();
+    serial_args.extend(["--jobs", "1"]);
+    let wide = parmem_stdout(&wide_args);
+    let serial = parmem_stdout(&serial_args);
+    assert_eq!(serial, actual, "--jobs 1 must match the default report");
+    assert_eq!(wide, actual, "--jobs 8 must match the default report");
+}
+
+#[test]
 fn batch_output_is_stable_across_jobs() {
     let args = ["batch", "FFT", "SORT", "-k", "2,4"];
     let actual = parmem_stdout(&args);
