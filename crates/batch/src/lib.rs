@@ -83,14 +83,17 @@ pub fn run_batch(specs: Vec<JobSpec>, opts: &BatchOptions) -> BatchReport {
     let fail_fast = opts.policy == ErrorPolicy::FailFast;
     let workers = pool::effective_jobs(opts.jobs);
     let t0 = Instant::now();
+    let progress = parmem_obs::progress("batch.jobs", specs.len() as u64);
     let results = pool::map_indexed(specs, opts.jobs, |_, spec| {
         if fail_fast && cancelled.load(Ordering::Relaxed) {
+            progress.tick(1);
             return JobResult::skipped(spec);
         }
         let r = job::run_job(&spec);
         if r.outcome.is_err() {
             cancelled.store(true, Ordering::Relaxed);
         }
+        progress.tick(1);
         r
     });
     BatchReport {

@@ -160,8 +160,8 @@ impl BatchReport {
             );
             let _ = writeln!(
                 s,
-                "{:<10} {:>5} {:>12} {:>14} {:>10} {:>8}",
-                "stage", "jobs", "wall_ms", "alloc_bytes", "allocs", "spans"
+                "{:<10} {:>5} {:>12} {:>14} {:>10} {:>12} {:>8}",
+                "stage", "jobs", "wall_ms", "alloc_bytes", "allocs", "peak", "spans"
             );
             for k in crate::metrics::StageKind::ALL {
                 let mut total = crate::metrics::StageMetrics::default();
@@ -174,12 +174,13 @@ impl BatchReport {
                 }
                 let _ = writeln!(
                     s,
-                    "{:<10} {:>5} {:>12.3} {:>14} {:>10} {:>8}",
+                    "{:<10} {:>5} {:>12.3} {:>14} {:>10} {:>12} {:>8}",
                     k.as_str(),
                     jobs,
                     total.wall_ns as f64 / 1e6,
                     total.alloc_bytes,
                     total.allocs,
+                    total.peak_bytes,
                     total.spans
                 );
             }
@@ -234,7 +235,8 @@ impl BatchReport {
             for k in crate::metrics::StageKind::ALL {
                 let _ = write!(
                     s,
-                    ",{}_ns,{}_alloc_bytes,{}_spans",
+                    ",{}_ns,{}_alloc_bytes,{}_peak_bytes,{}_spans",
+                    k.as_str(),
                     k.as_str(),
                     k.as_str(),
                     k.as_str()
@@ -301,9 +303,13 @@ impl BatchReport {
                 for k in crate::metrics::StageKind::ALL {
                     match r.metrics.stage(k) {
                         Some(m) => {
-                            let _ = write!(s, ",{},{},{}", m.wall_ns, m.alloc_bytes, m.spans);
+                            let _ = write!(
+                                s,
+                                ",{},{},{},{}",
+                                m.wall_ns, m.alloc_bytes, m.peak_bytes, m.spans
+                            );
                         }
-                        None => s.push_str(",,,"),
+                        None => s.push_str(",,,,"),
                     }
                 }
             }
@@ -455,11 +461,12 @@ fn job_json(r: &JobResult, include_timings: bool) -> String {
             }
             let _ = write!(
                 s,
-                "\"{}\":{{\"wall_ns\":{},\"alloc_bytes\":{},\"allocs\":{},\"spans\":{}}}",
+                "\"{}\":{{\"wall_ns\":{},\"alloc_bytes\":{},\"allocs\":{},\"peak_bytes\":{},\"spans\":{}}}",
                 k.as_str(),
                 m.wall_ns,
                 m.alloc_bytes,
                 m.allocs,
+                m.peak_bytes,
                 m.spans
             );
         }
@@ -469,8 +476,8 @@ fn job_json(r: &JobResult, include_timings: bool) -> String {
         }
         let _ = write!(
             s,
-            "\"total\":{{\"wall_ns\":{},\"alloc_bytes\":{},\"allocs\":{},\"spans\":{}}}",
-            t.wall_ns, t.alloc_bytes, t.allocs, t.spans
+            "\"total\":{{\"wall_ns\":{},\"alloc_bytes\":{},\"allocs\":{},\"peak_bytes\":{},\"spans\":{}}}",
+            t.wall_ns, t.alloc_bytes, t.allocs, t.peak_bytes, t.spans
         );
         s.push('}');
     }

@@ -254,8 +254,11 @@ pub fn assign_trace_into(
     };
     let colored = {
         let frozen: &Assignment = assignment;
+        let progress = parmem_obs::progress("assign.components", comps.len() as u64);
         parmem_pool::map_indexed(comps, comp_jobs, |_, comp| {
-            color_component(&g, &comp, k, params, frozen)
+            let cc = color_component(&g, &comp, k, params, frozen);
+            progress.tick(1);
+            cc
         })
     };
 

@@ -79,12 +79,16 @@ impl ConflictGraph {
 
         let shards: Vec<&[OperandSet]> =
             trace.instructions.chunks(PAR_SHARD_INSTRUCTIONS).collect();
+        // Two passes over the shards (value dedup, then pair counting);
+        // inert unless telemetry is enabled.
+        let progress = parmem_obs::progress("graph.build.shards", 2 * shards.len() as u64);
 
         // Distinct values: shard-local sorted dedup, then a merge tournament.
         let local_values = parmem_pool::map_indexed(shards.clone(), jobs, |_, shard| {
             let mut vs: Vec<ValueId> = shard.iter().flat_map(|i| i.iter()).collect();
             vs.sort_unstable();
             vs.dedup();
+            progress.tick(1);
             vs
         });
         let values = merge_tournament(local_values, jobs, merge_dedup);
@@ -106,7 +110,9 @@ impl ConflictGraph {
                 }
             }
             pairs.sort_unstable();
-            count_runs(pairs)
+            let counted = count_runs(pairs);
+            progress.tick(1);
+            counted
         });
         let edge_list = merge_tournament(counted, jobs, merge_counted);
 

@@ -29,6 +29,7 @@
 pub mod args;
 pub mod job;
 pub mod session;
+pub mod telemetry;
 
 pub use args::CommonArgs;
 pub use job::{
@@ -36,3 +37,4 @@ pub use job::{
     JobSpec, PipelineContext,
 };
 pub use session::Session;
+pub use telemetry::{TelemetryConfig, TelemetryGuard};

@@ -12,8 +12,11 @@ use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-use crate::metric::{split_labels, take_counters, take_hists, Histogram, BUCKET_BOUNDS};
-use crate::span::{take_records, AttrValue, SpanRecord};
+use crate::metric::{
+    snapshot_counters, snapshot_hists, split_labels, take_counters, take_hists, Histogram,
+    BUCKET_BOUNDS,
+};
+use crate::span::{snapshot_records, take_records, AttrValue, SpanRecord};
 
 /// Everything the collector gathered between enable and drain: finished
 /// spans plus the counter/histogram registries.
@@ -28,12 +31,27 @@ pub struct Session {
 }
 
 /// Drain the global collector into a [`Session`]. Tracing stays in whatever
-/// enabled state it was; only the buffered data moves.
+/// enabled state it was; only the buffered data moves. Also clears the live
+/// progress registry so successive enable/drain cycles stay independent.
 pub fn take() -> Session {
+    crate::progress::clear_registry();
     Session {
         spans: take_records(),
         counters: take_counters(),
         hists: take_hists(),
+    }
+}
+
+/// Clone the collector's current contents into a [`Session`] *without*
+/// draining: finished spans, counters, and histograms as of this instant.
+/// This is the live-telemetry read path (the `/metrics` endpoint and the
+/// flight recorder); a concurrent writer may land between the three locks,
+/// so the view is consistent per registry, not across them.
+pub fn snapshot() -> Session {
+    Session {
+        spans: snapshot_records(),
+        counters: snapshot_counters(),
+        hists: snapshot_hists(),
     }
 }
 
@@ -236,9 +254,10 @@ impl Session {
         out.push('}');
     }
 
-    /// Prometheus-style text dump of the counter and histogram registries.
-    /// Metric values are deterministic facts of the work (never wall times),
-    /// so this dump is byte-identical across runs and worker counts.
+    /// Prometheus text-format dump of the counter and histogram registries
+    /// (`# HELP`/`# TYPE` headers, escaped label values). Metric values are
+    /// deterministic facts of the work (never wall times), so this dump is
+    /// byte-identical across runs and worker counts.
     pub fn metrics_text(&self) -> String {
         let mut out = String::new();
         let mut typed: std::collections::HashSet<String> = Default::default();
@@ -246,6 +265,11 @@ impl Session {
             let (base, labels) = split_labels(name);
             let prom = sanitize(base);
             if typed.insert(prom.clone()) {
+                let _ = writeln!(
+                    out,
+                    "# HELP parmem_{prom} parmem counter {}",
+                    escape_help(base)
+                );
                 let _ = writeln!(out, "# TYPE parmem_{prom} counter");
             }
             let _ = writeln!(out, "parmem_{prom}{} {v}", fmt_labels(&labels, None));
@@ -254,6 +278,11 @@ impl Session {
             let (base, labels) = split_labels(name);
             let prom = sanitize(base);
             if typed.insert(prom.clone()) {
+                let _ = writeln!(
+                    out,
+                    "# HELP parmem_{prom} parmem histogram {}",
+                    escape_help(base)
+                );
                 let _ = writeln!(out, "# TYPE parmem_{prom} histogram");
             }
             let mut cum = 0u64;
@@ -304,7 +333,7 @@ fn fmt_labels(labels: &[(&str, &str)], le: Option<&str>) -> String {
             out.push(',');
         }
         first = false;
-        let _ = write!(out, "{}=\"{}\"", sanitize(k), v);
+        let _ = write!(out, "{}=\"{}\"", sanitize(k), escape_label_value(v));
     }
     if let Some(le) = le {
         if !first {
@@ -313,6 +342,34 @@ fn fmt_labels(labels: &[(&str, &str)], le: Option<&str>) -> String {
         let _ = write!(out, "le=\"{le}\"");
     }
     out.push('}');
+    out
+}
+
+/// Prometheus label-value escaping: backslash, double quote, and newline.
+pub(crate) fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Prometheus HELP-text escaping: backslash and newline (quotes are legal
+/// in help text and stay as-is).
+pub(crate) fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
     out
 }
 
@@ -410,6 +467,53 @@ mod tests {
             m.contains("parmem_sim_word_makespan_count{policy=\"ideal\"} 9"),
             "{m}"
         );
+    }
+
+    #[test]
+    fn metrics_text_conformance_help_type_and_escaping() {
+        let _guard = crate::test_lock();
+        let _drop = take();
+        set_enabled(true);
+        crate::metric::counter_add("weird.metric[path=a\\b\"c\nd]", 1);
+        crate::metric::hist_record("weird.hist", 2);
+        set_enabled(false);
+        let m = take().metrics_text();
+        // HELP precedes TYPE for every family, once each.
+        let help_at = m.find("# HELP parmem_weird_metric ").expect("HELP line");
+        let type_at = m
+            .find("# TYPE parmem_weird_metric counter")
+            .expect("TYPE line");
+        assert!(help_at < type_at, "{m}");
+        assert!(m.contains("# HELP parmem_weird_hist parmem histogram weird.hist"));
+        assert!(m.contains("# TYPE parmem_weird_hist histogram"));
+        // Label values escape backslash, quote, and newline.
+        assert!(
+            m.contains("parmem_weird_metric{path=\"a\\\\b\\\"c\\nd\"} 1"),
+            "{m}"
+        );
+        // Exactly one HELP+TYPE pair per family.
+        assert_eq!(m.matches("# TYPE parmem_weird_hist").count(), 1);
+        assert_eq!(m.matches("# HELP parmem_weird_hist").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_does_not_drain() {
+        let _guard = crate::test_lock();
+        let _drop = take();
+        set_enabled(true);
+        crate::metric::counter_add("snap.live", 4);
+        drop(span("snap.span"));
+        let live = crate::snapshot();
+        assert_eq!(live.counters.get("snap.live"), Some(&4));
+        assert!(live.spans.iter().any(|s| s.name == "snap.span"));
+        // Still there after the snapshot; a second snapshot sees more work.
+        crate::metric::counter_add("snap.live", 1);
+        let live2 = crate::snapshot();
+        assert_eq!(live2.counters.get("snap.live"), Some(&5));
+        set_enabled(false);
+        let drained = take();
+        assert_eq!(drained.counters.get("snap.live"), Some(&5));
+        assert!(take().is_empty(), "take() drained everything");
     }
 
     #[test]

@@ -20,23 +20,35 @@
 //!   [`JobMetrics`]) and the counting global allocator
 //!   ([`alloc::CountingAlloc`]), both formerly private to `parmem-batch`.
 //!
+//! - **Live telemetry** (v2): non-draining registry snapshots
+//!   ([`snapshot`]), per-phase progress heartbeats ([`progress`],
+//!   [`progress_snapshot`]), a fixed-capacity [`flight`] recorder ring
+//!   dumped on panic, and a std-only HTTP `/metrics` endpoint
+//!   ([`serve::serve`]) serving the Prometheus exporter from live
+//!   snapshots.
+//!
 //! Collection is off by default; every instrumentation entry point then
 //! costs a single relaxed atomic load. Flip it with [`set_enabled`], run
-//! the work, then drain with [`take`].
+//! the work, then drain with [`take`] — or observe it mid-flight with
+//! [`snapshot`] and the live-telemetry layer.
 
 #![warn(missing_docs)]
 
 pub mod alloc;
 pub mod chrome;
 mod export;
+pub mod flight;
 pub mod json;
 mod metric;
+mod progress;
+pub mod serve;
 mod span;
 mod stage;
 
 pub use chrome::{validate as validate_chrome_trace, ChromeStats};
-pub use export::{fmt_duration, take, Session};
+pub use export::{fmt_duration, snapshot, take, Session};
 pub use metric::{counter_add, hist_record, hist_record_n, split_labels, Histogram, BUCKET_BOUNDS};
+pub use progress::{progress, progress_snapshot, PhaseSnapshot, Progress};
 pub use span::{enabled, set_enabled, span, thread_closed_spans, AttrValue, SpanGuard, SpanRecord};
 pub use stage::{JobMetrics, StageKind, StageMetrics, StageTimer};
 

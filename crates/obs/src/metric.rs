@@ -105,6 +105,16 @@ pub(crate) fn take_hists() -> BTreeMap<String, Histogram> {
         .unwrap_or_default()
 }
 
+/// Clone the counter registry without draining (live-snapshot path).
+pub(crate) fn snapshot_counters() -> BTreeMap<String, u64> {
+    COUNTERS.lock().map(|g| g.clone()).unwrap_or_default()
+}
+
+/// Clone the histogram registry without draining (live-snapshot path).
+pub(crate) fn snapshot_hists() -> BTreeMap<String, Histogram> {
+    HISTS.lock().map(|g| g.clone()).unwrap_or_default()
+}
+
 /// Split `name[key=value,...]` into the base name and its label pairs.
 pub fn split_labels(name: &str) -> (&str, Vec<(&str, &str)>) {
     let Some(open) = name.find('[') else {

@@ -1,0 +1,309 @@
+//! Minimal std-only HTTP metrics endpoint — the first concrete slice of
+//! the serving daemon (ROADMAP item 1).
+//!
+//! [`serve`] binds a `TcpListener` and answers each connection on its own
+//! thread (thread-per-connection; connections are short-lived scrapes, so
+//! no pooling). Routes:
+//!
+//! - `GET /metrics` — Prometheus text format: the live registry snapshot
+//!   ([`crate::snapshot`]) rendered by `Session::metrics_text`, plus
+//!   process gauges (allocator live/peak bytes, per-phase progress,
+//!   uptime, scrape count).
+//! - `GET /healthz` — `ok`.
+//! - `GET /` — a one-line index.
+//!
+//! Binding port 0 picks a free port; [`MetricsServer::local_addr`] reports
+//! the actual one (the CLI prints it to stderr so scripts can scrape).
+//! Shutdown is cooperative: [`MetricsServer::shutdown`] sets a stop flag
+//! and self-connects to unblock `accept`.
+
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Options for [`serve`].
+#[derive(Clone, Debug, Default)]
+pub struct ServeOptions {
+    /// Stop after accepting this many connections (the `serve-metrics`
+    /// stub and tests use this; `None` serves until shutdown).
+    pub max_requests: Option<u64>,
+}
+
+/// Handle to a running metrics server.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+struct ServerState {
+    stop: Arc<AtomicBool>,
+    scrapes: AtomicU64,
+    started: Instant,
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:9184`; port 0 = pick a free port) and
+/// serve metrics until [`MetricsServer::shutdown`] or the `max_requests`
+/// budget is exhausted.
+pub fn serve(addr: &str, opts: ServeOptions) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let state = Arc::new(ServerState {
+        stop: Arc::clone(&stop),
+        scrapes: AtomicU64::new(0),
+        started: Instant::now(),
+    });
+    let handle = std::thread::Builder::new()
+        .name("parmem-metrics".to_string())
+        .spawn(move || {
+            let mut accepted = 0u64;
+            let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+            loop {
+                if let Some(max) = opts.max_requests {
+                    if accepted >= max {
+                        break;
+                    }
+                }
+                let Ok((conn, _)) = listener.accept() else {
+                    break;
+                };
+                if state.stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                accepted += 1;
+                let state = Arc::clone(&state);
+                if let Ok(h) = std::thread::Builder::new()
+                    .name("parmem-metrics-conn".to_string())
+                    .spawn(move || handle_connection(conn, &state))
+                {
+                    workers.push(h);
+                }
+                workers.retain(|h| !h.is_finished());
+            }
+            // Let in-flight scrapes finish before the acceptor reports done
+            // (`join()`/`shutdown()` — and thus process exit — wait on us).
+            for h in workers {
+                let _ = h.join();
+            }
+        })?;
+    Ok(MetricsServer {
+        addr: local,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+impl MetricsServer {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the acceptor thread (in-flight connection
+    /// threads finish on their own).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock accept(); the acceptor sees the stop flag and exits.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Wait for the acceptor to exit on its own (used with
+    /// `max_requests`).
+    pub fn join(mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle_connection(mut conn: TcpStream, state: &ServerState) {
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = conn.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut buf = [0u8; 2048];
+    let mut req = Vec::new();
+    // Read until the end of the request head (scrapes have no body).
+    loop {
+        match conn.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                req.extend_from_slice(&buf[..n]);
+                if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > 16 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&req);
+    let mut parts = head.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, body) = if method != "GET" {
+        ("405 Method Not Allowed", "method not allowed\n".to_string())
+    } else {
+        match path {
+            "/metrics" => {
+                state.scrapes.fetch_add(1, Ordering::Relaxed);
+                ("200 OK", render_metrics(state))
+            }
+            "/healthz" => ("200 OK", "ok\n".to_string()),
+            "/" => (
+                "200 OK",
+                "parmem metrics endpoint; scrape /metrics\n".to_string(),
+            ),
+            _ => ("404 Not Found", "not found\n".to_string()),
+        }
+    };
+    let _ = write!(
+        conn,
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = conn.flush();
+}
+
+fn render_metrics(state: &ServerState) -> String {
+    let mut out = live_metrics_text();
+    gauge(
+        &mut out,
+        "parmem_metrics_scrapes_total",
+        "scrapes served by this endpoint",
+        state.scrapes.load(Ordering::Relaxed),
+    );
+    gauge(
+        &mut out,
+        "parmem_uptime_seconds",
+        "seconds since the metrics endpoint started",
+        state.started.elapsed().as_secs(),
+    );
+    out
+}
+
+/// Prometheus text for the live state: the snapshot's counter/histogram
+/// families plus allocator and per-phase progress gauges. Shared by the
+/// HTTP endpoint and anything else that wants a live dump.
+pub fn live_metrics_text() -> String {
+    let mut out = crate::snapshot().metrics_text();
+    let (live, peak) = crate::alloc::global_live_peak();
+    gauge(
+        &mut out,
+        "parmem_alloc_live_bytes",
+        "approximate process-wide live heap bytes",
+        live,
+    );
+    gauge(
+        &mut out,
+        "parmem_alloc_peak_bytes",
+        "approximate process-wide peak live heap bytes",
+        peak,
+    );
+    let phases = crate::progress_snapshot();
+    if !phases.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP parmem_progress_done items completed in the phase"
+        );
+        let _ = writeln!(out, "# TYPE parmem_progress_done gauge");
+        for p in &phases {
+            let _ = writeln!(
+                out,
+                "parmem_progress_done{{phase=\"{}\"}} {}",
+                crate::export::escape_label_value(&p.phase),
+                p.done
+            );
+        }
+        let _ = writeln!(out, "# HELP parmem_progress_total items in the phase");
+        let _ = writeln!(out, "# TYPE parmem_progress_total gauge");
+        for p in &phases {
+            let _ = writeln!(
+                out,
+                "parmem_progress_total{{phase=\"{}\"}} {}",
+                crate::export::escape_label_value(&p.phase),
+                p.total
+            );
+        }
+    }
+    out
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, v: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {v}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        write!(conn, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        conn.read_to_string(&mut resp).unwrap();
+        let (head, body) = resp.split_once("\r\n\r\n").expect("full response");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_health_and_404() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        crate::counter_add("serve.test_counter", 7);
+        let srv = serve("127.0.0.1:0", ServeOptions::default()).expect("bind");
+        let addr = srv.local_addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("parmem_serve_test_counter 7"), "{body}");
+        assert!(body.contains("parmem_alloc_live_bytes"), "{body}");
+        assert!(body.contains("parmem_metrics_scrapes_total 1"), "{body}");
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        assert_eq!(body, "ok\n");
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        // Second scrape bumps the scrape counter.
+        let (_, body) = get(addr, "/metrics");
+        assert!(body.contains("parmem_metrics_scrapes_total 2"), "{body}");
+
+        srv.shutdown();
+        crate::set_enabled(false);
+        crate::take();
+    }
+
+    #[test]
+    fn max_requests_stops_the_acceptor() {
+        let _guard = crate::test_lock();
+        let srv = serve(
+            "127.0.0.1:0",
+            ServeOptions {
+                max_requests: Some(1),
+            },
+        )
+        .expect("bind");
+        let addr = srv.local_addr();
+        let (head, _) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        srv.join(); // returns because the budget is exhausted
+    }
+}

@@ -188,6 +188,7 @@ impl Drop for SpanGuard {
             thread: a.thread,
             attrs: a.attrs,
         };
+        crate::flight::record_span(&rec);
         if let Ok(mut records) = RECORDS.lock() {
             records.push(rec);
         }
@@ -225,6 +226,11 @@ pub(crate) fn take_records() -> Vec<SpanRecord> {
         .lock()
         .map(|mut g| std::mem::take(&mut *g))
         .unwrap_or_default()
+}
+
+/// Clone all finished spans without draining (live-snapshot path).
+pub(crate) fn snapshot_records() -> Vec<SpanRecord> {
+    RECORDS.lock().map(|g| g.clone()).unwrap_or_default()
 }
 
 #[cfg(test)]

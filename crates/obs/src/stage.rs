@@ -10,7 +10,7 @@
 
 use std::time::Instant;
 
-use crate::alloc::alloc_counters;
+use crate::alloc::{alloc_counters, reset_thread_peak, thread_peak_raw};
 use crate::span::thread_closed_spans;
 
 /// The pipeline stages the batch engine times individually.
@@ -95,17 +95,24 @@ pub struct StageMetrics {
     pub alloc_bytes: u64,
     /// Allocation calls on this thread during the stage (ditto).
     pub allocs: u64,
+    /// Peak live bytes above the stage's starting level (high-water mark of
+    /// this thread's live allocations during the stage; 0 when the counting
+    /// allocator is not installed).
+    pub peak_bytes: u64,
     /// Tracing spans closed on this thread during the stage (0 when tracing
     /// is disabled; deterministic for a given pipeline when enabled).
     pub spans: u64,
 }
 
 impl StageMetrics {
-    /// Component-wise sum.
+    /// Component-wise sum — except `peak_bytes`, which aggregates by `max`:
+    /// stages run sequentially on a job's thread, so the job's high-water
+    /// mark is the largest single-stage mark, not their sum.
     pub fn add(&mut self, other: StageMetrics) {
         self.wall_ns += other.wall_ns;
         self.alloc_bytes += other.alloc_bytes;
         self.allocs += other.allocs;
+        self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
         self.spans += other.spans;
     }
 }
@@ -117,11 +124,13 @@ pub struct StageTimer {
     start: Instant,
     bytes0: u64,
     count0: u64,
+    live0: i64,
     spans0: u64,
 }
 
 impl StageTimer {
-    /// Begin measuring.
+    /// Begin measuring. Rebases the thread's live-allocation peak so the
+    /// stage's `peak_bytes` measures the high-water mark within the stage.
     #[allow(clippy::new_without_default)]
     pub fn start() -> StageTimer {
         let (bytes0, count0) = alloc_counters();
@@ -129,6 +138,7 @@ impl StageTimer {
             start: Instant::now(),
             bytes0,
             count0,
+            live0: reset_thread_peak(),
             spans0: thread_closed_spans(),
         }
     }
@@ -140,6 +150,7 @@ impl StageTimer {
             wall_ns: self.start.elapsed().as_nanos() as u64,
             alloc_bytes: bytes1.wrapping_sub(self.bytes0),
             allocs: count1.wrapping_sub(self.count0),
+            peak_bytes: (thread_peak_raw() - self.live0).max(0) as u64,
             spans: thread_closed_spans().wrapping_sub(self.spans0),
         }
     }
@@ -211,6 +222,7 @@ mod tests {
                 wall_ns: 10,
                 alloc_bytes: 100,
                 allocs: 3,
+                peak_bytes: 80,
                 spans: 1,
             },
         );
@@ -220,6 +232,7 @@ mod tests {
                 wall_ns: 5,
                 alloc_bytes: 50,
                 allocs: 2,
+                peak_bytes: 40,
                 spans: 4,
             },
         );
@@ -228,6 +241,7 @@ mod tests {
             (t.wall_ns, t.alloc_bytes, t.allocs, t.spans),
             (15, 150, 5, 5)
         );
+        assert_eq!(t.peak_bytes, 80, "peak aggregates by max, not sum");
         assert_eq!(jm.stage(StageKind::Assign).unwrap().allocs, 2);
         assert!(jm.stage(StageKind::Verify).is_none());
     }

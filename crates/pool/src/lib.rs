@@ -50,11 +50,18 @@ where
 {
     let n = items.len();
     let jobs = effective_jobs(jobs).min(n.max(1));
+    // Live progress over the whole map (inert — one relaxed atomic load —
+    // while telemetry is disabled). Workers share the handle by reference.
+    let progress = parmem_obs::progress("pool.map", n as u64);
     if jobs <= 1 || n <= 1 {
         return items
             .into_iter()
             .enumerate()
-            .map(|(i, t)| f(i, t))
+            .map(|(i, t)| {
+                let r = f(i, t);
+                progress.tick(1);
+                r
+            })
             .collect();
     }
 
@@ -70,6 +77,7 @@ where
             .map(|w| {
                 let queues = &queues;
                 let f = &f;
+                let progress = &progress;
                 s.spawn(move || {
                     let mut out: Vec<(usize, R)> = Vec::new();
                     loop {
@@ -85,7 +93,10 @@ where
                             }
                         }
                         match task {
-                            Some((i, t)) => out.push((i, f(i, t))),
+                            Some((i, t)) => {
+                                out.push((i, f(i, t)));
+                                progress.tick(1);
+                            }
                             None => break,
                         }
                     }

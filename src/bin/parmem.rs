@@ -87,11 +87,31 @@
 //!     and thread ids so the output is byte-identical across runs;
 //!     `--validate` checks the Chrome trace for balanced begin/end nesting.
 //!
+//! parmem serve-metrics [--metrics-addr ADDR] [--max-requests N]
+//!     Stand-alone live-telemetry endpoint stub (the first slice of the
+//!     serving daemon): binds ADDR (default 127.0.0.1:9184; port 0 picks a
+//!     free port, printed to stderr) and serves `GET /metrics` (Prometheus
+//!     text from live snapshots), `/healthz`, and `/` until interrupted —
+//!     or, with `--max-requests N`, until N connections have been served.
+//!
 //! Every subcommand also accepts:
 //!   --profile             print a timed span tree + metrics dump to stderr
 //!   --trace-out <file>    write a Chrome trace of the whole command
 //!   --trace-summary <f>   write the deterministic span tree + metrics dump
 //!                         (byte-identical across runs and `--jobs`)
+//!
+//! Live telemetry (long-running subcommands):
+//!   --flight-dump <file>  arm the flight recorder: on panic or command
+//!                         failure, write the last N events + live metric
+//!                         snapshot as a Chrome-trace-compatible JSON
+//!                         artifact (assign, compile, verify, batch, trace,
+//!                         exact, lint, synth)
+//!   --metrics-addr ADDR   serve live Prometheus text over HTTP for the
+//!                         duration of the run (batch, exact, lint, synth);
+//!                         set PARMEM_METRICS_LINGER_MS to hold the endpoint
+//!                         open briefly after the work finishes
+//!   PARMEM_HEARTBEAT=1    echo per-phase progress heartbeats (done/total,
+//!                         elapsed, ETA) to stderr
 //!
 //! Unknown options are rejected with an error listing what the subcommand
 //! accepts. All argument parsing goes through `parmem_driver::CommonArgs`,
@@ -104,7 +124,7 @@ use std::process::ExitCode;
 use parallel_memories::batch::{self, BatchOptions, ErrorPolicy};
 use parallel_memories::core::prelude::*;
 use parallel_memories::core::trace_io;
-use parallel_memories::driver::{args, CommonArgs, Session};
+use parallel_memories::driver::{args, CommonArgs, Session, TelemetryConfig};
 use parallel_memories::obs;
 use parallel_memories::sim::ArrayPlacement;
 use parallel_memories::verify;
@@ -122,8 +142,11 @@ type CliError = Box<dyn std::error::Error + Send + Sync>;
 /// options (the uniform profiling options are accepted implicitly).
 fn arg_spec(cmd: &str) -> Option<(&'static [&'static str], &'static [&'static str])> {
     match cmd {
-        "assign" => Some((&["--backtrack", "--no-atoms"], &[])),
-        "compile" => Some((&["--no-opt"], &["-k", "--stor", "--unroll"])),
+        "assign" => Some((&["--backtrack", "--no-atoms"], &["--flight-dump"])),
+        "compile" => Some((
+            &["--no-opt"],
+            &["-k", "--stor", "--unroll", "--flight-dump"],
+        )),
         "run" => Some((&[], &[])),
         "verify" => Some((
             &[
@@ -133,7 +156,14 @@ fn arg_spec(cmd: &str) -> Option<(&'static [&'static str], &'static [&'static st
                 "--exact",
                 "--no-portfolio",
             ],
-            &["-k", "--stor", "--budget-nodes", "--budget-ms", "--seed"],
+            &[
+                "-k",
+                "--stor",
+                "--budget-nodes",
+                "--budget-ms",
+                "--seed",
+                "--flight-dump",
+            ],
         )),
         "exact" => Some((
             &["--all", "--no-portfolio", "--no-opt"],
@@ -146,6 +176,8 @@ fn arg_spec(cmd: &str) -> Option<(&'static [&'static str], &'static [&'static st
                 "--format",
                 "--out",
                 "--unroll",
+                "--flight-dump",
+                "--metrics-addr",
             ],
         )),
         "batch" => Some((
@@ -159,11 +191,28 @@ fn arg_spec(cmd: &str) -> Option<(&'static [&'static str], &'static [&'static st
                 "--backtrack",
                 "--no-atoms",
             ],
-            &["-k", "--stor", "--jobs", "--out", "--seed", "--unroll"],
+            &[
+                "-k",
+                "--stor",
+                "--jobs",
+                "--out",
+                "--seed",
+                "--unroll",
+                "--flight-dump",
+                "--metrics-addr",
+            ],
         )),
         "lint" => Some((
             &["--all", "--json", "--predict", "--deny", "--no-opt"],
-            &["-k", "--jobs", "--out", "--seed", "--unroll"],
+            &[
+                "-k",
+                "--jobs",
+                "--out",
+                "--seed",
+                "--unroll",
+                "--flight-dump",
+                "--metrics-addr",
+            ],
         )),
         "trace" => Some((
             &[
@@ -173,7 +222,15 @@ fn arg_spec(cmd: &str) -> Option<(&'static [&'static str], &'static [&'static st
                 "--backtrack",
                 "--no-atoms",
             ],
-            &["-k", "--stor", "--format", "--out", "--seed", "--unroll"],
+            &[
+                "-k",
+                "--stor",
+                "--format",
+                "--out",
+                "--seed",
+                "--unroll",
+                "--flight-dump",
+            ],
         )),
         "synth" => Some((
             &["--check", "--assign", "--backtrack", "--no-atoms"],
@@ -187,8 +244,11 @@ fn arg_spec(cmd: &str) -> Option<(&'static [&'static str], &'static [&'static st
                 "--seed",
                 "--jobs",
                 "--out",
+                "--flight-dump",
+                "--metrics-addr",
             ],
         )),
+        "serve-metrics" => Some((&[], &["--metrics-addr", "--max-requests"])),
         _ => None,
     }
 }
@@ -202,7 +262,7 @@ fn main() -> ExitCode {
 
     let Some((flags, value_opts)) = arg_spec(cmd) else {
         eprintln!(
-            "usage: parmem <assign|compile|run|verify|batch|trace|exact|lint|synth> [file|workloads] [options]"
+            "usage: parmem <assign|compile|run|verify|batch|trace|exact|lint|synth|serve-metrics> [file|workloads] [options]"
         );
         eprintln!("       see crate docs for details");
         return ExitCode::from(2);
@@ -226,6 +286,22 @@ fn main() -> ExitCode {
         obs::set_enabled(true);
     }
 
+    // Live telemetry: arm the flight recorder / `/metrics` endpoint before
+    // dispatch so the hot paths stream into them. `serve-metrics` binds its
+    // own endpoint and must not go through the guard twice.
+    let telemetry_cfg = if cmd == "serve-metrics" {
+        TelemetryConfig::default()
+    } else {
+        TelemetryConfig::from_args(&a)
+    };
+    let telemetry = match telemetry_cfg.start() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("parmem: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     let result = match cmd {
         "assign" => cmd_assign(&a),
         "compile" => cmd_compile(&a),
@@ -236,6 +312,7 @@ fn main() -> ExitCode {
         "exact" => cmd_exact(&a),
         "lint" => cmd_lint(&a),
         "synth" => cmd_synth(&a),
+        "serve-metrics" => cmd_serve_metrics(&a),
         _ => unreachable!("arg_spec gates the dispatch"),
     };
 
@@ -261,6 +338,13 @@ fn main() -> ExitCode {
     } else {
         result
     };
+
+    // A failing command is as dump-worthy as a panic: write the flight
+    // artifact (if configured) before the endpoint lingers and shuts down.
+    if let Err(e) = &result {
+        telemetry.dump_error(&e.to_string());
+    }
+    telemetry.finish();
 
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -625,6 +709,25 @@ fn cmd_synth(a: &CommonArgs) -> Result<(), CliError> {
         let trace = trace.as_ref().expect("built above");
         std::fs::write(path, trace_io::format_trace(trace, None))?;
     }
+    Ok(())
+}
+
+/// `parmem serve-metrics`: stand-alone `/metrics` endpoint. The first slice
+/// of the ROADMAP daemon — it binds the same std-only HTTP server the
+/// long-running subcommands use via `--metrics-addr`, enables the obs
+/// collector, and blocks until the acceptor stops (`--max-requests N`
+/// bounds it for scripted runs; Ctrl-C otherwise).
+fn cmd_serve_metrics(a: &CommonArgs) -> Result<(), CliError> {
+    let addr = a.value("--metrics-addr").unwrap_or("127.0.0.1:9184");
+    let max_requests = a.parsed::<u64>("--max-requests")?;
+    obs::set_enabled(true);
+    let srv = obs::serve::serve(addr, obs::serve::ServeOptions { max_requests })
+        .map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
+    eprintln!(
+        "serve-metrics: listening on http://{}/metrics",
+        srv.local_addr()
+    );
+    srv.join();
     Ok(())
 }
 

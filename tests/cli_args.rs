@@ -8,8 +8,28 @@ use std::process::Command;
 /// `src/bin/parmem.rs` — a new subcommand that misses this list fails the
 /// completeness test below).
 const SUBCOMMANDS: &[&str] = &[
-    "assign", "compile", "run", "verify", "batch", "trace", "exact", "lint", "synth",
+    "assign",
+    "compile",
+    "run",
+    "verify",
+    "batch",
+    "trace",
+    "exact",
+    "lint",
+    "synth",
+    "serve-metrics",
 ];
+
+/// Subcommands that accept `--flight-dump PATH` (everything long-running;
+/// `run` is a bare interpreter loop and `serve-metrics` has no pipeline to
+/// record).
+const FLIGHT_DUMP_CMDS: &[&str] = &[
+    "assign", "compile", "verify", "batch", "trace", "exact", "lint", "synth",
+];
+
+/// Subcommands that accept `--metrics-addr ADDR` (the multi-job /
+/// scale-workload commands, plus the dedicated endpoint stub).
+const METRICS_ADDR_CMDS: &[&str] = &["batch", "exact", "lint", "synth", "serve-metrics"];
 
 fn parmem(args: &[&str]) -> std::process::Output {
     Command::new(env!("CARGO_BIN_EXE_parmem"))
@@ -76,4 +96,54 @@ fn missing_option_values_exit_2() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
     assert!(stderr.contains("requires a value"), "{stderr}");
+}
+
+/// Audit the telemetry flags across *every* subcommand: the commands in the
+/// accept-lists must parse the option (probed with a missing value — exit 2
+/// with "requires a value", so no server binds and no file is written), and
+/// every other command must reject it as unknown.
+#[test]
+fn telemetry_options_accepted_exactly_where_declared() {
+    for (opt, accepts) in [
+        ("--flight-dump", FLIGHT_DUMP_CMDS),
+        ("--metrics-addr", METRICS_ADDR_CMDS),
+    ] {
+        for cmd in SUBCOMMANDS {
+            let out = parmem(&[cmd, opt]);
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert_eq!(
+                out.status.code(),
+                Some(2),
+                "`parmem {cmd} {opt}` (no value) should exit 2: {stderr}"
+            );
+            if accepts.contains(cmd) {
+                assert!(
+                    stderr.contains("requires a value"),
+                    "`parmem {cmd}` should accept {opt}: {stderr}"
+                );
+            } else {
+                assert!(
+                    stderr.contains(&format!("unknown option `{opt}`")),
+                    "`parmem {cmd}` should reject {opt}: {stderr}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn serve_metrics_rejects_flight_dump_and_bad_max_requests() {
+    let out = parmem(&["serve-metrics", "--flight-dump", "/tmp/x.json"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(
+        stderr.contains("unknown option `--flight-dump`"),
+        "{stderr}"
+    );
+
+    // A malformed --max-requests fails before any socket is bound.
+    let out = parmem(&["serve-metrics", "--max-requests", "many"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stderr: {stderr}");
+    assert!(stderr.contains("--max-requests"), "{stderr}");
 }

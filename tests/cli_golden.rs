@@ -77,6 +77,32 @@ fn trace_output_is_stable() {
 }
 
 #[test]
+fn trace_metrics_output_is_conformant_prometheus() {
+    // The Prometheus exposition for a deterministic FFT trace: pins the
+    // conformance shape (one `# HELP` line before each `# TYPE`, sanitized
+    // family names, counters before histograms) and the exact counter
+    // values of the pipeline on this workload.
+    let actual = parmem_stdout(&["trace", "FFT", "-k", "4", "--format", "metrics"]);
+    check_golden("trace_fft_k4_metrics", &actual);
+
+    // Belt and braces beyond the byte-compare: every TYPE is preceded by
+    // its HELP, so a scraper never sees an unannotated family.
+    let mut last_help: Option<String> = None;
+    for line in actual.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            last_help = rest.split_whitespace().next().map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let name = rest.split_whitespace().next().unwrap_or("");
+            assert_eq!(
+                last_help.as_deref(),
+                Some(name),
+                "TYPE for {name} not preceded by its HELP"
+            );
+        }
+    }
+}
+
+#[test]
 fn exact_output_is_stable() {
     // The default budget is clock-free, so bounds, gaps, and node counts
     // are deterministic.
