@@ -6,4 +6,6 @@
 //! core). This shim keeps `parmem_batch::pool::*` source-compatible for
 //! existing callers.
 
-pub use parmem_pool::{default_jobs, effective_jobs, map_indexed};
+pub use parmem_pool::{
+    default_jobs, effective_jobs, map_indexed, PoolStats, ServicePool, SubmitError,
+};

@@ -389,7 +389,10 @@ fn job_label(r: &JobResult) -> String {
     )
 }
 
-fn job_json(r: &JobResult, include_timings: bool) -> String {
+/// Render one job result as the canonical per-job JSON object (the
+/// `jobs[]` element of `parmem-batch/v1`). Public so the serve daemon's
+/// `/v1/compile` responses carry byte-identical job reports to the CLI's.
+pub fn job_json(r: &JobResult, include_timings: bool) -> String {
     let mut s = String::from("{");
     let _ = write!(
         s,

@@ -106,6 +106,57 @@ impl Session {
         MachineSpec::with_modules(self.k)
     }
 
+    /// FNV-1a digest over every output-affecting knob of this session:
+    /// `k`, strategy (including STOR3's group count), compile options,
+    /// assignment parameters, placement seed, and the exact-gap budgets.
+    ///
+    /// `params.jobs` is deliberately **excluded** — worker count never
+    /// changes any report byte (the PR 7 invariant), so a cache keyed on
+    /// this digest may serve a `--jobs 8` response to a `--jobs 1`
+    /// request. Two sessions with equal digests produce byte-identical
+    /// reports for the same program; the serve daemon uses this as the
+    /// options half of its content-addressed cache key.
+    pub fn config_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+            // Field separator so adjacent fields can't alias.
+            h ^= 0xFF;
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        eat(&(self.k as u64).to_le_bytes());
+        // Debug carries the full variant payload (e.g. STOR3 groups).
+        eat(format!("{:?}", self.strategy).as_bytes());
+        match self.opts.unroll {
+            None => eat(b"no-unroll"),
+            Some(u) => {
+                eat(&(u.factor as u64).to_le_bytes());
+                eat(&(u.max_body_stmts as u64).to_le_bytes());
+            }
+        }
+        eat(&[u8::from(self.opts.optimize), u8::from(self.opts.rename)]);
+        eat(format!("{:?}", self.params.module_choice).as_bytes());
+        eat(format!("{:?}", self.params.duplication).as_bytes());
+        eat(&[u8::from(self.params.use_atoms)]);
+        // params.jobs intentionally skipped: output-invariant.
+        eat(&self.seed.to_le_bytes());
+        match self.exact_gap {
+            None => eat(b"no-exact-gap"),
+            Some(cfg) => {
+                eat(&cfg.budget_nodes.to_le_bytes());
+                eat(&cfg.budget_ms.to_le_bytes());
+                eat(&[u8::from(cfg.portfolio)]);
+                eat(&cfg.seed.to_le_bytes());
+            }
+        }
+        h
+    }
+
     /// Mint a [`JobSpec`] carrying this session's configuration.
     pub fn job(
         &self,
@@ -253,6 +304,63 @@ mod tests {
         assert_eq!(r.k, 4);
         let p = r.predict.expect("predict section");
         assert!(p.within_tolerance(), "rel err {}", p.t_ave_rel_err());
+    }
+
+    #[test]
+    fn config_digest_tracks_every_knob_but_jobs() {
+        let base = Session::new(4);
+        let d0 = base.config_digest();
+        // Stable across clones and repeated calls.
+        assert_eq!(d0, base.clone().config_digest());
+
+        // Every output-affecting knob moves the digest.
+        assert_ne!(d0, Session::new(8).config_digest());
+        assert_ne!(
+            d0,
+            base.clone().with_strategy(Strategy::Stor2).config_digest()
+        );
+        assert_ne!(
+            d0,
+            base.clone()
+                .with_strategy(Strategy::Stor3 { groups: 3 })
+                .config_digest()
+        );
+        assert_ne!(d0, base.clone().without_optimizer().config_digest());
+        assert_ne!(d0, base.clone().with_renaming(false).config_digest());
+        assert_ne!(d0, base.clone().with_seed(1).config_digest());
+        assert_ne!(
+            d0,
+            base.clone()
+                .with_exact_gap(parmem_exact::ExactConfig::default())
+                .config_digest()
+        );
+        let mut unrolled = base.clone();
+        unrolled.opts.unroll = Some(liw_ir::unroll::UnrollConfig {
+            factor: 2,
+            max_body_stmts: 40,
+        });
+        assert_ne!(d0, unrolled.config_digest());
+        let mut bt = base.clone();
+        bt.params.duplication = parmem_core::assignment::DuplicationStrategy::Backtrack;
+        assert_ne!(d0, bt.config_digest());
+        let mut atoms = base.clone();
+        atoms.params.use_atoms = false;
+        assert_ne!(d0, atoms.config_digest());
+
+        // …but jobs is output-invariant, so it must NOT move the digest.
+        let mut jobs = base.clone();
+        jobs.params.jobs = 8;
+        assert_eq!(d0, jobs.config_digest());
+
+        // STOR3's group payload is part of the digest, not just the name.
+        assert_ne!(
+            base.clone()
+                .with_strategy(Strategy::Stor3 { groups: 2 })
+                .config_digest(),
+            base.clone()
+                .with_strategy(Strategy::Stor3 { groups: 4 })
+                .config_digest()
+        );
     }
 
     #[test]

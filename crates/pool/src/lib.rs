@@ -12,6 +12,9 @@
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
+pub mod service;
+pub use service::{PoolStats, ServicePool, SubmitError};
+
 /// Worker count to use when the caller passes `jobs == 0`: the
 /// `PARMEM_JOBS` environment variable if set to a positive integer,
 /// otherwise the machine's available parallelism.

@@ -1,0 +1,340 @@
+//! Persistent service pool with bounded admission — the long-lived
+//! counterpart to [`map_indexed`](crate::map_indexed).
+//!
+//! `map_indexed` is batch-shaped: all work is known up front, workers exit
+//! when the deques drain. A daemon needs the opposite: workers that live
+//! for the process lifetime, jobs that arrive one at a time from
+//! connection handlers, and **admission control** so a traffic burst is
+//! refused quickly (HTTP 429 upstream) instead of queueing without bound.
+//!
+//! The capacity model is `workers + queue_depth`: a pool with `W` workers
+//! and depth `Q` admits a job while fewer than `W` jobs are running or
+//! fewer than `Q` are waiting; beyond that [`ServicePool::try_submit`]
+//! returns [`SubmitError::Saturated`] without blocking. `queue_depth = 0`
+//! therefore still admits up to `W` concurrent jobs — it only forbids
+//! *waiting*.
+//!
+//! Each job runs under `catch_unwind`, so a panicking job marks itself
+//! failed (the `panicked` counter) and the worker survives — one poisoned
+//! request never takes the daemon down. [`ServicePool::drain`] implements
+//! graceful shutdown: refuse new work, finish everything queued and
+//! in-flight, join the workers.
+
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A unit of work for the pool. Results travel out through whatever the
+/// closure captures (typically an `mpsc::SyncSender` back to the
+/// connection handler).
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why [`ServicePool::try_submit`] refused a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Queue and workers are full — retry later (HTTP 429 upstream).
+    Saturated,
+    /// [`ServicePool::begin_drain`] has run — the pool is shutting down
+    /// (HTTP 503 upstream).
+    ShuttingDown,
+}
+
+#[derive(Default)]
+struct QueueState {
+    queue: VecDeque<Job>,
+    in_flight: usize,
+    draining: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    panicked: AtomicU64,
+}
+
+/// Point-in-time pool occupancy and lifetime counters, for `/v1/stats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs waiting in the queue right now.
+    pub queued: usize,
+    /// Jobs running on a worker right now.
+    pub in_flight: usize,
+    /// Jobs ever admitted.
+    pub submitted: u64,
+    /// Jobs that ran to completion (including panicked ones).
+    pub completed: u64,
+    /// Jobs refused with [`SubmitError::Saturated`].
+    pub rejected: u64,
+    /// Jobs whose closure panicked (worker survived).
+    pub panicked: u64,
+}
+
+/// A fixed-size worker pool with a bounded admission queue. See the
+/// module docs for the capacity model.
+pub struct ServicePool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    worker_count: usize,
+    queue_depth: usize,
+}
+
+impl ServicePool {
+    /// Spawn `workers` worker threads (`0` = auto, see
+    /// [`effective_jobs`](crate::effective_jobs)) admitting at most
+    /// `queue_depth` waiting jobs beyond the running ones.
+    pub fn new(workers: usize, queue_depth: usize) -> ServicePool {
+        let worker_count = crate::effective_jobs(workers);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState::default()),
+            ready: Condvar::new(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+        });
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("parmem-svc-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        ServicePool {
+            shared,
+            workers,
+            worker_count,
+            queue_depth,
+        }
+    }
+
+    /// Worker threads in the pool.
+    pub fn worker_count(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Admit `job` if there is capacity; never blocks.
+    pub fn try_submit(&self, job: Job) -> Result<(), SubmitError> {
+        let mut state = self.shared.state.lock().unwrap();
+        if state.draining {
+            return Err(SubmitError::ShuttingDown);
+        }
+        // Capacity = running slots + waiting slots. A job bound for an
+        // idle worker is briefly "queued", so compare against both.
+        if state.queue.len() + state.in_flight >= self.worker_count + self.queue_depth {
+            drop(state);
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Saturated);
+        }
+        state.queue.push_back(job);
+        drop(state);
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+
+    /// Stop admitting new jobs (subsequent submits get
+    /// [`SubmitError::ShuttingDown`]); already-admitted jobs still run.
+    /// Callable from any thread — a `/v1/shutdown` handler flips this,
+    /// the main thread later calls [`drain`](ServicePool::drain).
+    pub fn begin_drain(&self) {
+        self.shared.state.lock().unwrap().draining = true;
+        self.shared.ready.notify_all();
+    }
+
+    /// Whether [`begin_drain`](ServicePool::begin_drain) has run.
+    pub fn is_draining(&self) -> bool {
+        self.shared.state.lock().unwrap().draining
+    }
+
+    /// Graceful shutdown: stop admitting, run everything already queued,
+    /// wait for in-flight jobs, join the workers.
+    pub fn drain(mut self) {
+        self.begin_drain();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Current occupancy and lifetime counters.
+    pub fn stats(&self) -> PoolStats {
+        let state = self.shared.state.lock().unwrap();
+        PoolStats {
+            queued: state.queue.len(),
+            in_flight: state.in_flight,
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            panicked: self.shared.panicked.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for ServicePool {
+    fn drop(&mut self) {
+        self.begin_drain();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    state.in_flight += 1;
+                    break job;
+                }
+                if state.draining {
+                    return;
+                }
+                state = shared.ready.wait(state).unwrap();
+            }
+        };
+        // Panic isolation: a poisoned job is counted and dropped, the
+        // worker thread lives on to serve the next request.
+        if std::panic::catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shared.panicked.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        shared.state.lock().unwrap().in_flight -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    fn recv_ok<T>(rx: &mpsc::Receiver<T>) -> T {
+        rx.recv_timeout(Duration::from_secs(10)).expect("job ran")
+    }
+
+    #[test]
+    fn runs_submitted_jobs() {
+        let pool = ServicePool::new(2, 4);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..8u32 {
+            let tx = tx.clone();
+            // Capacity 2+4=6 < 8, so pace the submissions.
+            loop {
+                let tx2 = tx.clone();
+                match pool.try_submit(Box::new(move || tx2.send(i).unwrap())) {
+                    Ok(()) => break,
+                    Err(SubmitError::Saturated) => std::thread::sleep(Duration::from_millis(1)),
+                    Err(e) => panic!("unexpected {e:?}"),
+                }
+            }
+        }
+        let mut got: Vec<u32> = (0..8).map(|_| recv_ok(&rx)).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+        let stats = pool.stats();
+        assert_eq!(stats.submitted, 8);
+        pool.drain();
+    }
+
+    #[test]
+    fn saturation_rejects_without_blocking() {
+        let pool = ServicePool::new(1, 1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (run_tx, run_rx) = mpsc::channel::<()>();
+        // Fill the single worker with a job that blocks on the gate…
+        let run = run_tx.clone();
+        pool.try_submit(Box::new(move || {
+            run.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        }))
+        .unwrap();
+        recv_ok(&run_rx); // worker is now occupied
+                          // …fill the single queue slot…
+        pool.try_submit(Box::new(|| {})).unwrap();
+        // …and the next submit must bounce.
+        assert_eq!(
+            pool.try_submit(Box::new(|| {})),
+            Err(SubmitError::Saturated)
+        );
+        assert_eq!(pool.stats().rejected, 1);
+        gate_tx.send(()).unwrap();
+        pool.drain();
+    }
+
+    #[test]
+    fn zero_queue_depth_still_admits_up_to_worker_count() {
+        let pool = ServicePool::new(2, 0);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let gate_rx = std::sync::Arc::new(Mutex::new(gate_rx));
+        let (run_tx, run_rx) = mpsc::channel::<()>();
+        for _ in 0..2 {
+            let run = run_tx.clone();
+            let gate = std::sync::Arc::clone(&gate_rx);
+            pool.try_submit(Box::new(move || {
+                run.send(()).unwrap();
+                let _ = gate.lock().unwrap().recv();
+            }))
+            .unwrap();
+        }
+        recv_ok(&run_rx);
+        recv_ok(&run_rx); // both workers busy
+        assert_eq!(
+            pool.try_submit(Box::new(|| {})),
+            Err(SubmitError::Saturated)
+        );
+        drop(gate_tx); // release both workers
+        pool.drain();
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = ServicePool::new(1, 4);
+        pool.try_submit(Box::new(|| panic!("poisoned request")))
+            .unwrap();
+        let (tx, rx) = mpsc::channel();
+        // The same (sole) worker must still be alive to run this.
+        pool.try_submit(Box::new(move || tx.send(42u32).unwrap()))
+            .unwrap();
+        assert_eq!(recv_ok(&rx), 42);
+        // The completion counters bump *after* the job body runs, so give
+        // the worker a moment to get there.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while pool.stats().completed < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.panicked, 1);
+        assert_eq!(stats.completed, 2);
+        pool.drain();
+    }
+
+    #[test]
+    fn drain_finishes_queued_work_and_refuses_new() {
+        let pool = ServicePool::new(1, 8);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..5u32 {
+            let tx = tx.clone();
+            pool.try_submit(Box::new(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                tx.send(i).unwrap();
+            }))
+            .unwrap();
+        }
+        pool.begin_drain();
+        assert_eq!(
+            pool.try_submit(Box::new(|| {})),
+            Err(SubmitError::ShuttingDown)
+        );
+        pool.drain(); // joins only after all 5 queued jobs ran
+        let mut got: Vec<u32> = rx.try_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..5).collect::<Vec<_>>());
+    }
+}

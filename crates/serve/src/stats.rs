@@ -1,0 +1,225 @@
+//! Per-endpoint request counters and latency histograms for `/v1/stats`
+//! and the Prometheus exposition.
+//!
+//! All cells are relaxed atomics — the recording path is a handful of
+//! `fetch_add`s on the connection thread, and readers tolerate slightly
+//! stale values (these are operational gauges, not part of any
+//! deterministic report).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds of the latency buckets, in microseconds. The last bucket
+/// is implicit `+Inf`. Spans sub-millisecond cache hits through
+/// multi-second exact solves.
+pub const BUCKET_BOUNDS_US: [u64; 8] = [
+    250, 1_000, 4_000, 16_000, 64_000, 256_000, 1_024_000, 4_096_000,
+];
+
+/// The endpoints tracked individually; everything else lands in `other`.
+pub const ENDPOINTS: [&str; 7] = [
+    "assign", "compile", "exact", "lint", "stats", "metrics", "other",
+];
+
+/// Counters and a latency histogram for one endpoint.
+#[derive(Default)]
+pub struct EndpointStats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    sum_us: AtomicU64,
+}
+
+impl EndpointStats {
+    fn record(&self, status: u16, elapsed: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Requests recorded so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered with status >= 400.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    fn json(&self) -> String {
+        let mut s = format!(
+            "{{\"requests\":{},\"errors\":{},\"latency_us\":{{\"sum\":{},\"buckets\":[",
+            self.requests(),
+            self.errors(),
+            self.sum_us.load(Ordering::Relaxed)
+        );
+        for (i, b) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let le = BUCKET_BOUNDS_US
+                .get(i)
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "\"+Inf\"".to_string());
+            let _ = write!(s, "[{},{}]", le, b.load(Ordering::Relaxed));
+        }
+        s.push_str("]}}");
+        s
+    }
+}
+
+/// Per-endpoint stats for the whole daemon.
+#[derive(Default)]
+pub struct ServeStats {
+    endpoints: [EndpointStats; ENDPOINTS.len()],
+}
+
+impl ServeStats {
+    /// The index to pass to [`record`](ServeStats::record) for a path's
+    /// endpoint label.
+    pub fn endpoint_index(label: &str) -> usize {
+        ENDPOINTS
+            .iter()
+            .position(|&e| e == label)
+            .unwrap_or(ENDPOINTS.len() - 1)
+    }
+
+    /// Record one finished request.
+    pub fn record(&self, endpoint: usize, status: u16, elapsed: Duration) {
+        self.endpoints[endpoint.min(ENDPOINTS.len() - 1)].record(status, elapsed);
+    }
+
+    /// Stats for one endpoint (by [`endpoint_index`](Self::endpoint_index)).
+    pub fn endpoint(&self, idx: usize) -> &EndpointStats {
+        &self.endpoints[idx.min(ENDPOINTS.len() - 1)]
+    }
+
+    /// The `"endpoints"` member of the `/v1/stats` document.
+    pub fn json(&self) -> String {
+        let mut s = String::from("{");
+        for (i, (name, e)) in ENDPOINTS.iter().zip(&self.endpoints).enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\":{}", name, e.json());
+        }
+        s.push('}');
+        s
+    }
+
+    /// Append Prometheus families for request counts, error counts, and
+    /// the latency histogram (one `le`-labelled series per bucket).
+    pub fn prometheus(&self, out: &mut String) {
+        let _ = writeln!(
+            out,
+            "# HELP parmem_serve_requests_total requests served, by endpoint"
+        );
+        let _ = writeln!(out, "# TYPE parmem_serve_requests_total counter");
+        for (name, e) in ENDPOINTS.iter().zip(&self.endpoints) {
+            let _ = writeln!(
+                out,
+                "parmem_serve_requests_total{{endpoint=\"{name}\"}} {}",
+                e.requests()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP parmem_serve_errors_total responses with status >= 400, by endpoint"
+        );
+        let _ = writeln!(out, "# TYPE parmem_serve_errors_total counter");
+        for (name, e) in ENDPOINTS.iter().zip(&self.endpoints) {
+            let _ = writeln!(
+                out,
+                "parmem_serve_errors_total{{endpoint=\"{name}\"}} {}",
+                e.errors()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP parmem_serve_latency_us request latency histogram, microseconds"
+        );
+        let _ = writeln!(out, "# TYPE parmem_serve_latency_us histogram");
+        for (name, e) in ENDPOINTS.iter().zip(&self.endpoints) {
+            let mut cumulative = 0u64;
+            for (i, b) in e.buckets.iter().enumerate() {
+                cumulative += b.load(Ordering::Relaxed);
+                let le = BUCKET_BOUNDS_US
+                    .get(i)
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "+Inf".to_string());
+                let _ = writeln!(
+                    out,
+                    "parmem_serve_latency_us_bucket{{endpoint=\"{name}\",le=\"{le}\"}} {cumulative}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "parmem_serve_latency_us_sum{{endpoint=\"{name}\"}} {}",
+                e.sum_us.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(
+                out,
+                "parmem_serve_latency_us_count{{endpoint=\"{name}\"}} {cumulative}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_the_right_bucket_and_counters() {
+        let s = ServeStats::default();
+        let assign = ServeStats::endpoint_index("assign");
+        s.record(assign, 200, Duration::from_micros(100)); // bucket 0
+        s.record(assign, 429, Duration::from_millis(2)); // bucket 2 (<=4000us)
+        s.record(assign, 200, Duration::from_secs(10)); // +Inf bucket
+        let e = s.endpoint(assign);
+        assert_eq!(e.requests(), 3);
+        assert_eq!(e.errors(), 1);
+        assert_eq!(e.buckets[0].load(Ordering::Relaxed), 1);
+        assert_eq!(e.buckets[2].load(Ordering::Relaxed), 1);
+        assert_eq!(e.buckets[BUCKET_BOUNDS_US.len()].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn unknown_labels_fold_into_other() {
+        assert_eq!(ServeStats::endpoint_index("nonsense"), ENDPOINTS.len() - 1);
+    }
+
+    #[test]
+    fn json_and_prometheus_render_every_endpoint() {
+        let s = ServeStats::default();
+        s.record(ServeStats::endpoint_index("exact"), 200, Duration::ZERO);
+        let j = s.json();
+        for name in ENDPOINTS {
+            assert!(j.contains(&format!("\"{name}\":")), "{j}");
+        }
+        let mut p = String::new();
+        s.prometheus(&mut p);
+        assert!(p.contains("parmem_serve_requests_total{endpoint=\"exact\"} 1"));
+        assert!(p.contains("le=\"+Inf\""));
+        // HELP precedes TYPE for every family (Prometheus conformance).
+        for fam in [
+            "parmem_serve_requests_total",
+            "parmem_serve_errors_total",
+            "parmem_serve_latency_us",
+        ] {
+            let help = p.find(&format!("# HELP {fam} ")).unwrap();
+            let ty = p.find(&format!("# TYPE {fam} ")).unwrap();
+            assert!(help < ty, "{fam}");
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! A raw-`TcpStream` client for the `parmem serve` daemon: no HTTP
+//! library, just the protocol as `DESIGN.md` documents it. Starts the
+//! daemon in-process on an ephemeral port, submits a 10^4-value synthetic
+//! assign workload twice (the repeat is a cache hit replayed
+//! byte-for-byte), revalidates with `If-None-Match` (304), reads the
+//! daemon's own accounting from `/v1/stats`, and drains it. Run with:
+//!
+//! ```text
+//! cargo run --example serve_client
+//! ```
+//!
+//! Against an external daemon the same bytes go over the wire — swap the
+//! in-process `Daemon::start` for the address `parmem serve` printed.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use parallel_memories::serve::{Daemon, ServeConfig};
+
+/// One HTTP/1.1 exchange, by hand: write the request head + JSON body,
+/// read to EOF (the daemon closes every connection), split head from body.
+fn exchange(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    extra: &str,
+) -> (String, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect to daemon");
+    write!(
+        conn,
+        "{method} {path} HTTP/1.1\r\nHost: parmem\r\n{extra}Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("read response");
+    let (head, payload) = response.split_once("\r\n\r\n").expect("malformed response");
+    (head.to_string(), payload.to_string())
+}
+
+fn header(head: &str, name: &str) -> String {
+    head.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name}: ")))
+        .unwrap_or("-")
+        .to_string()
+}
+
+fn main() {
+    let daemon = Daemon::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServeConfig::default()
+    })
+    .expect("bind daemon");
+    let addr = daemon.local_addr();
+    println!("daemon listening on {addr}");
+
+    // The EXPERIMENTS.md walkthrough workload: 10^4 values, 8 components,
+    // planted cliques, k = 8 — the same spec `parmem synth -n 10000` runs.
+    let request = r#"{"synth":{"values":10000,"edges":40000,"components":8,"cliques":40,"clique_size":16},"k":8,"seed":7}"#;
+
+    let (head, body) = exchange(addr, "POST", "/v1/assign", request, "");
+    println!(
+        "first submission:  {} ({} bytes, cache {})",
+        head.lines().next().unwrap_or("-"),
+        body.len(),
+        header(&head, "X-Parmem-Cache"),
+    );
+    println!("  {body}");
+    let etag = header(&head, "ETag");
+
+    let (head2, body2) = exchange(addr, "POST", "/v1/assign", request, "");
+    println!(
+        "repeat:            {} (cache {})",
+        head2.lines().next().unwrap_or("-"),
+        header(&head2, "X-Parmem-Cache"),
+    );
+    assert_eq!(body, body2, "cached replay must be byte-identical");
+
+    // Conditional revalidation: the daemon answers 304 with no body when
+    // the client already holds the current bytes.
+    let (head3, body3) = exchange(
+        addr,
+        "POST",
+        "/v1/assign",
+        request,
+        &format!("If-None-Match: {etag}\r\n"),
+    );
+    println!(
+        "revalidation:      {} ({} body bytes)",
+        head3.lines().next().unwrap_or("-"),
+        body3.len()
+    );
+
+    let (_, stats) = exchange(addr, "GET", "/v1/stats", "", "");
+    println!("stats: {stats}");
+
+    let (head4, _) = exchange(addr, "POST", "/v1/shutdown", "", "");
+    println!("shutdown: {}", head4.lines().next().unwrap_or("-"));
+    daemon.wait();
+    println!("daemon drained cleanly");
+}

@@ -87,12 +87,26 @@
 //!     and thread ids so the output is byte-identical across runs;
 //!     `--validate` checks the Chrome trace for balanced begin/end nesting.
 //!
+//! parmem serve [--addr ADDR] [--jobs N] [--cache-bytes B]
+//!              [--queue-depth D] [--max-requests N] [--metrics-only]
+//!     Assignment-as-a-service daemon: binds ADDR (default 127.0.0.1:9185;
+//!     port 0 picks a free port, printed to stderr) and serves
+//!     `POST /v1/{assign,compile,exact,lint}` (JSON bodies naming a
+//!     workload, inline MiniLang source, or — assign only — a seeded synth
+//!     spec, plus the same knobs the CLI takes as flags), multiplexed onto
+//!     a bounded pool of N pipeline workers. Responses are cached
+//!     content-addressed (LRU under a byte budget B, e.g. `64M`; strong
+//!     ETags, If-None-Match → 304); past D queued jobs the daemon answers
+//!     `429 Retry-After` instead of queueing further. `GET /v1/stats`
+//!     reports cache/queue/latency counters; `/metrics`, `/healthz`, and
+//!     `/` serve the live-telemetry endpoint on the same listener
+//!     (`--metrics-only` serves just those). SIGTERM or
+//!     `POST /v1/shutdown` drains gracefully: stop admitting, finish
+//!     in-flight work, exit. `--max-requests N` exits after N connections.
+//!
 //! parmem serve-metrics [--metrics-addr ADDR] [--max-requests N]
-//!     Stand-alone live-telemetry endpoint stub (the first slice of the
-//!     serving daemon): binds ADDR (default 127.0.0.1:9184; port 0 picks a
-//!     free port, printed to stderr) and serves `GET /metrics` (Prometheus
-//!     text from live snapshots), `/healthz`, and `/` until interrupted —
-//!     or, with `--max-requests N`, until N connections have been served.
+//!     Deprecated alias for `parmem serve --metrics-only` (old default
+//!     port 127.0.0.1:9184); prints a deprecation note to stderr.
 //!
 //! Every subcommand also accepts:
 //!   --profile             print a timed span tree + metrics dump to stderr
@@ -248,6 +262,19 @@ fn arg_spec(cmd: &str) -> Option<(&'static [&'static str], &'static [&'static st
                 "--metrics-addr",
             ],
         )),
+        "serve" => Some((
+            &["--metrics-only"],
+            &[
+                "--addr",
+                "--jobs",
+                "--cache-bytes",
+                "--queue-depth",
+                "--max-requests",
+                "--flight-dump",
+            ],
+        )),
+        // Deprecated alias for `serve --metrics-only` (kept so existing
+        // scrape setups keep working; prints a deprecation note).
         "serve-metrics" => Some((&[], &["--metrics-addr", "--max-requests"])),
         _ => None,
     }
@@ -262,7 +289,7 @@ fn main() -> ExitCode {
 
     let Some((flags, value_opts)) = arg_spec(cmd) else {
         eprintln!(
-            "usage: parmem <assign|compile|run|verify|batch|trace|exact|lint|synth|serve-metrics> [file|workloads] [options]"
+            "usage: parmem <assign|compile|run|verify|batch|trace|exact|lint|synth|serve> [file|workloads] [options]"
         );
         eprintln!("       see crate docs for details");
         return ExitCode::from(2);
@@ -287,10 +314,14 @@ fn main() -> ExitCode {
     }
 
     // Live telemetry: arm the flight recorder / `/metrics` endpoint before
-    // dispatch so the hot paths stream into them. `serve-metrics` binds its
-    // own endpoint and must not go through the guard twice.
-    let telemetry_cfg = if cmd == "serve-metrics" {
-        TelemetryConfig::default()
+    // dispatch so the hot paths stream into them. The serve daemon (and its
+    // `serve-metrics` alias) binds its own endpoint and must not go through
+    // the guard twice — it still gets the flight recorder.
+    let telemetry_cfg = if cmd == "serve" || cmd == "serve-metrics" {
+        TelemetryConfig {
+            flight_dump: a.value("--flight-dump").map(std::path::PathBuf::from),
+            ..TelemetryConfig::default()
+        }
     } else {
         TelemetryConfig::from_args(&a)
     };
@@ -312,7 +343,8 @@ fn main() -> ExitCode {
         "exact" => cmd_exact(&a),
         "lint" => cmd_lint(&a),
         "synth" => cmd_synth(&a),
-        "serve-metrics" => cmd_serve_metrics(&a),
+        "serve" => cmd_serve(&a, false),
+        "serve-metrics" => cmd_serve(&a, true),
         _ => unreachable!("arg_spec gates the dispatch"),
     };
 
@@ -717,17 +749,59 @@ fn cmd_synth(a: &CommonArgs) -> Result<(), CliError> {
 /// long-running subcommands use via `--metrics-addr`, enables the obs
 /// collector, and blocks until the acceptor stops (`--max-requests N`
 /// bounds it for scripted runs; Ctrl-C otherwise).
-fn cmd_serve_metrics(a: &CommonArgs) -> Result<(), CliError> {
-    let addr = a.value("--metrics-addr").unwrap_or("127.0.0.1:9184");
-    let max_requests = a.parsed::<u64>("--max-requests")?;
+/// Parse a byte-size value with an optional `K`/`M`/`G` suffix
+/// (binary: `64M` = 64 MiB).
+fn parse_byte_size(text: &str) -> Result<usize, CliError> {
+    let (digits, shift) = match text.as_bytes().last() {
+        Some(b'K' | b'k') => (&text[..text.len() - 1], 10),
+        Some(b'M' | b'm') => (&text[..text.len() - 1], 20),
+        Some(b'G' | b'g') => (&text[..text.len() - 1], 30),
+        _ => (text, 0),
+    };
+    let n: usize = digits
+        .parse()
+        .map_err(|_| format!("bad byte size `{text}` (expected e.g. 1048576, 64M, 1G)"))?;
+    n.checked_shl(shift)
+        .filter(|&v| v >> shift == n)
+        .ok_or_else(|| format!("byte size `{text}` overflows").into())
+}
+
+/// `parmem serve` — the assignment-as-a-service daemon — and its
+/// deprecated `serve-metrics` alias (which forces `--metrics-only` and
+/// keeps the old default port so existing scrape setups still work).
+fn cmd_serve(a: &CommonArgs, legacy: bool) -> Result<(), CliError> {
+    let addr = if legacy {
+        eprintln!("parmem: `serve-metrics` is deprecated; use `parmem serve --metrics-only`");
+        a.value("--metrics-addr").unwrap_or("127.0.0.1:9184")
+    } else {
+        a.value("--addr").unwrap_or("127.0.0.1:9185")
+    };
+    let defaults = parallel_memories::serve::ServeConfig::default();
+    let config = parallel_memories::serve::ServeConfig {
+        addr: addr.to_string(),
+        jobs: a.parsed::<usize>("--jobs")?.unwrap_or(0),
+        cache_bytes: match a.value("--cache-bytes") {
+            Some(text) => parse_byte_size(text)?,
+            None => defaults.cache_bytes,
+        },
+        queue_depth: a
+            .parsed::<usize>("--queue-depth")?
+            .unwrap_or(defaults.queue_depth),
+        max_requests: a.parsed::<u64>("--max-requests")?,
+        metrics_only: legacy || a.flag("--metrics-only"),
+        debug_hooks: std::env::var("PARMEM_SERVE_DEBUG").as_deref() == Ok("1"),
+        ..defaults
+    };
+    // Live snapshots feed the daemon's /metrics page.
     obs::set_enabled(true);
-    let srv = obs::serve::serve(addr, obs::serve::ServeOptions { max_requests })
-        .map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
+    let daemon =
+        parallel_memories::serve::Daemon::start(config).map_err(|e| format!("{addr}: {e}"))?;
+    let name = if legacy { "serve-metrics" } else { "serve" };
     eprintln!(
-        "serve-metrics: listening on http://{}/metrics",
-        srv.local_addr()
+        "{name}: listening on http://{}/metrics",
+        daemon.local_addr()
     );
-    srv.join();
+    daemon.wait();
     Ok(())
 }
 

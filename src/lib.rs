@@ -31,6 +31,9 @@
 //! * [`obs`] (`parmem-obs`) — span tracing, counters/histograms, and the
 //!   tree/JSON/Chrome-trace/Prometheus profile exporters instrumenting
 //!   every layer above.
+//! * [`serve`] (`parmem-serve`) — assignment-as-a-service: the `parmem
+//!   serve` HTTP daemon with content-addressed response caching, bounded
+//!   admission, and graceful drain.
 //! * [`workloads`] — the paper's six benchmark programs in MiniLang.
 //!
 //! See the repository `README.md` for a tour and `EXPERIMENTS.md` for the
@@ -47,6 +50,7 @@ pub use parmem_driver as driver;
 pub use parmem_exact as exact;
 pub use parmem_lint as lint;
 pub use parmem_obs as obs;
+pub use parmem_serve as serve;
 pub use parmem_verify as verify;
 pub use rliw_sim as sim;
 pub use workloads;

@@ -8,23 +8,18 @@ use std::process::Command;
 /// `src/bin/parmem.rs` — a new subcommand that misses this list fails the
 /// completeness test below).
 const SUBCOMMANDS: &[&str] = &[
-    "assign",
-    "compile",
-    "run",
-    "verify",
-    "batch",
-    "trace",
-    "exact",
-    "lint",
-    "synth",
-    "serve-metrics",
+    "assign", "compile", "run", "verify", "batch", "trace", "exact", "lint", "synth", "serve",
 ];
 
+/// Dispatchable but deliberately absent from the usage line: deprecated
+/// aliases kept for compatibility. They still get the full exit-2 audit.
+const HIDDEN_ALIASES: &[&str] = &["serve-metrics"];
+
 /// Subcommands that accept `--flight-dump PATH` (everything long-running;
-/// `run` is a bare interpreter loop and `serve-metrics` has no pipeline to
-/// record).
+/// `run` is a bare interpreter loop and the `serve-metrics` alias has no
+/// pipeline to record).
 const FLIGHT_DUMP_CMDS: &[&str] = &[
-    "assign", "compile", "verify", "batch", "trace", "exact", "lint", "synth",
+    "assign", "compile", "verify", "batch", "trace", "exact", "lint", "synth", "serve",
 ];
 
 /// Subcommands that accept `--metrics-addr ADDR` (the multi-job /
@@ -41,7 +36,7 @@ fn parmem(args: &[&str]) -> std::process::Output {
 
 #[test]
 fn every_subcommand_rejects_unknown_options_with_exit_2() {
-    for cmd in SUBCOMMANDS {
+    for cmd in SUBCOMMANDS.iter().chain(HIDDEN_ALIASES) {
         let out = parmem(&[cmd, "--definitely-not-a-flag"]);
         let stderr = String::from_utf8_lossy(&out.stderr);
         assert_eq!(
@@ -84,9 +79,16 @@ fn unknown_subcommand_exits_2_with_usage() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr.contains("usage: parmem"), "{stderr}");
-    // The usage line advertises every dispatchable subcommand.
+    // The usage line advertises every dispatchable subcommand…
     for cmd in SUBCOMMANDS {
         assert!(stderr.contains(cmd), "usage line misses `{cmd}`: {stderr}");
+    }
+    // …but not the deprecated aliases (they keep working, silently).
+    for alias in HIDDEN_ALIASES {
+        assert!(
+            !stderr.contains(alias),
+            "usage line advertises deprecated `{alias}`: {stderr}"
+        );
     }
 }
 
@@ -108,7 +110,7 @@ fn telemetry_options_accepted_exactly_where_declared() {
         ("--flight-dump", FLIGHT_DUMP_CMDS),
         ("--metrics-addr", METRICS_ADDR_CMDS),
     ] {
-        for cmd in SUBCOMMANDS {
+        for cmd in SUBCOMMANDS.iter().chain(HIDDEN_ALIASES) {
             let out = parmem(&[cmd, opt]);
             let stderr = String::from_utf8_lossy(&out.stderr);
             assert_eq!(
@@ -146,4 +148,52 @@ fn serve_metrics_rejects_flight_dump_and_bad_max_requests() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert_eq!(out.status.code(), Some(1), "stderr: {stderr}");
     assert!(stderr.contains("--max-requests"), "{stderr}");
+}
+
+/// Audit the daemon's own flags: every value-taking option parses exactly
+/// on `serve` (probed with a missing value so nothing binds), the
+/// `--metrics-only` flag takes none, and malformed values fail before any
+/// socket is bound.
+#[test]
+fn serve_flag_contract() {
+    for opt in [
+        "--addr",
+        "--jobs",
+        "--cache-bytes",
+        "--queue-depth",
+        "--max-requests",
+    ] {
+        let out = parmem(&["serve", opt]);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "`parmem serve {opt}` (no value) should exit 2: {stderr}"
+        );
+        assert!(
+            stderr.contains("requires a value"),
+            "`parmem serve` should accept {opt}: {stderr}"
+        );
+    }
+
+    // `--metrics-only` is a bare flag; a bogus companion is still unknown.
+    let out = parmem(&["serve", "--metrics-only", "--metrics-addr", "x"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(
+        stderr.contains("unknown option `--metrics-addr`"),
+        "`serve` must take --addr, not the legacy --metrics-addr: {stderr}"
+    );
+
+    // Malformed values exit 1 (parse error) before any socket is bound.
+    for bad in [
+        ["serve", "--jobs", "many"],
+        ["serve", "--cache-bytes", "tiny"],
+        ["serve", "--queue-depth", "-1"],
+        ["serve", "--max-requests", "two"],
+    ] {
+        let out = parmem(&bad);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(1), "{bad:?}: {stderr}");
+    }
 }

@@ -1,0 +1,218 @@
+//! The serving daemon end to end, over real TCP against `parmem serve`
+//! child processes (no curl — a raw `std::net::TcpStream` client, the
+//! same protocol walk `EXPERIMENTS.md` documents):
+//!
+//! * the same assign request twice → byte-identical bodies, the second
+//!   served from the content-addressed cache (hit counter via
+//!   `/v1/stats`), `If-None-Match` revalidation → 304;
+//! * `/v1/exact` returns a certificate and caches it too;
+//! * saturation (1 worker, zero queue depth, an artificially slow job via
+//!   the `PARMEM_SERVE_DEBUG` seam) → `429` with `Retry-After`;
+//! * drain (`POST /v1/shutdown`, and SIGTERM on unix) finishes the
+//!   in-flight request and exits 0.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn spawn_serve(args: &[&str], debug_hooks: bool) -> Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_parmem"));
+    cmd.arg("serve")
+        .args(["--addr", "127.0.0.1:0"])
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped());
+    if debug_hooks {
+        cmd.env("PARMEM_SERVE_DEBUG", "1");
+    }
+    cmd.spawn().expect("spawn parmem serve")
+}
+
+/// Read the child's stderr until the daemon advertises its bound address.
+fn wait_for_port(child: &mut Child) -> (u16, BufReader<std::process::ChildStderr>) {
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut reader = BufReader::new(stderr);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).expect("read child stderr");
+        assert!(n > 0, "child exited before advertising its port");
+        if let Some(rest) = line.split("listening on http://").nth(1) {
+            let addr = rest.trim_end().trim_end_matches("/metrics");
+            let port: u16 = addr
+                .rsplit(':')
+                .next()
+                .and_then(|p| p.parse().ok())
+                .unwrap_or_else(|| panic!("unparseable listen line: {line}"));
+            return (port, reader);
+        }
+    }
+}
+
+/// One HTTP/1.1 request over a raw TcpStream; returns (status, head, body).
+fn http(port: u16, method: &str, path: &str, body: &str, extra: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\n{extra}Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, payload) = response
+        .split_once("\r\n\r\n")
+        .expect("response has header/body split");
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in: {head}"));
+    (status, head.to_string(), payload.to_string())
+}
+
+fn post(port: u16, path: &str, body: &str) -> (u16, String, String) {
+    http(port, "POST", path, body, "")
+}
+
+fn get(port: u16, path: &str) -> (u16, String, String) {
+    http(port, "GET", path, "", "")
+}
+
+fn header<'a>(head: &'a str, name: &str) -> Option<&'a str> {
+    head.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name}: ")))
+}
+
+/// A counter out of the `/v1/stats` JSON, by member name (the document is
+/// flat enough for a textual probe).
+fn stats_field(stats: &str, object: &str, field: &str) -> u64 {
+    let obj = stats
+        .split(&format!("\"{object}\":{{"))
+        .nth(1)
+        .unwrap_or_else(|| panic!("no `{object}` object in {stats}"));
+    obj.split(&format!("\"{field}\":"))
+        .nth(1)
+        .and_then(|rest| {
+            rest.split(|c: char| !c.is_ascii_digit())
+                .next()
+                .and_then(|d| d.parse().ok())
+        })
+        .unwrap_or_else(|| panic!("no `{object}.{field}` in {stats}"))
+}
+
+#[test]
+fn assign_twice_is_cached_exact_certifies_and_drain_exits_zero() {
+    let mut child = spawn_serve(&[], false);
+    let (port, _reader) = wait_for_port(&mut child);
+    let body = r#"{"workload":"FFT","k":4,"strategy":"2"}"#;
+
+    // First submission computes; the repeat replays the cached bytes.
+    let (s1, h1, b1) = post(port, "/v1/assign", body);
+    assert_eq!(s1, 200, "{b1}");
+    assert_eq!(header(&h1, "X-Parmem-Cache"), Some("miss"), "{h1}");
+    assert!(b1.contains("\"schema\":\"parmem-serve-assign/v1\""), "{b1}");
+
+    let (s2, h2, b2) = post(port, "/v1/assign", body);
+    assert_eq!(s2, 200);
+    assert_eq!(header(&h2, "X-Parmem-Cache"), Some("hit"), "{h2}");
+    assert_eq!(b1, b2, "cached replay must be byte-identical");
+
+    // The hit is visible in the daemon's own accounting.
+    let (_, _, stats) = get(port, "/v1/stats");
+    assert_eq!(stats_field(&stats, "cache", "hits"), 1, "{stats}");
+    assert_eq!(stats_field(&stats, "cache", "misses"), 1, "{stats}");
+
+    // Conditional revalidation: same request with the ETag → 304, no body.
+    let etag = header(&h2, "ETag").expect("ETag header").to_string();
+    let (s3, h3, b3) = http(
+        port,
+        "POST",
+        "/v1/assign",
+        body,
+        &format!("If-None-Match: {etag}\r\n"),
+    );
+    assert_eq!(s3, 304, "{h3}");
+    assert!(b3.is_empty());
+    assert_eq!(header(&h3, "ETag"), Some(etag.as_str()));
+
+    // /v1/exact returns a verified certificate (and caches it too).
+    let exact_body = r#"{"workload":"FFT","k":2,"budget_nodes":200000}"#;
+    let (s4, _, b4) = post(port, "/v1/exact", exact_body);
+    assert_eq!(s4, 200, "{b4}");
+    assert!(b4.contains("\"schema\":\"parmem-serve-exact/v1\""), "{b4}");
+    assert!(b4.contains("\"certificate\""), "{b4}");
+    let (_, h5, b5) = post(port, "/v1/exact", exact_body);
+    assert_eq!(header(&h5, "X-Parmem-Cache"), Some("hit"), "{h5}");
+    assert_eq!(b4, b5);
+
+    // The daemon's Prometheus page carries the serve families.
+    let (_, _, metrics) = get(port, "/metrics");
+    for family in [
+        "parmem_serve_requests_total",
+        "parmem_serve_latency_us_bucket",
+        "parmem_serve_cache_hits_total",
+        "parmem_metrics_scrapes_total",
+    ] {
+        assert!(metrics.contains(family), "missing {family}:\n{metrics}");
+    }
+
+    // Graceful drain over HTTP: the daemon exits 0 on its own.
+    let (s6, _, b6) = post(port, "/v1/shutdown", "");
+    assert_eq!(s6, 200, "{b6}");
+    let status = child.wait().expect("child exit");
+    assert!(status.success(), "serve exited with {status:?}");
+}
+
+#[test]
+fn saturation_answers_429_and_drain_finishes_in_flight() {
+    // One worker, no queue: a single slow job saturates the daemon. The
+    // artificial `sleep_ms` latency only parses under the debug env seam.
+    let mut child = spawn_serve(&["--jobs", "1", "--queue-depth", "0"], true);
+    let (port, _reader) = wait_for_port(&mut child);
+
+    let slow = std::thread::spawn(move || {
+        post(port, "/v1/assign", r#"{"workload":"FFT","sleep_ms":1500}"#)
+    });
+    // Let the slow job reach the worker, then overflow the admission gate.
+    std::thread::sleep(Duration::from_millis(400));
+    let (s, h, b) = post(port, "/v1/assign", r#"{"workload":"SORT"}"#);
+    assert_eq!(s, 429, "expected saturation, got {s}: {b}");
+    assert_eq!(header(&h, "Retry-After"), Some("1"), "{h}");
+
+    let (_, _, stats) = get(port, "/v1/stats");
+    assert_eq!(stats_field(&stats, "queue", "rejected"), 1, "{stats}");
+
+    // Drain while the slow job is still in flight: it must complete with a
+    // full 200 before the daemon exits 0.
+    let (s, _, _) = post(port, "/v1/shutdown", "");
+    assert_eq!(s, 200);
+    let (s_slow, _, b_slow) = slow.join().expect("slow requester");
+    assert_eq!(s_slow, 200, "in-flight request must finish: {b_slow}");
+    assert!(b_slow.contains("\"schema\":\"parmem-serve-assign/v1\""));
+    let status = child.wait().expect("child exit");
+    assert!(status.success(), "serve exited with {status:?}");
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_gracefully() {
+    let mut child = spawn_serve(&[], false);
+    let (port, _reader) = wait_for_port(&mut child);
+    let (s, _, _) = post(port, "/v1/assign", r#"{"workload":"SORT","k":2}"#);
+    assert_eq!(s, 200);
+
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    let status = child.wait().expect("child exit");
+    assert!(status.success(), "SIGTERM drain exited with {status:?}");
+}
