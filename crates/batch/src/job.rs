@@ -10,5 +10,5 @@
 
 pub use parmem_driver::job::{
     hash_output, run_job, run_stages, FaultInjection, GapSummary, JobError, JobOutput, JobResult,
-    JobSpec, PipelineContext,
+    JobSpec, PipelineContext, PlannedSummary,
 };

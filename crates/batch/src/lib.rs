@@ -28,7 +28,9 @@ pub mod metrics;
 pub mod pool;
 pub mod report;
 
-pub use job::{FaultInjection, GapSummary, JobError, JobOutput, JobResult, JobSpec};
+pub use job::{
+    FaultInjection, GapSummary, JobError, JobOutput, JobResult, JobSpec, PlannedSummary,
+};
 pub use metrics::{JobMetrics, StageKind, StageMetrics};
 pub use parmem_exact::ExactConfig;
 pub use report::BatchReport;

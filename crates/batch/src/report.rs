@@ -112,9 +112,16 @@ impl BatchReport {
                         ),
                         None => String::new(),
                     };
+                    let planned_note = match &o.planned {
+                        Some(p) => format!(
+                            " planned={}:{} t_planned={}",
+                            p.policy, p.arrays, p.transfer_time
+                        ),
+                        None => String::new(),
+                    };
                     let _ = writeln!(
                         s,
-                        "{:<10} {:>2} {:<5} | {:>8} {:>12.4} {:>8} {:>8} {:>8} | {:>6} {:>5} {:>7.2}x | ok{}",
+                        "{:<10} {:>2} {:<5} | {:>8} {:>12.4} {:>8} {:>8} {:>8} | {:>6} {:>5} {:>7.2}x | ok{}{}",
                         r.spec.program,
                         r.spec.k,
                         r.spec.strategy.name(),
@@ -127,6 +134,7 @@ impl BatchReport {
                         o.assign_report.multi_copy,
                         o.speedup,
                         gap_note,
+                        planned_note,
                     );
                 }
                 Err(e) => {
@@ -337,11 +345,18 @@ impl BatchReport {
                         ),
                         None => String::new(),
                     };
+                    let planned_note = match &o.planned {
+                        Some(p) => format!(
+                            " | planned: policy={} arrays={} t={} model={:.4} layout={:016x}",
+                            p.policy, p.arrays, p.transfer_time, p.t_ave_model, p.layout_digest
+                        ),
+                        None => String::new(),
+                    };
                     let _ = writeln!(
                         s,
                         "{:<10} k={} {:<5} | t_min={} t_ave={:.4} t_rand={} t_inter={} t_max={} \
                          | single={} multi={} extra={} residual={} \
-                         | values={} swords={} words={} cycles={} steps={} out={} hash={:016x}{}",
+                         | values={} swords={} words={} cycles={} steps={} out={} hash={:016x}{}{}",
                         r.spec.program,
                         r.spec.k,
                         r.spec.strategy.name(),
@@ -362,6 +377,7 @@ impl BatchReport {
                         o.output_len,
                         o.output_hash,
                         gap_note,
+                        planned_note,
                     );
                 }
                 Err(e) => {
@@ -448,6 +464,14 @@ pub fn job_json(r: &JobResult, include_timings: bool) -> String {
                     g.cert_clean
                 );
             }
+            if let Some(p) = &o.planned {
+                let _ = write!(
+                    s,
+                    ",\"planned\":{{\"policy\":\"{}\",\"layout_digest\":\"{:016x}\",\
+                     \"transfer_time\":{},\"t_ave_model\":{:.4},\"arrays\":{}}}",
+                    p.policy, p.layout_digest, p.transfer_time, p.t_ave_model, p.arrays
+                );
+            }
         }
         Err(e) => {
             let _ = write!(s, ",\"error\":\"{}\"", json_escape(&e.to_string()));
@@ -520,7 +544,7 @@ mod tests {
     use crate::job::{run_job, JobSpec};
 
     fn tiny_report() -> BatchReport {
-        let specs = vec![
+        let specs = [
             JobSpec::new(
                 "A",
                 "program a; var i, s: int; begin s := 0; for i := 1 to 5 do s := s + i; print s; end.",
@@ -572,5 +596,34 @@ mod tests {
         let r = tiny_report();
         assert_eq!(r.golden_lines(), r.golden_lines());
         assert!(r.golden_lines().contains("hash="));
+    }
+
+    #[test]
+    fn planned_placement_only_renders_when_requested() {
+        // Default jobs must not mention the planned layout at all — the
+        // scalar-only goldens pin this.
+        let base = tiny_report();
+        assert!(!base.to_json(false).contains("\"planned\""));
+        assert!(!base.golden_lines().contains("planned"));
+
+        let src = "program arr; var a: array[12] of int; i, s: int;
+            begin
+              s := 0;
+              for i := 0 to 11 do a[i] := i * 2;
+              for i := 0 to 11 do s := s + a[i];
+              print s;
+            end.";
+        let spec =
+            JobSpec::new("ARR", src, 4).with_array_policy(parmem_core::layout::ArrayPolicy::Hash);
+        let r = BatchReport {
+            results: vec![run_job(&spec)],
+            wall_ns: 1,
+            workers: 1,
+        };
+        assert!(r.is_clean(), "{}", r.format_text());
+        let j = r.to_json(false);
+        assert!(j.contains("\"planned\":{\"policy\":\"hash\""), "{j}");
+        assert!(r.golden_lines().contains("planned: policy=hash arrays="));
+        assert!(r.format_text().contains("planned=hash:"));
     }
 }

@@ -51,6 +51,7 @@ pub mod coloring;
 pub mod duplication;
 pub mod graph;
 pub mod instview;
+pub mod layout;
 pub mod matching;
 pub mod placement;
 pub mod strategies;
@@ -67,6 +68,9 @@ pub mod prelude {
     pub use crate::coloring::ModuleChoice;
     pub use crate::graph::ConflictGraph;
     pub use crate::instview::InstructionView;
+    pub use crate::layout::{
+        plan as plan_layout, ArrayPolicy, ArrayProfile, ArrayScheme, MemoryLayout, PlannedArray,
+    };
     pub use crate::strategies::{
         exact_solver_installed, install_exact_solver, run_strategy, RegionizedTrace, Strategy,
         StrategyInfo, STRATEGY_REGISTRY,

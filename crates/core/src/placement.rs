@@ -1,266 +1,5 @@
-//! The placement algorithm of paper Fig. 10 — decide *which module* receives
-//! each new copy scheduled by the duplication phase.
-//!
-//! Instructions with access conflicts are grouped by how many of their
-//! operands are in `V_unassigned` (group `I_1` = one duplicable operand —
-//! the most constrained — up to `I_k`). Values are placed one at a time, most
-//! constrained first; each copy goes to the module that frees the
-//! lexicographically best vector of conflict counts `(C_{M,I_1} .. C_{M,I_k})`.
-//! The paper resolves remaining ties randomly; we use deterministic
-//! tie-breaks (fewest pairwise clashes, then lightest module, then lowest
-//! index) so runs are reproducible.
+//! Compatibility shim: the Fig. 10 copy-placement algorithm moved into the
+//! unified [`crate::layout`] module (which plans scalar copies *and*
+//! per-array schemes together). Existing imports keep working.
 
-use std::collections::{HashMap, HashSet};
-
-use crate::assignment::Assignment;
-use crate::types::{AccessTrace, ModuleId, ModuleSet, ValueId};
-
-/// Place exactly one new copy of each value in `values` (in the paper's
-/// grouped priority order), updating `assignment`.
-///
-/// `unassigned` is the full `V_unassigned` set — it defines the instruction
-/// grouping. Values already holding copies in every module are skipped.
-pub fn place_values(
-    trace: &AccessTrace,
-    unassigned: &HashSet<ValueId>,
-    values: &[ValueId],
-    assignment: &mut Assignment,
-) {
-    let k = trace.modules;
-    if values.is_empty() || k == 0 {
-        return;
-    }
-
-    // Group index per instruction — the paper groups by the number of
-    // single-copy operands, most constrained first (Fig. 10 / §2.2.2.2).
-    // For a k-operand instruction, "i operands in V_unassigned" ⇔ "k−i
-    // single-copy operands"; for shorter instructions the unused operand
-    // slots also add slack, so the group index is the instruction's degrees
-    // of freedom: duplicable operands + empty slots. Group 1 = exactly one
-    // way out.
-    let group_of: Vec<usize> = trace
-        .instructions
-        .iter()
-        .map(|inst| {
-            let dup = inst.iter().filter(|v| unassigned.contains(v)).count();
-            dup + k.saturating_sub(inst.len())
-        })
-        .collect();
-
-    // Live set of currently conflicting instruction indices (≤ k operands).
-    let mut conflicting: Vec<bool> = trace
-        .instructions
-        .iter()
-        .map(|inst| inst.len() <= k && !assignment.instruction_conflict_free(inst))
-        .collect();
-
-    // Per-module copy load for tie-breaking.
-    let mut load = vec![0usize; k];
-    for (_, set) in assignment.placed_values() {
-        for m in set.iter() {
-            load[m.index()] += 1;
-        }
-    }
-
-    // Order the values: descending lexicographic count of conflicting
-    // instructions containing the value, per group I_1..I_k.
-    let mut ordered: Vec<ValueId> = {
-        let mut uniq: Vec<ValueId> = values.to_vec();
-        uniq.sort_unstable();
-        uniq.dedup();
-        uniq
-    };
-
-    // Inverted occurrence index: the instruction indices containing each
-    // value to place, built in one trace scan. Every use below (priority
-    // vectors, the live conflict set, the clash tie-break) walks only a
-    // value's own occurrences instead of the whole trace — the difference
-    // between O(U·I) and O(total occurrences) when U and I are both large.
-    let slot: HashMap<ValueId, usize> = ordered.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-    let mut occ: Vec<Vec<u32>> = vec![Vec::new(); ordered.len()];
-    for (idx, inst) in trace.instructions.iter().enumerate() {
-        for v in inst.iter() {
-            if let Some(&s) = slot.get(&v) {
-                occ[s].push(idx as u32);
-            }
-        }
-    }
-
-    let count_vector = |v: ValueId, conflicting: &[bool]| -> Vec<usize> {
-        let mut counts = vec![0usize; k + 1];
-        for &idx in &occ[slot[&v]] {
-            let idx = idx as usize;
-            if conflicting[idx] && group_of[idx] >= 1 {
-                counts[group_of[idx].min(k)] += 1;
-            }
-        }
-        counts
-    };
-    {
-        let snapshot = conflicting.clone();
-        ordered.sort_by(|&a, &b| {
-            count_vector(b, &snapshot)
-                .cmp(&count_vector(a, &snapshot))
-                .then(a.cmp(&b))
-        });
-    }
-
-    for v in ordered {
-        let existing = assignment.copies(v);
-        let candidates = ModuleSet::all(k).difference(existing);
-        if candidates.is_empty() {
-            continue; // already everywhere
-        }
-
-        // Instructions that contain v and currently conflict.
-        let relevant: Vec<usize> = occ[slot[&v]]
-            .iter()
-            .map(|&idx| idx as usize)
-            .filter(|&idx| conflicting[idx])
-            .collect();
-
-        let mut best: Option<(Vec<usize>, usize, usize, ModuleId)> = None;
-        for m in candidates.iter() {
-            // C vector: conflicts freed per group if v gets a copy in m.
-            let mut freed = vec![0usize; k + 1];
-            assignment.add_copy(v, m);
-            for &idx in &relevant {
-                if assignment.instruction_conflict_free(&trace.instructions[idx]) {
-                    freed[group_of[idx].min(k)] += 1;
-                }
-            }
-            assignment.set_copies(v, existing);
-
-            // Tie-break 1: pairwise clashes with single-copy co-operands.
-            let mut clashes = 0usize;
-            for &idx in &occ[slot[&v]] {
-                let inst = &trace.instructions[idx as usize];
-                for o in inst.iter() {
-                    if o != v {
-                        let oc = assignment.copies(o);
-                        if oc.len() == 1 && oc.contains(m) {
-                            clashes += 1;
-                        }
-                    }
-                }
-            }
-
-            let key = (freed, clashes, load[m.index()], m);
-            let better = match &best {
-                None => true,
-                Some((bf, bc, bl, bm)) => {
-                    // Larger freed vector wins; then fewer clashes; then
-                    // lighter module; then lower index.
-                    key.0
-                        .cmp(bf)
-                        .then(bc.cmp(&key.1))
-                        .then(bl.cmp(&key.2))
-                        .then(bm.0.cmp(&key.3 .0))
-                        == std::cmp::Ordering::Greater
-                }
-            };
-            if better {
-                best = Some(key);
-            }
-        }
-
-        if let Some((_, _, _, m)) = best {
-            assignment.add_copy(v, m);
-            load[m.index()] += 1;
-            // Refresh conflict status of instructions containing v.
-            for &idx in &relevant {
-                if assignment.instruction_conflict_free(&trace.instructions[idx]) {
-                    conflicting[idx] = false;
-                }
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::types::AccessTrace;
-
-    fn hs(vals: &[u32]) -> HashSet<ValueId> {
-        vals.iter().map(|&v| ValueId(v)).collect()
-    }
-
-    #[test]
-    fn first_copy_goes_to_conflict_freeing_module() {
-        // k=3. V1 fixed M0, V2 fixed M1, V3 unplaced and unassigned.
-        // Instruction {1,2,3} becomes free only if V3 lands in M2.
-        let t = AccessTrace::from_lists(3, &[&[1, 2, 3]]);
-        let mut a = Assignment::new(3);
-        a.add_copy(ValueId(1), ModuleId(0));
-        a.add_copy(ValueId(2), ModuleId(1));
-        place_values(&t, &hs(&[3]), &[ValueId(3)], &mut a);
-        assert_eq!(a.copies(ValueId(3)), ModuleSet::singleton(ModuleId(2)));
-        assert!(a.instruction_conflict_free(&t.instructions[0]));
-    }
-
-    #[test]
-    fn second_copy_lands_in_different_module() {
-        let t = AccessTrace::from_lists(3, &[&[1, 2, 3]]);
-        let mut a = Assignment::new(3);
-        a.add_copy(ValueId(3), ModuleId(0));
-        place_values(&t, &hs(&[3]), &[ValueId(3)], &mut a);
-        let copies = a.copies(ValueId(3));
-        assert_eq!(copies.len(), 2);
-        assert!(copies.contains(ModuleId(0)));
-    }
-
-    #[test]
-    fn saturated_value_is_skipped() {
-        let t = AccessTrace::from_lists(2, &[&[1, 2]]);
-        let mut a = Assignment::new(2);
-        a.set_copies(ValueId(1), ModuleSet::all(2));
-        place_values(&t, &hs(&[1]), &[ValueId(1)], &mut a);
-        assert_eq!(a.copies(ValueId(1)), ModuleSet::all(2));
-    }
-
-    #[test]
-    fn constrained_instruction_drives_choice() {
-        // Paper's motivation: an instruction with only one duplicable operand
-        // admits exactly one fixing module; that choice should be taken even
-        // when a looser instruction would prefer elsewhere.
-        // k=3. Instruction A: {1,2,9} with V1@M0, V2@M1 fixed → V9 must go M2.
-        // Instruction B: {3,9} with V3@M2 — would prefer V9 at M0/M1, but A
-        // has priority (group I_1, maximal constraint) and B stays fixable
-        // later (V9's *second* copy can handle it).
-        let t = AccessTrace::from_lists(3, &[&[1, 2, 9], &[3, 9]]);
-        let mut a = Assignment::new(3);
-        a.add_copy(ValueId(1), ModuleId(0));
-        a.add_copy(ValueId(2), ModuleId(1));
-        a.add_copy(ValueId(3), ModuleId(2));
-        place_values(&t, &hs(&[9]), &[ValueId(9)], &mut a);
-        // The chosen module must free instruction A.
-        assert!(
-            a.instruction_conflict_free(&t.instructions[0]),
-            "copies of V9: {:?}",
-            a.copies(ValueId(9))
-        );
-    }
-
-    #[test]
-    fn placement_prefers_freeing_more_conflicts() {
-        // V9 conflicts in two instructions; both are freed by M2, only one by
-        // M1. Lex-max vector must pick M2.
-        let t = AccessTrace::from_lists(3, &[&[1, 2, 9], &[4, 2, 9]]);
-        let mut a = Assignment::new(3);
-        a.add_copy(ValueId(1), ModuleId(0));
-        a.add_copy(ValueId(4), ModuleId(0));
-        a.add_copy(ValueId(2), ModuleId(1));
-        place_values(&t, &hs(&[9]), &[ValueId(9)], &mut a);
-        assert_eq!(a.copies(ValueId(9)), ModuleSet::singleton(ModuleId(2)));
-        assert_eq!(a.residual_conflicts(&t), 0);
-    }
-
-    #[test]
-    fn empty_values_is_noop() {
-        let t = AccessTrace::from_lists(2, &[&[1, 2]]);
-        let mut a = Assignment::new(2);
-        place_values(&t, &hs(&[]), &[], &mut a);
-        assert_eq!(a.total_copies(), 0);
-    }
-}
+pub use crate::layout::place_values;

@@ -165,6 +165,18 @@ pub fn assign_params(a: &CommonArgs) -> AssignParams {
     }
 }
 
+/// Parse `--array-policy` (`interleaved|hash|block|auto`); `None` when
+/// absent — the scalar-only pipeline, byte-identical to before the layout
+/// work.
+pub fn array_policy(a: &CommonArgs) -> Result<Option<parmem_core::layout::ArrayPolicy>, String> {
+    match a.value("--array-policy") {
+        None => Ok(None),
+        Some(v) => parmem_core::layout::ArrayPolicy::parse(v)
+            .map(Some)
+            .ok_or_else(|| format!("bad --array-policy `{v}` (interleaved|hash|block|auto)")),
+    }
+}
+
 /// Parse `--stor` through the strategy registry (flags `1|2|3|exact` and
 /// names `STOR1|STOR2|STOR3|EXACT`); defaults to STOR1 when absent.
 pub fn strategy(a: &CommonArgs) -> Result<Strategy, String> {
@@ -303,6 +315,32 @@ mod tests {
         .unwrap();
         assert!(a.flag("--profile"));
         assert_eq!(a.value("--trace-out"), Some("t.json"));
+    }
+
+    #[test]
+    fn array_policy_parses_or_errors() {
+        let a = CommonArgs::parse(
+            "trace",
+            &argv(&["--array-policy", "hash"]),
+            &[],
+            &["--array-policy"],
+        )
+        .unwrap();
+        assert_eq!(
+            array_policy(&a).unwrap(),
+            Some(parmem_core::layout::ArrayPolicy::Hash)
+        );
+        let none = CommonArgs::parse("trace", &argv(&[]), &[], &["--array-policy"]).unwrap();
+        assert_eq!(array_policy(&none).unwrap(), None);
+        let bad = CommonArgs::parse(
+            "trace",
+            &argv(&["--array-policy", "striped"]),
+            &[],
+            &["--array-policy"],
+        )
+        .unwrap();
+        let err = array_policy(&bad).unwrap_err();
+        assert!(err.contains("bad --array-policy `striped`"), "{err}");
     }
 
     #[test]

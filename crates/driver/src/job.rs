@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use liw_sched::MachineSpec;
 use parmem_core::assignment::{AssignParams, Assignment, AssignmentReport};
+use parmem_core::layout::ArrayPolicy;
 use parmem_core::strategies::Strategy;
 use parmem_core::types::{AccessTrace, ModuleId, ModuleSet};
 use parmem_obs::{JobMetrics, StageKind, StageTimer};
@@ -45,6 +46,17 @@ pub struct JobSpec {
     /// When set, run the exact solver on the access trace as an extra stage
     /// and report the heuristic-vs-exact gap.
     pub exact_gap: Option<parmem_exact::ExactConfig>,
+    /// When set, plan a compile-time [`parmem_core::layout::MemoryLayout`]
+    /// under this policy, verify it (PM301–PM303), and simulate it as a
+    /// fifth array policy.
+    pub array_policy: Option<ArrayPolicy>,
+    /// Pre-computed front-end TAC for this (source, unroll) pair. When set
+    /// the frontend stage clones it instead of re-parsing — parmem-serve's
+    /// intermediate cache threads hits through here. Correctness contract:
+    /// the TAC must equal `pipeline::frontend(&source, &opts)` output (the
+    /// front end depends on the source and `opts.unroll` only, never on
+    /// `k`/strategy/optimizer, so one TAC serves every machine size).
+    pub frontend_tac: Option<Arc<liw_ir::TacProgram>>,
 }
 
 impl JobSpec {
@@ -60,6 +72,8 @@ impl JobSpec {
             seed: 0xC0FFEE,
             fault: None,
             exact_gap: None,
+            array_policy: None,
+            frontend_tac: None,
         }
     }
 
@@ -96,6 +110,19 @@ impl JobSpec {
     /// Enable the exact-gap stage with the given solver config.
     pub fn with_exact_gap(mut self, cfg: parmem_exact::ExactConfig) -> JobSpec {
         self.exact_gap = Some(cfg);
+        self
+    }
+
+    /// Plan, verify, and simulate a compile-time array placement under
+    /// `policy`.
+    pub fn with_array_policy(mut self, policy: ArrayPolicy) -> JobSpec {
+        self.array_policy = Some(policy);
+        self
+    }
+
+    /// Supply a cached front-end TAC (see [`JobSpec::frontend_tac`]).
+    pub fn with_frontend_tac(mut self, tac: Arc<liw_ir::TacProgram>) -> JobSpec {
+        self.frontend_tac = Some(tac);
         self
     }
 }
@@ -234,6 +261,25 @@ pub struct JobOutput {
     pub output_hash: u64,
     /// Heuristic-vs-exact gap measurement (only when the spec asked for it).
     pub gap: Option<GapSummary>,
+    /// Compile-time planned array placement measurement (only when the
+    /// spec carried an array policy).
+    pub planned: Option<PlannedSummary>,
+}
+
+/// What simulating the compile-time [`parmem_core::layout::MemoryLayout`]
+/// measured, next to the uniform model it is compared against.
+#[derive(Clone, Debug)]
+pub struct PlannedSummary {
+    /// Requested policy name (`interleaved` / `hash` / `block` / `auto`).
+    pub policy: &'static str,
+    /// Digest of the layout that ran (PM302 anchoring).
+    pub layout_digest: u64,
+    /// Measured transfer time executing the planned layout.
+    pub transfer_time: u64,
+    /// The uniform-placement analytic expectation (the model column).
+    pub t_ave_model: f64,
+    /// Arrays the plan covers.
+    pub arrays: usize,
 }
 
 /// What the optional exact-gap stage measured: the certified bounds, the
@@ -388,6 +434,7 @@ pub struct PipelineContext<'a> {
     words: u64,
     cycles: u64,
     gap: Option<GapSummary>,
+    planned: Option<PlannedSummary>,
 }
 
 impl<'a> PipelineContext<'a> {
@@ -413,17 +460,22 @@ impl<'a> PipelineContext<'a> {
             words: 0,
             cycles: 0,
             gap: None,
+            planned: None,
         }
     }
 
-    /// Stage 1: front end (parse + lower to TAC).
+    /// Stage 1: front end (parse + lower to TAC), or a clone of the spec's
+    /// cached TAC when one was supplied.
     pub fn frontend(&mut self) -> Result<(), JobError> {
         maybe_panic(self.spec, StageKind::Frontend);
         let t = StageTimer::start();
         let tac = {
             let _sp = parmem_obs::span(StageKind::Frontend.span_name());
-            pipeline::frontend(&self.spec.source, &self.spec.opts)
-                .map_err(|e| JobError::Compile(e.to_string()))?
+            match &self.spec.frontend_tac {
+                Some(cached) => (**cached).clone(),
+                None => pipeline::frontend(&self.spec.source, &self.spec.opts)
+                    .map_err(|e| JobError::Compile(e.to_string()))?,
+            }
         };
         self.metrics.push(StageKind::Frontend, t.stop());
         self.tac = Some(tac);
@@ -527,8 +579,9 @@ impl<'a> PipelineContext<'a> {
         Ok(())
     }
 
-    /// Stage 7: RLIW simulation under the four array policies, plus the
-    /// divergence check against the reference output (with the
+    /// Stage 7: RLIW simulation under the four array policies (plus the
+    /// compile-time planned layout when the spec carries an array policy)
+    /// and the divergence check against the reference output (with the
     /// `CorruptOutput` fault applied in between).
     pub fn simulate(&mut self) -> Result<(), JobError> {
         maybe_panic(self.spec, StageKind::Simulate);
@@ -540,10 +593,42 @@ impl<'a> PipelineContext<'a> {
         let sim = |policy: ArrayPlacement| {
             rliw_sim::run(sched, assignment, policy).map_err(|e| JobError::Sim(e.to_string()))
         };
+        // Per-workload seed derivation: see the seeding notes in
+        // `rliw_sim::arrays`.
+        let seed = rliw_sim::uniform_seed(self.spec.seed, sched.workload_digest());
         let ideal = sim(ArrayPlacement::Ideal)?;
-        let rand = sim(ArrayPlacement::UniformRandom(self.spec.seed))?;
+        let rand = sim(ArrayPlacement::UniformRandom(seed))?;
         let inter = sim(ArrayPlacement::Interleaved)?;
         let worst = sim(ArrayPlacement::SameModule(0))?;
+
+        // Fifth policy: the compile-time plan, verified before it runs.
+        let planned = match self.spec.array_policy {
+            None => None,
+            Some(policy) => {
+                let profiles =
+                    parmem_lint::array_stride_profiles(self.tac.as_ref().expect("frontend ran"));
+                let layout = Arc::new(parmem_core::layout::plan(
+                    self.spec.k,
+                    policy,
+                    assignment.clone(),
+                    &profiles,
+                ));
+                let digest = layout.digest();
+                let check = parmem_verify::verify_layout(&layout, digest);
+                if !check.is_clean() {
+                    return Err(JobError::Verify { report: check });
+                }
+                let arrays = layout.arrays.len();
+                let stats = sim(ArrayPlacement::Planned(Arc::clone(&layout)))?;
+                Some(PlannedSummary {
+                    policy: policy.name(),
+                    layout_digest: digest,
+                    transfer_time: stats.transfer_time,
+                    t_ave_model: ideal.expected_transfer_time,
+                    arrays,
+                })
+            }
+        };
         drop(_sim_span);
         self.metrics.push(StageKind::Simulate, t.stop());
 
@@ -578,6 +663,7 @@ impl<'a> PipelineContext<'a> {
         });
         self.words = inter.words;
         self.cycles = inter.cycles;
+        self.planned = planned;
         Ok(())
     }
 
@@ -627,6 +713,7 @@ impl<'a> PipelineContext<'a> {
             output_hash: hash_output(&reference.output),
             verify: self.verify.expect("verify ran"),
             gap: self.gap,
+            planned: self.planned,
         }
     }
 }
@@ -668,6 +755,48 @@ mod tests {
         assert!(g.lower <= g.upper);
         // The extra stage is recorded on top of the usual seven.
         assert_eq!(r.metrics.stages.len(), 8);
+    }
+
+    const ARRAY_SRC: &str = "program j; var a: array[24] of int; i, s: int;
+        begin
+          for i := 0 to 23 do a[i] := i * 3;
+          s := 0;
+          for i := 0 to 23 do s := s + a[i];
+          print s;
+        end.";
+
+    #[test]
+    fn planned_policy_adds_summary_without_touching_table2() {
+        let base = run_job(&JobSpec::new("J", ARRAY_SRC, 4));
+        let planned =
+            run_job(&JobSpec::new("J", ARRAY_SRC, 4).with_array_policy(ArrayPolicy::Interleaved));
+        let b = base.outcome.expect("base ok");
+        let p = planned.outcome.expect("planned ok");
+        assert!(b.planned.is_none());
+        let s = p.planned.expect("planned summary present");
+        assert_eq!(s.policy, "interleaved");
+        assert_eq!(s.arrays, 1);
+        // The planned deterministic interleave equals the legacy statistical
+        // interleaved measurement — same per-element rule.
+        assert_eq!(s.transfer_time, p.table2.t_interleaved);
+        // And Table 2 itself is byte-identical to the scalar-only pipeline.
+        assert_eq!(b.table2.t_min, p.table2.t_min);
+        assert_eq!(b.table2.t_ave_measured, p.table2.t_ave_measured);
+        assert_eq!(b.table2.t_max, p.table2.t_max);
+        assert_eq!(b.output_hash, p.output_hash);
+    }
+
+    #[test]
+    fn cached_frontend_tac_reproduces_uncached_output() {
+        let spec = JobSpec::new("J", ARRAY_SRC, 4);
+        let tac = rliw_sim::pipeline::frontend(&spec.source, &spec.opts).unwrap();
+        let cached = run_job(&spec.clone().with_frontend_tac(Arc::new(tac)));
+        let direct = run_job(&spec);
+        let c = cached.outcome.expect("cached ok");
+        let d = direct.outcome.expect("direct ok");
+        assert_eq!(c.output_hash, d.output_hash);
+        assert_eq!(c.cycles, d.cycles);
+        assert_eq!(c.table2.t_ave_measured, d.table2.t_ave_measured);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod telemetry;
 pub use args::CommonArgs;
 pub use job::{
     hash_output, run_job, run_stages, FaultInjection, GapSummary, JobError, JobOutput, JobResult,
-    JobSpec, PipelineContext,
+    JobSpec, PipelineContext, PlannedSummary,
 };
 pub use session::Session;
 pub use telemetry::{TelemetryConfig, TelemetryGuard};

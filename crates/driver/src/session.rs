@@ -14,8 +14,10 @@
 //! assert_eq!(result.status(), "ok");
 //! ```
 
+use liw_ir::tac::TacProgram;
 use liw_sched::MachineSpec;
 use parmem_core::assignment::{AssignParams, Assignment, AssignmentReport};
+use parmem_core::layout::{ArrayPolicy, MemoryLayout};
 use parmem_core::strategies::Strategy;
 use parmem_verify::VerifyReport;
 use rliw_sim::pipeline::{CompileOptions, CompiledProgram, PipelineError, VerifiedRun};
@@ -40,6 +42,10 @@ pub struct Session {
     pub seed: u64,
     /// When set, jobs run the exact solver as an extra stage.
     pub exact_gap: Option<parmem_exact::ExactConfig>,
+    /// When set, jobs plan a compile-time [`MemoryLayout`] under this
+    /// policy and additionally simulate it (`None` keeps the historical
+    /// scalar-only pipeline byte-for-byte).
+    pub array_policy: Option<ArrayPolicy>,
 }
 
 impl Session {
@@ -53,6 +59,7 @@ impl Session {
             params: AssignParams::default(),
             seed: 0xC0FFEE,
             exact_gap: None,
+            array_policy: None,
         }
     }
 
@@ -98,6 +105,13 @@ impl Session {
     /// Enable the exact-gap stage for every job of this session.
     pub fn with_exact_gap(mut self, cfg: parmem_exact::ExactConfig) -> Session {
         self.exact_gap = Some(cfg);
+        self
+    }
+
+    /// Plan and simulate a compile-time array placement under `policy` in
+    /// every job of this session.
+    pub fn with_array_policy(mut self, policy: ArrayPolicy) -> Session {
+        self.array_policy = Some(policy);
         self
     }
 
@@ -154,6 +168,12 @@ impl Session {
                 eat(&cfg.seed.to_le_bytes());
             }
         }
+        // Eaten only when set, so digests of historical (scalar-only)
+        // sessions stay byte-stable across this knob's introduction.
+        if let Some(policy) = self.array_policy {
+            eat(b"array-policy");
+            eat(policy.name().as_bytes());
+        }
         h
     }
 
@@ -170,6 +190,9 @@ impl Session {
             .with_seed(self.seed);
         if let Some(cfg) = self.exact_gap {
             spec = spec.with_exact_gap(cfg);
+        }
+        if let Some(policy) = self.array_policy {
+            spec = spec.with_array_policy(policy);
         }
         spec
     }
@@ -189,6 +212,36 @@ impl Session {
     /// observability use [`Session::run`]).
     pub fn compile(&self, source: &str) -> Result<CompiledProgram, PipelineError> {
         rliw_sim::pipeline::compile_with(source, self.machine(), self.opts)
+    }
+
+    /// Front end only: parse (and optionally unroll) to TAC. The result
+    /// depends on the source and `opts.unroll` alone — not on `k`, the
+    /// strategy, or the optimizer — so it is the natural unit for
+    /// cross-`k` caching (parmem-serve keys its intermediate cache on
+    /// exactly this stage's inputs).
+    pub fn frontend(&self, source: &str) -> Result<TacProgram, PipelineError> {
+        rliw_sim::pipeline::frontend(source, &self.opts)
+    }
+
+    /// Finish compilation from an already-front-ended TAC: optimize (which
+    /// *does* depend on the machine — if-conversion needs ≥ 3 memory
+    /// ports) and schedule. `compile(src)` ≡ `compile_tac(&frontend(src)?)`.
+    pub fn compile_tac(&self, tac: &TacProgram) -> CompiledProgram {
+        let spec = self.machine();
+        let tac = rliw_sim::pipeline::optimize_stage(tac, spec, &self.opts);
+        let sched = rliw_sim::pipeline::schedule_stage(&tac, spec, &self.opts);
+        CompiledProgram { tac, sched }
+    }
+
+    /// Plan the unified compile-time [`MemoryLayout`] for a compiled
+    /// program and its scalar assignment: per-array profiles come from the
+    /// lint crate's induction-variable stride analysis over the (optimized)
+    /// TAC, the policy from the session (defaulting to `Auto` when the
+    /// session has none set).
+    pub fn plan_layout(&self, prog: &CompiledProgram, assignment: &Assignment) -> MemoryLayout {
+        let policy = self.array_policy.unwrap_or(ArrayPolicy::Auto);
+        let profiles = parmem_lint::array_stride_profiles(&prog.tac);
+        parmem_core::layout::plan(self.k, policy, assignment.clone(), &profiles)
     }
 
     /// Assign memory modules to a compiled program's trace under this
@@ -219,11 +272,37 @@ impl Session {
         predict: bool,
     ) -> Result<parmem_lint::LintReport, PipelineError> {
         let prog = self.compile(source)?;
+        self.lint_compiled(program, &prog, predict)
+    }
+
+    /// [`Session::lint`] starting from an already-compiled program —
+    /// for callers (the serve daemon) that cache the frontend stage and
+    /// finish compilation with [`Session::compile_tac`].
+    pub fn lint_compiled(
+        &self,
+        program: impl Into<String>,
+        prog: &CompiledProgram,
+        predict: bool,
+    ) -> Result<parmem_lint::LintReport, PipelineError> {
         let opts = parmem_lint::LintOptions { modules: self.k };
         let diags = parmem_lint::lint_program(&prog.tac, &opts);
         let predict = if predict {
-            let (assignment, _) = self.assign(&prog);
-            Some(parmem_lint::compare(&prog.sched, &assignment, self.seed)?)
+            let (assignment, _) = self.assign(prog);
+            let report = match self.array_policy {
+                // With a policy set, also measure the planned layout so the
+                // report carries per-policy predicted-vs-measured rows.
+                Some(_) => {
+                    let layout = std::sync::Arc::new(self.plan_layout(prog, &assignment));
+                    parmem_lint::compare_with_layouts(
+                        &prog.sched,
+                        &assignment,
+                        self.seed,
+                        &[layout],
+                    )?
+                }
+                None => parmem_lint::compare(&prog.sched, &assignment, self.seed)?,
+            };
+            Some(report)
         } else {
             None
         };
@@ -352,6 +431,17 @@ mod tests {
         jobs.params.jobs = 8;
         assert_eq!(d0, jobs.config_digest());
 
+        // The array-policy knob moves the digest when set, distinguishes
+        // policies, and (compatibility) leaves unset sessions untouched.
+        let hash = base.clone().with_array_policy(ArrayPolicy::Hash);
+        assert_ne!(d0, hash.config_digest());
+        assert_ne!(
+            hash.config_digest(),
+            base.clone()
+                .with_array_policy(ArrayPolicy::Block)
+                .config_digest()
+        );
+
         // STOR3's group payload is part of the digest, not just the name.
         assert_ne!(
             base.clone()
@@ -361,6 +451,62 @@ mod tests {
                 .with_strategy(Strategy::Stor3 { groups: 4 })
                 .config_digest()
         );
+    }
+
+    const ARRAY_SRC: &str = "program s; var a: array[16] of int; i, t: int;
+        begin
+          for i := 0 to 15 do a[i] := i;
+          t := 0;
+          for i := 0 to 15 do t := t + a[i];
+          print t;
+        end.";
+
+    #[test]
+    fn staged_frontend_equals_whole_compile() {
+        let s = Session::new(4);
+        let tac = s.frontend(ARRAY_SRC).unwrap();
+        let staged = s.compile_tac(&tac);
+        let whole = s.compile(ARRAY_SRC).unwrap();
+        assert_eq!(
+            staged.sched.access_trace().instructions,
+            whole.sched.access_trace().instructions
+        );
+        assert_eq!(
+            staged.sched.workload_digest(),
+            whole.sched.workload_digest()
+        );
+    }
+
+    #[test]
+    fn session_plans_and_verifies_layouts() {
+        for policy in ArrayPolicy::CONCRETE {
+            let s = Session::new(4).with_array_policy(policy);
+            let prog = s.compile(ARRAY_SRC).unwrap();
+            let (a, _) = s.assign(&prog);
+            let layout = s.plan_layout(&prog, &a);
+            assert_eq!(layout.policy, policy);
+            assert_eq!(layout.arrays.len(), 1);
+            let v = parmem_verify::verify_layout(&layout, layout.digest());
+            assert!(v.is_clean(), "{policy:?}: {v}");
+        }
+        // No policy on the session: plan_layout falls back to Auto.
+        let s = Session::new(4);
+        let prog = s.compile(ARRAY_SRC).unwrap();
+        let (a, _) = s.assign(&prog);
+        assert_eq!(s.plan_layout(&prog, &a).policy, ArrayPolicy::Auto);
+    }
+
+    #[test]
+    fn lint_with_policy_reports_policy_rows() {
+        let s = Session::new(4).with_array_policy(ArrayPolicy::Hash);
+        let r = s.lint("S", ARRAY_SRC, true).unwrap();
+        let p = r.predict.expect("predict section");
+        assert_eq!(p.policies.len(), 1);
+        assert_eq!(p.policies[0].policy, "planned_hash");
+        assert!(p.policies[0].within_tolerance());
+        // Without a policy the section is absent — default output unchanged.
+        let r0 = Session::new(4).lint("S", ARRAY_SRC, true).unwrap();
+        assert!(r0.predict.unwrap().policies.is_empty());
     }
 
     #[test]

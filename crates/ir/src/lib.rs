@@ -32,7 +32,7 @@ pub use ast::Ty;
 pub use interp::{run, run_source, RunResult};
 pub use lower::lower;
 pub use parser::parse;
-pub use tac::{BlockId, TacProgram, Value, VarId};
+pub use tac::{ArrayAccessMeta, ArrayAccessSite, BlockId, TacProgram, Value, VarId};
 pub use webs::{compute_webs, Webs};
 
 /// Boxed error that can cross thread boundaries (the batch engine runs the

@@ -440,6 +440,36 @@ pub struct VarInfo {
     pub is_temp: bool,
 }
 
+/// One array element access site: where it is, which array, which
+/// direction, and the subscript operand (the input to stride analysis).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ArrayAccessSite {
+    /// Block containing the access.
+    pub block: BlockId,
+    /// Instruction index within the block.
+    pub instr: usize,
+    /// Accessed array.
+    pub arr: ArrayId,
+    /// `true` for `Store`, `false` for `Load`.
+    pub is_store: bool,
+    /// The subscript operand.
+    pub index: Operand,
+}
+
+/// Static access summary for one array (see
+/// [`TacProgram::array_access_meta`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrayAccessMeta {
+    /// Source name of the array.
+    pub name: String,
+    /// Element count.
+    pub len: usize,
+    /// Static `Load` site count.
+    pub loads: u64,
+    /// Static `Store` site count.
+    pub stores: u64,
+}
+
 /// Metadata for one array.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ArrayInfo {
@@ -494,6 +524,57 @@ impl TacProgram {
     /// Total instruction count (excluding terminators).
     pub fn instr_count(&self) -> usize {
         self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+
+    /// Every array element access in the program, in block/instruction
+    /// order: the site coordinates, the array, the direction, and the
+    /// subscript operand. This is the raw per-array access metadata the
+    /// layout planner's stride analysis consumes (a site's subscript
+    /// operand is what induction-variable analysis classifies).
+    pub fn array_access_sites(&self) -> Vec<ArrayAccessSite> {
+        let mut out = Vec::new();
+        for (bi, b) in self.blocks.iter().enumerate() {
+            for (ii, inst) in b.instrs.iter().enumerate() {
+                let (arr, is_store, index) = match inst {
+                    Instr::Load { arr, index, .. } => (*arr, false, *index),
+                    Instr::Store { arr, index, .. } => (*arr, true, *index),
+                    _ => continue,
+                };
+                out.push(ArrayAccessSite {
+                    block: BlockId(bi as u32),
+                    instr: ii,
+                    arr,
+                    is_store,
+                    index,
+                });
+            }
+        }
+        out
+    }
+
+    /// Static per-array access counts (loads/stores), indexed by array id.
+    /// A cheap summary of [`array_access_sites`](Self::array_access_sites)
+    /// for consumers that only need densities, not subscripts.
+    pub fn array_access_meta(&self) -> Vec<ArrayAccessMeta> {
+        let mut meta: Vec<ArrayAccessMeta> = self
+            .arrays
+            .iter()
+            .map(|a| ArrayAccessMeta {
+                name: a.name.clone(),
+                len: a.len,
+                loads: 0,
+                stores: 0,
+            })
+            .collect();
+        for site in self.array_access_sites() {
+            let m = &mut meta[site.arr.index()];
+            if site.is_store {
+                m.stores += 1;
+            } else {
+                m.loads += 1;
+            }
+        }
+        meta
     }
 
     /// Render the program as text (stable format; used in tests and for

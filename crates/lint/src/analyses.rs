@@ -689,6 +689,49 @@ fn classify(
     SubscriptClass::Unknown
 }
 
+/// Per-array placement profiles for the layout planner: the IR's static
+/// access metadata enriched with each array's *dominant stride* — the most
+/// common `Strided(s)` class among its subscripts (ties resolve to the
+/// smaller |s|, then the smaller s). Accesses classified `Fixed`/`Invariant`
+/// count as stride 0 (they revisit one element, the worst case for
+/// interleaving); arrays whose subscripts are all `Unknown` get `None`.
+///
+/// This is the bridge from `parmem-lint`'s induction-variable analysis to
+/// `parmem_core::layout::plan` — e.g. `ArrayPolicy::Auto` interleaves only
+/// when the dominant stride is coprime to the module count.
+pub fn array_stride_profiles(p: &TacProgram) -> Vec<parmem_core::layout::ArrayProfile> {
+    let sa = SubscriptAnalysis::compute(p);
+    let meta = p.array_access_meta();
+    let mut strides: Vec<HashMap<i64, u64>> = vec![HashMap::new(); meta.len()];
+    for site in p.array_access_sites() {
+        let s = match sa.classes.get(&(site.block, site.instr as u32)) {
+            Some(SubscriptClass::Strided(s)) => Some(*s),
+            Some(SubscriptClass::Fixed(_)) | Some(SubscriptClass::Invariant) => Some(0),
+            Some(SubscriptClass::Unknown) | None => None,
+        };
+        if let Some(s) = s {
+            *strides[site.arr.index()].entry(s).or_insert(0) += 1;
+        }
+    }
+    meta.into_iter()
+        .zip(strides)
+        .map(|(m, hist)| parmem_core::layout::ArrayProfile {
+            name: m.name,
+            len: m.len,
+            loads: m.loads,
+            stores: m.stores,
+            dominant_stride: hist
+                .into_iter()
+                .max_by(|(sa, ca), (sb, cb)| {
+                    ca.cmp(cb)
+                        .then(sb.unsigned_abs().cmp(&sa.unsigned_abs()))
+                        .then(sb.cmp(sa))
+                })
+                .map(|(s, _)| s),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -856,5 +899,39 @@ mod tests {
             "{:?}",
             sa.classes
         );
+    }
+
+    #[test]
+    fn stride_profiles_report_dominant_stride() {
+        let p = tac(
+            "program t; var a: array[64] of int; b: array[16] of int; i: int;
+            begin
+              for i := 0 to 31 do a[i * 2] := i;
+              for i := 0 to 15 do b[i] := i;
+            end.",
+        );
+        let profiles = array_stride_profiles(&p);
+        assert_eq!(profiles.len(), 2);
+        let a = profiles.iter().find(|p| p.name == "a").unwrap();
+        assert_eq!(a.dominant_stride, Some(2));
+        assert_eq!((a.len, a.stores), (64, 1));
+        let b = profiles.iter().find(|p| p.name == "b").unwrap();
+        assert_eq!(b.dominant_stride, Some(1));
+    }
+
+    #[test]
+    fn stride_profiles_handle_unknown_subscripts() {
+        let p = tac("program t; var a: array[8] of int; i, j, s: int;
+            begin
+              s := 0;
+              for i := 0 to 20 do begin
+                j := s + 1;
+                s := s + a[j];
+              end;
+            end.");
+        let profiles = array_stride_profiles(&p);
+        assert_eq!(profiles.len(), 1);
+        // Data-dependent subscript: no stride claim.
+        assert_eq!(profiles[0].dominant_stride, None);
     }
 }

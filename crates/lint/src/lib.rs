@@ -30,9 +30,14 @@ pub mod lints;
 pub mod predict;
 pub mod report;
 
-pub use analyses::{ConstProp, ConstVal, DefSite, DefiniteInit, Liveness, ReachingDefs};
+pub use analyses::{
+    array_stride_profiles, ConstProp, ConstVal, DefSite, DefiniteInit, Liveness, ReachingDefs,
+};
 pub use bitset::BitSet;
 pub use engine::{solve, steps_bound, Analysis, Direction, FlowGraph, Solution};
 pub use lints::{lint_program, LintCode, LintDiag, LintOptions};
-pub use predict::{compare, predict, totals, PredictReport, StaticPrediction, T_AVE_TOLERANCE};
+pub use predict::{
+    compare, compare_with_layouts, predict, totals, PolicyRow, PredictReport, StaticPrediction,
+    T_AVE_TOLERANCE,
+};
 pub use report::LintReport;

@@ -23,12 +23,15 @@
 //! the `t_ave` prediction must match the uniform-random measurement within
 //! [`T_AVE_TOLERANCE`].
 
+use std::sync::Arc;
+
 use liw_sched::SchedProgram;
 use parmem_core::assignment::Assignment;
+use parmem_core::layout::MemoryLayout;
 use parmem_core::matching::makespan_schedule;
 use parmem_core::types::{ModuleId, ModuleSet, ValueId};
 use rliw_sim::model::MaxloadTable;
-use rliw_sim::{run, ArrayPlacement, SimError};
+use rliw_sim::{run, uniform_seed, ArrayPlacement, SimError};
 
 /// Documented bound on the relative error between the predicted `t_ave`
 /// and one measured uniform-random run,
@@ -247,6 +250,42 @@ pub struct PredictReport {
     pub module_transfers_measured: Vec<u64>,
     /// Per-array predicted access counts, labelled by array name.
     pub per_array: Vec<(String, u64)>,
+    /// Per-policy measured rows for compile-time planned layouts
+    /// (empty unless produced by [`compare_with_layouts`]).
+    pub policies: Vec<PolicyRow>,
+}
+
+/// Measured transfer time of one compile-time planned layout against the
+/// uniform `t_ave` model.
+#[derive(Clone, Debug)]
+pub struct PolicyRow {
+    /// Policy label (`planned_interleaved` / `planned_hash` /
+    /// `planned_block` / `planned_auto`).
+    pub policy: &'static str,
+    /// Digest of the [`MemoryLayout`] this row measured.
+    pub layout_digest: u64,
+    /// The uniform-placement expectation (the paper's `t_ave` model — the
+    /// reference point every deterministic layout is compared against).
+    pub t_modeled: f64,
+    /// Measured transfer time executing the planned layout.
+    pub t_measured: u64,
+    /// Whether the policy is *expected* to track the uniform model (hash
+    /// yes; interleaved/block legitimately beat or miss it when access
+    /// patterns resonate with the layout).
+    pub uniform_like: bool,
+}
+
+impl PolicyRow {
+    /// `|measured − modeled| / max(modeled, 1)`.
+    pub fn rel_err(&self) -> f64 {
+        (self.t_measured as f64 - self.t_modeled).abs() / self.t_modeled.max(1.0)
+    }
+
+    /// Whether a uniform-like policy tracked the model within
+    /// [`T_AVE_TOLERANCE`] (vacuously true for non-uniform-like policies).
+    pub fn within_tolerance(&self) -> bool {
+        !self.uniform_like || self.rel_err() <= T_AVE_TOLERANCE
+    }
 }
 
 impl PredictReport {
@@ -269,11 +308,16 @@ impl PredictReport {
 
 /// Run the predictor and the three Table 2 measurement policies, returning
 /// the cross-checked report. Block frequencies come from the ideal run.
+///
+/// `seed` is the user-level base seed; the uniform-random measurement uses
+/// [`uniform_seed`]`(seed, workload_digest)` (see the seeding notes in
+/// `rliw_sim::arrays`). The derived seed is what the report records.
 pub fn compare(
     prog: &SchedProgram,
     assignment: &Assignment,
     seed: u64,
 ) -> Result<PredictReport, SimError> {
+    let seed = uniform_seed(seed, prog.workload_digest());
     let ideal = run(prog, assignment, ArrayPlacement::Ideal)?;
     let worst = run(prog, assignment, ArrayPlacement::SameModule(0))?;
     let uniform = run(prog, assignment, ArrayPlacement::UniformRandom(seed))?;
@@ -303,7 +347,33 @@ pub fn compare(
         module_transfers_predicted: t.module_transfers,
         module_transfers_measured: ideal.module_transfers.clone(),
         per_array,
+        policies: Vec::new(),
     })
+}
+
+/// [`compare`], plus one measured [`PolicyRow`] per compile-time planned
+/// layout — the predicted-vs-measured t_ave comparison *per policy* that
+/// the placement bench and `parmem lint --array-policy` report.
+pub fn compare_with_layouts(
+    prog: &SchedProgram,
+    assignment: &Assignment,
+    seed: u64,
+    layouts: &[Arc<MemoryLayout>],
+) -> Result<PredictReport, SimError> {
+    let mut report = compare(prog, assignment, seed)?;
+    for layout in layouts {
+        let policy = ArrayPlacement::Planned(Arc::clone(layout));
+        let label = policy.label();
+        let stats = run(prog, assignment, policy)?;
+        report.policies.push(PolicyRow {
+            policy: label,
+            layout_digest: layout.digest(),
+            t_modeled: report.t_ave_predicted,
+            t_measured: stats.transfer_time,
+            uniform_like: matches!(layout.policy, parmem_core::layout::ArrayPolicy::Hash),
+        });
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -365,6 +435,45 @@ mod tests {
         // Array accesses are all on `a`.
         assert_eq!(r.per_array.len(), 1);
         assert!(r.per_array[0].1 > 0);
+    }
+
+    #[test]
+    fn planned_policy_rows_measure_each_layout() {
+        use parmem_core::layout::{plan, ArrayPolicy};
+        let (sp, a) = setup(ARRAY_PROG, 4);
+        let profiles =
+            crate::analyses::array_stride_profiles(&liw_ir::compile(ARRAY_PROG).unwrap());
+        let layouts: Vec<Arc<MemoryLayout>> = ArrayPolicy::CONCRETE
+            .iter()
+            .map(|&p| Arc::new(plan(4, p, a.clone(), &profiles)))
+            .collect();
+        let r = compare_with_layouts(&sp, &a, 0xC0FFEE, &layouts).unwrap();
+        assert_eq!(r.policies.len(), 3);
+        for row in &r.policies {
+            // Every planned layout is bounded by the ideal/worst envelope.
+            assert!(row.t_measured >= r.t_min_measured, "{}", row.policy);
+            assert!(row.t_measured <= r.t_max_measured, "{}", row.policy);
+            assert!(
+                row.within_tolerance(),
+                "{} rel err {}",
+                row.policy,
+                row.rel_err()
+            );
+        }
+        // Sequential unit-stride scans: interleaving is conflict-optimal,
+        // hash tracks the uniform model.
+        let inter = r
+            .policies
+            .iter()
+            .find(|p| p.policy == "planned_interleaved")
+            .unwrap();
+        let hash = r
+            .policies
+            .iter()
+            .find(|p| p.policy == "planned_hash")
+            .unwrap();
+        assert!(inter.t_measured as f64 <= hash.t_measured as f64 * 1.05);
+        assert!(hash.uniform_like && !inter.uniform_like);
     }
 
     #[test]

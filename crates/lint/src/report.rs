@@ -86,6 +86,18 @@ impl LintReport {
                     .collect();
                 let _ = writeln!(s, "    array accesses {}", arrays.join(" "));
             }
+            for row in &p.policies {
+                let _ = writeln!(
+                    s,
+                    "    {:<20} {:>10} measured | {:>10.3} modeled | rel err {:.4}{} | layout {:016x}",
+                    row.policy,
+                    row.t_measured,
+                    row.t_modeled,
+                    row.rel_err(),
+                    if row.uniform_like { "" } else { " (advisory)" },
+                    row.layout_digest
+                );
+            }
             let _ = writeln!(
                 s,
                 "    model check: {}",
@@ -162,7 +174,30 @@ impl LintReport {
                 }
                 let _ = write!(s, "{{\"name\":\"{}\",\"accesses\":{n}}}", escape(name));
             }
-            let _ = write!(s, "],\"within_tolerance\":{}}}", p.within_tolerance());
+            s.push(']');
+            if !p.policies.is_empty() {
+                s.push_str(",\"policies\":[");
+                for (i, row) in p.policies.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(
+                        s,
+                        "{{\"policy\":\"{}\",\"layout_digest\":\"{:016x}\",\"t_modeled\":{:.6},\
+                         \"t_measured\":{},\"rel_err\":{:.6},\"uniform_like\":{},\
+                         \"within_tolerance\":{}}}",
+                        row.policy,
+                        row.layout_digest,
+                        row.t_modeled,
+                        row.t_measured,
+                        row.rel_err(),
+                        row.uniform_like,
+                        row.within_tolerance()
+                    );
+                }
+                s.push(']');
+            }
+            let _ = write!(s, ",\"within_tolerance\":{}}}", p.within_tolerance());
         }
         s.push('}');
         s

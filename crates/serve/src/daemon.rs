@@ -36,8 +36,13 @@ use parmem_obs::serve::{
 use parmem_pool::{ServicePool, SubmitError};
 
 use crate::cache::{fnv1a, ResponseCache};
+use crate::intermediates::IntermediateCache;
 use crate::protocol::{parse_request, ApiRequest, Endpoint, Source};
 use crate::stats::ServeStats;
+
+/// Front-ended programs the intermediate cache holds (entry count; TAC
+/// programs are small and uniform, unlike response bodies).
+const INTERMEDIATE_CAPACITY: usize = 64;
 
 /// Daemon configuration — the `parmem serve` flags.
 #[derive(Clone, Debug)]
@@ -87,6 +92,7 @@ impl Default for ServeConfig {
 struct DaemonState {
     config: ServeConfig,
     cache: Mutex<ResponseCache>,
+    intermediates: Arc<IntermediateCache>,
     stats: ServeStats,
     metrics: MetricsState,
     pool: Option<ServicePool>,
@@ -107,6 +113,7 @@ impl Daemon {
             (!config.metrics_only).then(|| ServicePool::new(config.jobs, config.queue_depth));
         let state = Arc::new(DaemonState {
             cache: Mutex::new(ResponseCache::new(config.cache_bytes)),
+            intermediates: Arc::new(IntermediateCache::new(INTERMEDIATE_CAPACITY)),
             stats: ServeStats::default(),
             metrics: MetricsState::new(),
             pool,
@@ -282,6 +289,27 @@ fn metrics_response(state: &Arc<DaemonState>) -> Response {
             cache.len() as u64,
         );
     }
+    {
+        let s = state.intermediates.stats();
+        gauge(
+            &mut body,
+            "parmem_serve_intermediate_hits_total",
+            "frontend-TAC cache hits",
+            s.hits,
+        );
+        gauge(
+            &mut body,
+            "parmem_serve_intermediate_misses_total",
+            "frontend-TAC cache misses",
+            s.misses,
+        );
+        gauge(
+            &mut body,
+            "parmem_serve_intermediate_entries",
+            "frontend-TAC cache entries held",
+            s.entries,
+        );
+    }
     if let Some(pool) = &state.pool {
         let p = pool.stats();
         gauge(
@@ -341,9 +369,10 @@ fn stats_response(state: &Arc<DaemonState>) -> Response {
         200,
         format!(
             "{{\"schema\":\"parmem-serve-stats/v1\",\"draining\":{},\"cache\":{},\
-             \"queue\":{},\"endpoints\":{}}}",
+             \"intermediates\":{},\"queue\":{},\"endpoints\":{}}}",
             state.draining.load(Ordering::Relaxed) || signal::triggered(),
             cache_json,
+            state.intermediates.stats_json(),
             queue_json,
             state.stats.json()
         ),
@@ -390,13 +419,14 @@ fn api_response(state: &Arc<DaemonState>, req: &Request, endpoint: Endpoint) -> 
 
     let (tx, rx) = mpsc::sync_channel::<Result<String, (u16, String)>>(1);
     let job_api = api.clone();
+    let job_intermediates = Arc::clone(&state.intermediates);
     let submitted = pool.try_submit(Box::new(move || {
         if job_api.sleep_ms > 0 {
             std::thread::sleep(Duration::from_millis(job_api.sleep_ms));
         }
         // A send failure means the requester gave up (budget overrun);
         // the computed result is simply dropped.
-        let _ = tx.send(compute(&job_api));
+        let _ = tx.send(compute(&job_api, &job_intermediates));
     }));
     match submitted {
         Ok(()) => {}
@@ -461,12 +491,12 @@ fn clamp_budgets(api: &mut ApiRequest, config: &ServeConfig) {
 
 /// Compute the response body for one admitted request. `Err` carries the
 /// HTTP status (422 pipeline failure) and a message.
-fn compute(api: &ApiRequest) -> Result<String, (u16, String)> {
+fn compute(api: &ApiRequest, inter: &IntermediateCache) -> Result<String, (u16, String)> {
     match api.endpoint {
-        Endpoint::Assign => compute_assign(api),
-        Endpoint::Compile => compute_compile(api),
-        Endpoint::Exact => compute_exact(api),
-        Endpoint::Lint => compute_lint(api),
+        Endpoint::Assign => compute_assign(api, inter),
+        Endpoint::Compile => compute_compile(api, inter),
+        Endpoint::Exact => compute_exact(api, inter),
+        Endpoint::Lint => compute_lint(api, inter),
     }
 }
 
@@ -477,11 +507,25 @@ fn source_text(api: &ApiRequest) -> Result<&str, (u16, String)> {
     }
 }
 
-fn compute_assign(api: &ApiRequest) -> Result<String, (u16, String)> {
+/// Finish compilation from the (possibly cached) frontend TAC: every
+/// endpoint that needs a [`CompiledProgram`] goes through here so
+/// same-program/different-`k` requests share one parse.
+fn compile_via_cache(
+    session: &parmem_driver::Session,
+    inter: &IntermediateCache,
+    src: &str,
+) -> Result<rliw_sim::pipeline::CompiledProgram, (u16, String)> {
+    let tac = inter
+        .frontend(session, src)
+        .map_err(|e| (422, e.to_string()))?;
+    Ok(session.compile_tac(&tac))
+}
+
+fn compute_assign(api: &ApiRequest, inter: &IntermediateCache) -> Result<String, (u16, String)> {
     let session = api.session();
     let (trace, assignment, report) = match &api.source {
         Source::Text(src) => {
-            let prog = session.compile(src).map_err(|e| (422, e.to_string()))?;
+            let prog = compile_via_cache(&session, inter, src)?;
             let trace = prog.sched.access_trace();
             let (assignment, report) = session.assign(&prog);
             (trace, assignment, report)
@@ -525,10 +569,18 @@ fn compute_assign(api: &ApiRequest) -> Result<String, (u16, String)> {
     ))
 }
 
-fn compute_compile(api: &ApiRequest) -> Result<String, (u16, String)> {
+fn compute_compile(api: &ApiRequest, inter: &IntermediateCache) -> Result<String, (u16, String)> {
     let src = source_text(api)?;
     let session = api.session();
-    let result = session.run(api.program.clone(), src.to_string());
+    // Seed the job with the cached frontend TAC; parse errors fall through
+    // to the uncached job runner so the 422 carries the structured report.
+    let spec = match inter.frontend(&session, src) {
+        Ok(tac) => session
+            .job(api.program.clone(), src.to_string())
+            .with_frontend_tac(tac),
+        Err(_) => session.job(api.program.clone(), src.to_string()),
+    };
+    let result = parmem_driver::run_job(&spec);
     let body = format!(
         "{{\"schema\":\"parmem-serve-compile/v1\",\"job\":{}}}",
         parmem_batch::report::job_json(&result, false)
@@ -541,10 +593,10 @@ fn compute_compile(api: &ApiRequest) -> Result<String, (u16, String)> {
     }
 }
 
-fn compute_exact(api: &ApiRequest) -> Result<String, (u16, String)> {
+fn compute_exact(api: &ApiRequest, inter: &IntermediateCache) -> Result<String, (u16, String)> {
     let src = source_text(api)?;
     let session = api.session();
-    let prog = session.compile(src).map_err(|e| (422, e.to_string()))?;
+    let prog = compile_via_cache(&session, inter, src)?;
     let trace = prog.sched.access_trace();
     let certificate = parmem_exact::solve_certificate(&trace, &api.exact);
     let heuristic = parmem_exact::heuristic_single_copy_residual(&trace, &session.params);
@@ -561,11 +613,12 @@ fn compute_exact(api: &ApiRequest) -> Result<String, (u16, String)> {
     ))
 }
 
-fn compute_lint(api: &ApiRequest) -> Result<String, (u16, String)> {
+fn compute_lint(api: &ApiRequest, inter: &IntermediateCache) -> Result<String, (u16, String)> {
     let src = source_text(api)?;
     let session = api.session();
+    let prog = compile_via_cache(&session, inter, src)?;
     let report = session
-        .lint(api.program.clone(), src, api.predict)
+        .lint_compiled(api.program.clone(), &prog, api.predict)
         .map_err(|e| (422, e.to_string()))?;
     Ok(format!(
         "{{\"schema\":\"parmem-serve-lint/v1\",\"report\":{}}}",
@@ -767,6 +820,54 @@ mod tests {
         let (s, _, b) = post(addr, "/v1/lint", r#"{"workload":"FFT"}"#);
         assert_eq!(s, 200, "{b}");
         assert!(b.contains("\"schema\":\"parmem-serve-lint/v1\""), "{b}");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn frontend_cache_hits_across_k_and_endpoints() {
+        let daemon = start(ServeConfig::default());
+        let addr = daemon.local_addr();
+        // Same workload at two k's: the response cache misses twice, but
+        // the second request reuses the front-ended TAC.
+        let (s, _, b) = post(addr, "/v1/compile", r#"{"workload":"FFT","k":4}"#);
+        assert_eq!(s, 200, "{b}");
+        let (s, _, _) = post(addr, "/v1/compile", r#"{"workload":"FFT","k":8}"#);
+        assert_eq!(s, 200);
+        // A different endpoint on the same source also hits.
+        let (s, _, _) = post(addr, "/v1/lint", r#"{"workload":"FFT"}"#);
+        assert_eq!(s, 200);
+        let (_, _, stats) = get(addr, "/v1/stats");
+        assert!(
+            stats.contains("\"intermediates\":{\"hits\":2,\"misses\":1,\"entries\":1}"),
+            "{stats}"
+        );
+        let (_, _, m) = get(addr, "/metrics");
+        assert!(m.contains("parmem_serve_intermediate_hits_total 2"), "{m}");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn array_policy_requests_carry_the_planned_summary() {
+        let daemon = start(ServeConfig::default());
+        let addr = daemon.local_addr();
+        let body = r#"{"workload":"FFT","array_policy":"hash"}"#;
+        let (s, _, b) = post(addr, "/v1/compile", body);
+        assert_eq!(s, 200, "{b}");
+        assert!(b.contains("\"planned\":{\"policy\":\"hash\""), "{b}");
+        // The policy is part of the response address: the plain request
+        // computes its own body, without the planned member.
+        let (s, h, b) = post(addr, "/v1/compile", r#"{"workload":"FFT"}"#);
+        assert_eq!(s, 200);
+        assert!(h.contains("X-Parmem-Cache: miss"), "{h}");
+        assert!(!b.contains("\"planned\""), "{b}");
+        // Bad policy values are a 400 naming the accepted set.
+        let (s, _, b) = post(
+            addr,
+            "/v1/compile",
+            r#"{"workload":"FFT","array_policy":"nope"}"#,
+        );
+        assert_eq!(s, 400);
+        assert!(b.contains("bad array_policy"), "{b}");
         daemon.shutdown();
     }
 

@@ -1,0 +1,228 @@
+//! Cross-request cache for the frontend stage's TAC.
+//!
+//! The response cache ([`crate::cache`]) addresses *whole bodies* — it
+//! only helps when the entire request repeats. But the most expensive
+//! shared prefix of the pipeline, the frontend (parse + unroll), depends
+//! on the source text and the unroll factor **alone** — not on `k`, the
+//! strategy, the optimizer, the seed, or the endpoint (see
+//! [`Session::frontend`]). A client sweeping one program across
+//! `k ∈ {2,4,8}` or across strategies re-parses the same text on every
+//! miss. This cache keys the front-ended [`TacProgram`] on exactly that
+//! stage's inputs, so same-program/different-`k` requests skip straight
+//! to optimize → schedule via [`Session::compile_tac`].
+//!
+//! Correctness contract: an entry under a key **is** the frontend's
+//! output for that `(source, unroll)` pair — the daemon only ever inserts
+//! what [`Session::frontend`] just returned. Eviction is
+//! least-recently-used under an entry-count budget (TAC programs are
+//! small and uniform, unlike response bodies). The frontend runs
+//! *outside* the lock, so a racing miss may compute the same TAC twice;
+//! the second insert replaces the first with an identical program, which
+//! is benign.
+//!
+//! [`Session::frontend`]: parmem_driver::Session::frontend
+//! [`Session::compile_tac`]: parmem_driver::Session::compile_tac
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+use liw_ir::tac::TacProgram;
+use parmem_driver::Session;
+use rliw_sim::pipeline::PipelineError;
+
+use crate::cache::fnv1a;
+
+/// Lifetime counters, exposed via `/v1/stats` (`"intermediates"`) and
+/// `/metrics`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IntermediateStats {
+    /// Frontend runs skipped because the TAC was already cached.
+    pub hits: u64,
+    /// Frontend runs that had to parse.
+    pub misses: u64,
+    /// Entries currently held.
+    pub entries: u64,
+}
+
+struct Entry {
+    tac: Arc<TacProgram>,
+    tick: u64,
+}
+
+struct Inner {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<u64, Entry>,
+    recency: BTreeMap<u64, u64>,
+    hits: u64,
+    misses: u64,
+}
+
+/// The LRU frontend-TAC cache. Internally synchronized; the daemon holds
+/// one in an `Arc` shared with every pool worker.
+pub struct IntermediateCache {
+    inner: Mutex<Inner>,
+}
+
+/// Cache key: FNV-1a over the source text, a `0xFF` separator, and the
+/// unroll factor (0 = no unrolling) — the only compile option the
+/// frontend consumes. Requests can only set the factor (the protocol
+/// leaves the rest of `UnrollConfig` at its defaults), so the factor
+/// fully determines the unroll behaviour here.
+fn frontend_key(source: &str, session: &Session) -> u64 {
+    let factor = session.opts.unroll.map(|u| u.factor as u64).unwrap_or(0);
+    let mut bytes = Vec::with_capacity(source.len() + 9);
+    bytes.extend_from_slice(source.as_bytes());
+    bytes.push(0xFF);
+    bytes.extend_from_slice(&factor.to_le_bytes());
+    fnv1a(&bytes)
+}
+
+impl IntermediateCache {
+    /// An empty cache holding at most `capacity` front-ended programs.
+    pub fn new(capacity: usize) -> IntermediateCache {
+        IntermediateCache {
+            inner: Mutex::new(Inner {
+                capacity: capacity.max(1),
+                tick: 0,
+                map: HashMap::new(),
+                recency: BTreeMap::new(),
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// The front-ended TAC for `source` under the session's compile
+    /// options — from the cache when present, running
+    /// [`Session::frontend`] (outside the lock) otherwise. Parse errors
+    /// are never cached.
+    pub fn frontend(
+        &self,
+        session: &Session,
+        source: &str,
+    ) -> Result<Arc<TacProgram>, PipelineError> {
+        let key = frontend_key(source, session);
+        {
+            let mut inner = self.inner.lock().unwrap();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.map.get_mut(&key) {
+                let old = entry.tick;
+                entry.tick = tick;
+                let tac = Arc::clone(&entry.tac);
+                inner.recency.remove(&old);
+                inner.recency.insert(tick, key);
+                inner.hits += 1;
+                return Ok(tac);
+            }
+            inner.misses += 1;
+        }
+        let tac = Arc::new(session.frontend(source)?);
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(old) = inner.map.remove(&key) {
+            inner.recency.remove(&old.tick);
+        }
+        while inner.map.len() >= inner.capacity {
+            let (&oldest, &victim) = inner
+                .recency
+                .iter()
+                .next()
+                .expect("len >= capacity >= 1 implies a recency entry");
+            inner.map.remove(&victim);
+            inner.recency.remove(&oldest);
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.recency.insert(tick, key);
+        inner.map.insert(
+            key,
+            Entry {
+                tac: Arc::clone(&tac),
+                tick,
+            },
+        );
+        Ok(tac)
+    }
+
+    /// Lifetime counters plus the current entry count.
+    pub fn stats(&self) -> IntermediateStats {
+        let inner = self.inner.lock().unwrap();
+        IntermediateStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len() as u64,
+        }
+    }
+
+    /// The `"intermediates"` member of the `/v1/stats` document.
+    pub fn stats_json(&self) -> String {
+        let s = self.stats();
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"entries\":{}}}",
+            s.hits, s.misses, s.entries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "program c; var x: int; begin x := 2; print x * 3; end.";
+
+    #[test]
+    fn second_request_hits_even_across_k() {
+        let cache = IntermediateCache::new(8);
+        let a = cache.frontend(&Session::new(4), SRC).unwrap();
+        let b = cache.frontend(&Session::new(8), SRC).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "k must not split the frontend key");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn unroll_factor_splits_the_key() {
+        let cache = IntermediateCache::new(8);
+        let plain = Session::new(4);
+        let opts = rliw_sim::pipeline::CompileOptions {
+            unroll: Some(liw_ir::unroll::UnrollConfig {
+                factor: 4,
+                ..liw_ir::unroll::UnrollConfig::default()
+            }),
+            ..rliw_sim::pipeline::CompileOptions::default()
+        };
+        let unrolled = Session::new(4).with_opts(opts);
+        let src = "program u; var i, s: int;
+            begin s := 0; for i := 1 to 12 do s := s + i; print s; end.";
+        let a = cache.frontend(&plain, src).unwrap();
+        let b = cache.frontend(&unrolled, src).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn parse_errors_are_not_cached() {
+        let cache = IntermediateCache::new(8);
+        assert!(cache.frontend(&Session::new(4), "program broken(").is_err());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn eviction_is_lru_by_entry_count() {
+        let cache = IntermediateCache::new(2);
+        let mk = |n: u32| format!("program p{n}; var x: int; begin x := {n}; print x; end.");
+        let s = Session::new(4);
+        cache.frontend(&s, &mk(1)).unwrap();
+        cache.frontend(&s, &mk(2)).unwrap();
+        cache.frontend(&s, &mk(1)).unwrap(); // bump 1; 2 becomes LRU
+        cache.frontend(&s, &mk(3)).unwrap(); // evicts 2
+        assert_eq!(cache.stats().entries, 2);
+        cache.frontend(&s, &mk(1)).unwrap();
+        let st = cache.stats();
+        assert_eq!(st.hits, 2, "program 1 stayed resident");
+        assert_eq!(st.misses, 3);
+        cache.frontend(&s, &mk(2)).unwrap();
+        assert_eq!(cache.stats().misses, 4, "program 2 was evicted");
+    }
+}

@@ -10,7 +10,11 @@
 //! - **Content-addressed caching** ([`cache`]): responses are pure
 //!   functions of `(program digest, k, strategy, options digest)`, so
 //!   they are cached under that address with LRU byte-budget eviction and
-//!   strong-ETag `If-None-Match` revalidation (304s).
+//!   strong-ETag `If-None-Match` revalidation (304s). A second,
+//!   intermediate cache ([`intermediates`]) keys the *frontend stage's*
+//!   TAC on `(source, unroll)` alone, so same-program/different-`k`
+//!   requests skip re-parsing even though their response addresses
+//!   differ.
 //! - **Admission control** ([`daemon`]): a bounded queue in front of the
 //!   worker pool answers `429 Retry-After` at saturation instead of
 //!   queueing unboundedly; per-request wall and exact-solver budgets are
@@ -30,10 +34,12 @@
 
 pub mod cache;
 pub mod daemon;
+pub mod intermediates;
 pub mod protocol;
 pub mod stats;
 
 pub use cache::{CacheKey, CacheStats, CachedResponse, ResponseCache};
 pub use daemon::{Daemon, ServeConfig};
+pub use intermediates::{IntermediateCache, IntermediateStats};
 pub use protocol::{parse_request, ApiRequest, Endpoint, Source};
 pub use stats::{EndpointStats, ServeStats};

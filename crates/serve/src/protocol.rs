@@ -11,6 +11,7 @@
 //! response.
 
 use parmem_core::assignment::{AssignParams, DuplicationStrategy};
+use parmem_core::layout::ArrayPolicy;
 use parmem_core::strategies::{Strategy, STRATEGY_REGISTRY};
 use parmem_core::synth::ScaleSpec;
 use parmem_driver::Session;
@@ -84,6 +85,9 @@ pub struct ApiRequest {
     pub params: AssignParams,
     /// Placement seed (default 0xC0FFEE, like the CLI).
     pub seed: u64,
+    /// Compile-time array placement policy (absent = scalar-only pipeline,
+    /// byte-identical to pre-layout responses).
+    pub array_policy: Option<ArrayPolicy>,
     /// Exact-solver budgets (`/v1/exact`; also the per-request budget
     /// clamp's target).
     pub exact: ExactConfig,
@@ -107,6 +111,7 @@ const BASE_FIELDS: &[&str] = &[
     "backtrack",
     "no_atoms",
     "seed",
+    "array_policy",
 ];
 const EXACT_FIELDS: &[&str] = &["budget_nodes", "budget_ms", "no_portfolio"];
 const LINT_FIELDS: &[&str] = &["predict"];
@@ -292,6 +297,17 @@ pub fn parse_request(
         None => 0xC0FFEE,
     };
 
+    let array_policy =
+        match doc.get("array_policy") {
+            Some(v) => {
+                let s = v.as_str().ok_or("`array_policy` must be a string")?;
+                Some(ArrayPolicy::parse(s).ok_or_else(|| {
+                    format!("bad array_policy `{s}` (interleaved|hash|block|auto)")
+                })?)
+            }
+            None => None,
+        };
+
     let mut exact = ExactConfig::default();
     if let Some(v) = doc.get("budget_nodes") {
         exact.budget_nodes = as_count(v, "budget_nodes")?;
@@ -321,6 +337,7 @@ pub fn parse_request(
         opts,
         params,
         seed,
+        array_policy,
         exact,
         predict,
         sleep_ms,
@@ -337,6 +354,9 @@ impl ApiRequest {
             .with_opts(self.opts)
             .with_params(self.params)
             .with_seed(self.seed);
+        if let Some(policy) = self.array_policy {
+            s = s.with_array_policy(policy);
+        }
         if self.endpoint == Endpoint::Exact {
             s = s.with_exact_gap(self.exact);
         }
@@ -469,6 +489,27 @@ mod tests {
     }
 
     #[test]
+    fn array_policy_parses_and_feeds_the_session() {
+        let r = parse(
+            Endpoint::Compile,
+            r#"{"workload":"FFT","array_policy":"block"}"#,
+        )
+        .unwrap();
+        assert_eq!(r.array_policy, Some(ArrayPolicy::Block));
+        assert_eq!(r.session().array_policy, Some(ArrayPolicy::Block));
+        // Absent policy keeps the scalar-only session (and its digest).
+        let plain = parse(Endpoint::Compile, r#"{"workload":"FFT"}"#).unwrap();
+        assert_eq!(plain.array_policy, None);
+        assert_ne!(plain.session().config_digest(), r.session().config_digest());
+        let e = parse(
+            Endpoint::Compile,
+            r#"{"workload":"FFT","array_policy":"striped"}"#,
+        )
+        .unwrap_err();
+        assert!(e.contains("bad array_policy `striped`"), "{e}");
+    }
+
+    #[test]
     fn bad_values_are_descriptive_400s() {
         for (body, needle) in [
             (r#"{"workload":"NOPE"}"#, "unknown workload"),
@@ -503,6 +544,7 @@ mod tests {
             r#"{"workload":"FFT","strategy":"2"}"#,
             r#"{"workload":"FFT","seed":1}"#,
             r#"{"workload":"FFT","no_opt":true}"#,
+            r#"{"workload":"FFT","array_policy":"hash"}"#,
         ] {
             let k = parse(Endpoint::Assign, body).unwrap().cache_key();
             assert_ne!(k0, k, "{body} should change the key");

@@ -10,11 +10,50 @@
 //!   (`t_max`),
 //! * [`ArrayPlacement::Interleaved`] / [`ArrayPlacement::UniformRandom`] —
 //!   realistic layouts (`t_ave`; the paper's analytic model assumes the
-//!   uniform distribution).
+//!   uniform distribution),
+//! * [`ArrayPlacement::Planned`] — a compile-time [`MemoryLayout`] plan:
+//!   each element's module is decided by the planner's per-array scheme
+//!   (interleaved / hash / block), making array behaviour as deterministic
+//!   as the scalar assignment.
+//!
+//! ## Seeding
+//!
+//! The uniform-random policy models the paper's t_ave assumption, so its
+//! draws must be reproducible *per workload* but must not be correlated
+//! *across* workloads: a fixed constant seed would replay the identical
+//! module sequence for every program, silently biasing corpus-level
+//! statistics toward one sample path. Callers therefore derive the seed
+//! with [`uniform_seed`]`(base_seed, workload_digest)` — the session's
+//! user-visible seed mixed (FNV-1a) with the scheduled program's
+//! structural digest. Same program + same `--seed` → byte-identical runs
+//! (across `--jobs` too, since nothing depends on thread order); different
+//! programs → independent sample paths. Scalar-only programs never draw
+//! from the RNG, so their outputs are unaffected by the choice of seed.
 
+use std::sync::Arc;
+
+use parmem_core::layout::MemoryLayout;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// Derive the per-workload uniform-random seed: the user-level `base` seed
+/// mixed with the workload's structural digest via FNV-1a (see the module
+/// docs on seeding).
+pub fn uniform_seed(base: u64, workload_digest: u64) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for b in base
+        .to_le_bytes()
+        .into_iter()
+        .chain(workload_digest.to_le_bytes())
+    {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
 
 /// Module selection for array element accesses.
 #[derive(Clone, Debug)]
@@ -30,17 +69,28 @@ pub enum ArrayPlacement {
     /// Every access draws a module uniformly at random (seeded) — exactly
     /// the assumption behind the paper's `t_ave` formula.
     UniformRandom(u64),
+    /// The compile-time plan: each element's module comes from the
+    /// [`MemoryLayout`]'s per-array scheme (deterministic, stateless).
+    Planned(Arc<MemoryLayout>),
 }
 
 impl ArrayPlacement {
     /// Stable policy label used in metric names and trace attributes
-    /// (deliberately parameter-free so metrics aggregate across seeds).
+    /// (deliberately parameter-free so metrics aggregate across seeds; the
+    /// planned label folds in the *policy* — the dimension benches compare —
+    /// but not the per-program plan).
     pub fn label(&self) -> &'static str {
         match self {
             ArrayPlacement::Ideal => "ideal",
             ArrayPlacement::SameModule(_) => "same_module",
             ArrayPlacement::Interleaved => "interleaved",
             ArrayPlacement::UniformRandom(_) => "uniform_random",
+            ArrayPlacement::Planned(layout) => match layout.policy {
+                parmem_core::layout::ArrayPolicy::Interleaved => "planned_interleaved",
+                parmem_core::layout::ArrayPolicy::Hash => "planned_hash",
+                parmem_core::layout::ArrayPolicy::Block => "planned_block",
+                parmem_core::layout::ArrayPolicy::Auto => "planned_auto",
+            },
         }
     }
 }
@@ -78,6 +128,7 @@ impl ArrayModuleMap {
                 let r = self.rng.as_mut().expect("rng for uniform policy");
                 Some(r.gen_range(0..self.modules) as u16)
             }
+            ArrayPlacement::Planned(layout) => Some(layout.module_of(array_id, index)),
         }
     }
 }
@@ -143,5 +194,66 @@ mod tests {
         // Bounds errors are caught by the executor; the mapper must still be
         // total.
         assert!(m.module_for(0, -1).unwrap() < 4);
+    }
+
+    #[test]
+    fn planned_interleaved_matches_legacy_interleaved() {
+        use parmem_core::layout::{plan, ArrayPolicy, ArrayProfile};
+        use parmem_core::Assignment;
+        let profiles = vec![
+            ArrayProfile {
+                name: "a".into(),
+                len: 8,
+                loads: 1,
+                stores: 0,
+                dominant_stride: Some(1),
+            },
+            ArrayProfile {
+                name: "b".into(),
+                len: 8,
+                loads: 0,
+                stores: 1,
+                dominant_stride: None,
+            },
+        ];
+        let layout = Arc::new(plan(
+            4,
+            ArrayPolicy::Interleaved,
+            Assignment::new(4),
+            &profiles,
+        ));
+        let mut planned = ArrayModuleMap::new(ArrayPlacement::Planned(layout), 4);
+        let mut legacy = ArrayModuleMap::new(ArrayPlacement::Interleaved, 4);
+        for id in 0..2 {
+            for i in -3..20 {
+                assert_eq!(planned.module_for(id, i), legacy.module_for(id, i));
+            }
+        }
+    }
+
+    #[test]
+    fn planned_labels_name_the_policy() {
+        use parmem_core::layout::{plan, ArrayPolicy};
+        use parmem_core::Assignment;
+        for (policy, label) in [
+            (ArrayPolicy::Interleaved, "planned_interleaved"),
+            (ArrayPolicy::Hash, "planned_hash"),
+            (ArrayPolicy::Block, "planned_block"),
+            (ArrayPolicy::Auto, "planned_auto"),
+        ] {
+            let layout = Arc::new(plan(4, policy, Assignment::new(4), &[]));
+            assert_eq!(ArrayPlacement::Planned(layout).label(), label);
+        }
+    }
+
+    #[test]
+    fn uniform_seed_mixes_base_and_digest() {
+        // Distinct workloads decorrelate; same inputs reproduce.
+        assert_eq!(uniform_seed(0xC0FFEE, 42), uniform_seed(0xC0FFEE, 42));
+        assert_ne!(uniform_seed(0xC0FFEE, 42), uniform_seed(0xC0FFEE, 43));
+        assert_ne!(uniform_seed(0xC0FFEE, 42), uniform_seed(0xC0FFEF, 42));
+        // The mix must not degenerate to the base seed (the old bug: a fixed
+        // constant replayed one sample path for every workload).
+        assert_ne!(uniform_seed(7, 42), 7);
     }
 }

@@ -19,7 +19,7 @@ pub mod machine;
 pub mod model;
 pub mod pipeline;
 
-pub use arrays::ArrayPlacement;
+pub use arrays::{uniform_seed, ArrayPlacement};
 pub use machine::{run, run_with_fuel, SimError, SimStats};
 pub use pipeline::{
     assign, compile, compile_with, quick_run, table2_row, verified_run, CompileOptions,

@@ -172,12 +172,18 @@ impl Table2Row {
 }
 
 /// Produce a Table 2 row by simulating under the four array policies.
+///
+/// `seed` is the user-level base seed; the uniform-random policy actually
+/// runs with [`crate::arrays::uniform_seed`]`(seed, workload_digest)` so
+/// that different programs draw independent sample paths (see the seeding
+/// notes in `arrays.rs`).
 pub fn table2_row(
     name: &str,
     sched: &SchedProgram,
     assignment: &Assignment,
     seed: u64,
 ) -> Result<Table2Row, SimError> {
+    let seed = crate::arrays::uniform_seed(seed, sched.workload_digest());
     let ideal = machine::run(sched, assignment, ArrayPlacement::Ideal)?;
     let rand = machine::run(sched, assignment, ArrayPlacement::UniformRandom(seed))?;
     let inter = machine::run(sched, assignment, ArrayPlacement::Interleaved)?;

@@ -64,6 +64,15 @@ pub enum Code {
     /// A heuristic assignment's residual is below the certified lower bound
     /// (impossible for a valid certificate: negative gap).
     PM206,
+    /// A memory layout maps some array element to an out-of-range module,
+    /// or the mapping is not total/deterministic over the probed indices.
+    PM301,
+    /// A memory layout's recomputed digest disagrees with its own recorded
+    /// digest (the plan is not digest-stable).
+    PM302,
+    /// A memory layout's embedded scalar assignment is inconsistent with
+    /// the layout's module count.
+    PM303,
 }
 
 impl Code {
@@ -89,6 +98,9 @@ impl Code {
             Code::PM204 => "PM204",
             Code::PM205 => "PM205",
             Code::PM206 => "PM206",
+            Code::PM301 => "PM301",
+            Code::PM302 => "PM302",
+            Code::PM303 => "PM303",
         }
     }
 
@@ -114,6 +126,9 @@ impl Code {
             Code::PM204 => "certificate bounds or status inconsistent",
             Code::PM205 => "claimed evidence lower bound exceeds valid evidence",
             Code::PM206 => "heuristic residual below certified lower bound",
+            Code::PM301 => "layout maps an array element out of range or non-totally",
+            Code::PM302 => "layout digest is not stable under recomputation",
+            Code::PM303 => "layout's scalar assignment inconsistent with module count",
         }
     }
 }

@@ -1,0 +1,178 @@
+//! PM30x checks on the unified compile-time [`MemoryLayout`]: the plan must
+//! be **total** (every element of every array maps to exactly one module),
+//! **in-range** (that module exists), and **digest-stable** (recomputing the
+//! plan's digest reproduces the recorded value), with its embedded scalar
+//! assignment consistent with the plan's module count.
+
+use parmem_core::layout::MemoryLayout;
+
+use crate::diag::{Code, Diagnostic};
+
+/// Indices probed *outside* each array's declared range: the mapper must
+/// stay total even for out-of-bounds subscripts (bounds errors are the
+/// executor's job; a panicking or out-of-range mapper would take the whole
+/// simulation down instead of producing a diagnosable trap).
+const EDGE_PROBES: [i64; 6] = [-1, -7, i64::MIN / 2, i64::MAX / 2, 1 << 40, -(1 << 40)];
+
+/// Check one layout against `recorded_digest` (pass `layout.digest()` taken
+/// at plan time — e.g. the digest a job output or a serve response carried).
+pub fn check_layout(layout: &MemoryLayout, recorded_digest: u64) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let k = layout.k;
+
+    if k == 0 {
+        out.push(Diagnostic::new(
+            Code::PM303,
+            "layout has zero memory modules",
+        ));
+        return out;
+    }
+    if layout.assignment.modules() != k {
+        out.push(Diagnostic::new(
+            Code::PM303,
+            format!(
+                "scalar assignment is for {} modules but the layout plans {}",
+                layout.assignment.modules(),
+                k
+            ),
+        ));
+    }
+    for (v, set) in layout.assignment.placed_values() {
+        for m in set.iter() {
+            if m.index() >= k {
+                out.push(
+                    Diagnostic::new(
+                        Code::PM303,
+                        format!("scalar copy in module {} but k={}", m.index(), k),
+                    )
+                    .with_value(v.0),
+                );
+            }
+        }
+    }
+
+    // PM301: totality + range, exhaustively over each array's extent and at
+    // the edge probes; determinism via a second evaluation.
+    for (id, a) in layout.arrays.iter().enumerate() {
+        let id = id as u32;
+        let probes = (0..a.len as i64).chain(EDGE_PROBES);
+        for i in probes {
+            let m = layout.module_of(id, i);
+            if m as usize >= k {
+                out.push(Diagnostic::new(
+                    Code::PM301,
+                    format!("array `{}`[{}] maps to module {} but k={}", a.name, i, m, k),
+                ));
+                break; // one witness per array is enough
+            }
+            if layout.module_of(id, i) != m {
+                out.push(Diagnostic::new(
+                    Code::PM301,
+                    format!("array `{}`[{}] maps non-deterministically", a.name, i),
+                ));
+                break;
+            }
+        }
+    }
+    // Unknown array ids must also stay total (the simulator may probe one).
+    let beyond = layout.arrays.len() as u32;
+    if layout.module_of(beyond, 3) as usize >= k {
+        out.push(Diagnostic::new(
+            Code::PM301,
+            format!("fallback mapping for unknown array id {beyond} is out of range"),
+        ));
+    }
+
+    // PM302: digest stability.
+    let recomputed = layout.digest();
+    if recomputed != recorded_digest {
+        out.push(Diagnostic::new(
+            Code::PM302,
+            format!("layout digest {recomputed:016x} != recorded {recorded_digest:016x}"),
+        ));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmem_core::assignment::Assignment;
+    use parmem_core::layout::{plan, ArrayPolicy, ArrayProfile, ArrayScheme};
+    use parmem_core::types::{ModuleId, ValueId};
+
+    fn profiles() -> Vec<ArrayProfile> {
+        vec![
+            ArrayProfile {
+                name: "a".into(),
+                len: 19,
+                loads: 2,
+                stores: 1,
+                dominant_stride: Some(1),
+            },
+            ArrayProfile {
+                name: "b".into(),
+                len: 4,
+                loads: 0,
+                stores: 4,
+                dominant_stride: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn planned_layouts_verify_clean_for_all_policies() {
+        for policy in [
+            ArrayPolicy::Interleaved,
+            ArrayPolicy::Hash,
+            ArrayPolicy::Block,
+            ArrayPolicy::Auto,
+        ] {
+            for k in [1, 2, 4, 8] {
+                let mut a = Assignment::new(k);
+                a.add_copy(ValueId(1), ModuleId(0));
+                let layout = plan(k, policy, a, &profiles());
+                let digest = layout.digest();
+                let diags = check_layout(&layout, digest);
+                assert!(diags.is_empty(), "{policy:?} k={k}: {diags:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shrunken_k_still_stays_in_range() {
+        // ArrayScheme::module_of clamps against the layout's k, so even a
+        // corrupted plan (k shrunk after planning) maps in range — PM301 is
+        // defense in depth against a future scheme that forgets to clamp.
+        let mut layout = plan(4, ArrayPolicy::Block, Assignment::new(4), &profiles());
+        layout.k = 2;
+        layout.assignment = Assignment::new(2);
+        layout.arrays[0].scheme = ArrayScheme::Block { block: 5 };
+        let diags = check_layout(&layout, layout.digest());
+        assert!(!diags.iter().any(|d| d.code == Code::PM301), "{diags:?}");
+    }
+
+    #[test]
+    fn zero_modules_is_pm303() {
+        let mut bad = plan(4, ArrayPolicy::Hash, Assignment::new(4), &profiles());
+        bad.k = 0;
+        assert!(check_layout(&bad, bad.digest())
+            .iter()
+            .any(|d| d.code == Code::PM303));
+    }
+
+    #[test]
+    fn wrong_digest_is_pm302() {
+        let layout = plan(4, ArrayPolicy::Hash, Assignment::new(4), &profiles());
+        let diags = check_layout(&layout, layout.digest() ^ 1);
+        assert!(diags.iter().any(|d| d.code == Code::PM302), "{diags:?}");
+    }
+
+    #[test]
+    fn mismatched_assignment_k_is_pm303() {
+        let layout = plan(4, ArrayPolicy::Block, Assignment::new(8), &profiles());
+        let diags = check_layout(&layout, layout.digest());
+        assert!(diags.iter().any(|d| d.code == Code::PM303), "{diags:?}");
+    }
+}

@@ -36,19 +36,24 @@
 //! | PM204 | certificate bounds and status are mutually consistent |
 //! | PM205 | the claimed evidence lower bound is backed by valid cliques |
 //! | PM206 | no heuristic residual undercuts the certified lower bound |
+//! | PM301 | the memory layout maps every array element totally, in range |
+//! | PM302 | the memory layout's digest is stable under recomputation |
+//! | PM303 | the layout's scalar assignment agrees with its module count |
 //!
 //! Entry points: [`verify_trace`] for trace+assignment pairs (what
 //! `parmem verify` uses on trace files and what the property tests drive),
 //! [`verify_scheduled`] for a scheduled program, [`verify_all`] for the
-//! whole compiled pipeline including the renaming proof over the TAC, and
+//! whole compiled pipeline including the renaming proof over the TAC,
 //! [`verify_certificate`] for exact-solver certificates (what
-//! `parmem verify --exact` uses).
+//! `parmem verify --exact` uses), and [`verify_layout`] for compile-time
+//! [`parmem_core::layout::MemoryLayout`] plans (PM301–PM303).
 
 pub mod assignment_check;
 pub mod certificate_check;
 pub mod dataflow;
 pub mod diag;
 pub mod differential;
+pub mod layout_check;
 
 pub use diag::{BatchSummary, Code, Diagnostic, VerifyReport};
 
@@ -130,6 +135,24 @@ pub fn verify_certificate(
         cert,
         heuristic_residual,
     ));
+    sp.attr("diags", out.diagnostics.len());
+    out
+}
+
+/// Verify a compile-time memory layout (PM301–PM303): total and in-range
+/// per-element mapping for every array, a digest stable under
+/// recomputation, and a scalar assignment consistent with the plan's `k`.
+/// Pass the digest recorded when the plan was made (a job output's
+/// `layout_digest`, a serve response's, …) so drift is caught.
+pub fn verify_layout(
+    layout: &parmem_core::layout::MemoryLayout,
+    recorded_digest: u64,
+) -> VerifyReport {
+    let mut out = VerifyReport::default();
+    out.checks_run.push("layout");
+    let mut sp = parmem_obs::span("verify.layout");
+    out.diagnostics
+        .extend(layout_check::check_layout(layout, recorded_digest));
     sp.attr("diags", out.diagnostics.len());
     out
 }

@@ -2,8 +2,13 @@
 //!
 //! ```text
 //! parmem assign <trace-file> [--backtrack] [--no-atoms]
+//!               [--array-policy interleaved|hash|block|auto]
 //!     Assign memory modules for a text access trace (see
 //!     `parmem_core::trace_io` for the format) and print the module map.
+//!     With `--array-policy`, the assignment is additionally wrapped in a
+//!     unified `MemoryLayout` plan, verified (PM301–PM303), and its
+//!     digest printed (traces carry no arrays, so the plan covers the
+//!     scalar assignment alone).
 //!
 //! parmem compile <minilang-file> [-k <modules>] [--unroll <factor>]
 //!                [--no-opt] [--stor 1|2|3]
@@ -38,6 +43,7 @@
 //! parmem batch [workload ...] [--all] [-k 2,4,8] [--stor 1|2|3|exact|all]
 //!              [--jobs N] [--json|--csv] [--timings] [--out <file>]
 //!              [--fail-fast] [--seed S] [--unroll <factor>] [--no-opt]
+//!              [--array-policy interleaved|hash|block|auto]
 //!     Run the full compile→assign→verify→simulate pipeline over every
 //!     (workload, k, strategy) job on a work-stealing thread pool and print
 //!     a deterministic report (text, JSON, or CSV). Without workload names,
@@ -49,6 +55,7 @@
 //! parmem lint [workload-or-file ...] [--all] [-k 2,4] [--json] [--predict]
 //!             [--deny] [--jobs N] [--out <file>] [--seed S]
 //!             [--unroll <factor>] [--no-opt]
+//!             [--array-policy interleaved|hash|block|auto]
 //!     Run the static analyses (fixpoint liveness / reaching definitions /
 //!     definite-init / constant & stride propagation) over each
 //!     (program, k) job and print the `PMLxxx` lint diagnostics. With
@@ -80,6 +87,7 @@
 //!              [--format tree|json|chrome|metrics] [--out <file>]
 //!              [--deterministic] [--validate] [--seed S]
 //!              [--unroll <factor>] [--no-opt] [--backtrack] [--no-atoms]
+//!              [--array-policy interleaved|hash|block|auto]
 //!     Run one full pipeline job with span tracing enabled and export the
 //!     profile: a human span tree (default), nested JSON, a Chrome
 //!     trace-event file (load it in Perfetto or `chrome://tracing`), or a
@@ -156,7 +164,10 @@ type CliError = Box<dyn std::error::Error + Send + Sync>;
 /// options (the uniform profiling options are accepted implicitly).
 fn arg_spec(cmd: &str) -> Option<(&'static [&'static str], &'static [&'static str])> {
     match cmd {
-        "assign" => Some((&["--backtrack", "--no-atoms"], &["--flight-dump"])),
+        "assign" => Some((
+            &["--backtrack", "--no-atoms"],
+            &["--array-policy", "--flight-dump"],
+        )),
         "compile" => Some((
             &["--no-opt"],
             &["-k", "--stor", "--unroll", "--flight-dump"],
@@ -212,6 +223,7 @@ fn arg_spec(cmd: &str) -> Option<(&'static [&'static str], &'static [&'static st
                 "--out",
                 "--seed",
                 "--unroll",
+                "--array-policy",
                 "--flight-dump",
                 "--metrics-addr",
             ],
@@ -224,6 +236,7 @@ fn arg_spec(cmd: &str) -> Option<(&'static [&'static str], &'static [&'static st
                 "--out",
                 "--seed",
                 "--unroll",
+                "--array-policy",
                 "--flight-dump",
                 "--metrics-addr",
             ],
@@ -243,6 +256,7 @@ fn arg_spec(cmd: &str) -> Option<(&'static [&'static str], &'static [&'static st
                 "--out",
                 "--seed",
                 "--unroll",
+                "--array-policy",
                 "--flight-dump",
             ],
         )),
@@ -429,6 +443,26 @@ fn cmd_assign(a: &CommonArgs) -> Result<(), CliError> {
     );
     if report.residual_conflicts > 0 {
         println!("warning: some instructions have more operands than modules");
+    }
+    if let Some(policy) = args::array_policy(a)? {
+        // Text traces carry no array metadata, so the unified plan covers
+        // the scalar assignment alone; arrays stay at zero.
+        let layout = plan_layout(k, policy, assignment.clone(), &[]);
+        let digest = layout.digest();
+        let check = verify::verify_layout(&layout, digest);
+        println!(
+            "layout: policy={} arrays={} digest={:016x} ({})",
+            layout.policy.name(),
+            layout.arrays.len(),
+            digest,
+            if check.is_clean() { "clean" } else { "DIRTY" }
+        );
+        for d in &check.diagnostics {
+            println!("  {d}");
+        }
+        if !check.is_clean() {
+            return Err("layout verification failed".into());
+        }
     }
     Ok(())
 }
@@ -627,6 +661,7 @@ fn cmd_lint(a: &CommonArgs) -> Result<(), CliError> {
     let opts = args::compile_options(a)?;
     let predict = a.flag("--predict");
     let seed: u64 = a.parsed("--seed")?.unwrap_or(0xC0FFEE);
+    let array_policy = args::array_policy(a)?;
 
     let mut specs = Vec::with_capacity(programs.len() * ks.len());
     for (program, source) in &programs {
@@ -638,6 +673,7 @@ fn cmd_lint(a: &CommonArgs) -> Result<(), CliError> {
                 opts,
                 predict,
                 seed,
+                array_policy,
             });
         }
     }
@@ -820,11 +856,14 @@ fn cmd_trace(a: &CommonArgs) -> Result<(), CliError> {
     let target = a.target_arg()?;
     let (program, source) = args::resolve_program(&target)?;
     let k = a.parsed::<usize>("-k")?.unwrap_or(8);
-    let session = Session::new(k)
+    let mut session = Session::new(k)
         .with_strategy(args::strategy(a)?)
         .with_opts(args::compile_options(a)?)
         .with_params(args::assign_params(a))
         .with_seed(a.parsed("--seed")?.unwrap_or(0xC0FFEE));
+    if let Some(policy) = args::array_policy(a)? {
+        session = session.with_array_policy(policy);
+    }
 
     // Run the one job with the collector live, then drain it exactly once.
     obs::set_enabled(true);
@@ -872,6 +911,12 @@ fn cmd_trace(a: &CommonArgs) -> Result<(), CliError> {
                 out.cycles,
                 out.speedup
             );
+            if let Some(p) = &out.planned {
+                eprintln!(
+                    "planned placement {}: {} array(s), transfer time {}, layout {:016x}",
+                    p.policy, p.arrays, p.transfer_time, p.layout_digest
+                );
+            }
             Ok(())
         }
         Err(e) => Err(format!("job {} failed: {e}", result.spec.program).into()),
@@ -895,11 +940,13 @@ fn cmd_batch(a: &CommonArgs) -> Result<(), CliError> {
     let seed: u64 = a.parsed("--seed")?.unwrap_or(0xC0FFEE);
     let opts = args::compile_options(a)?;
     let params = args::assign_params(a);
+    let array_policy = args::array_policy(a)?;
 
     let mut specs = batch::sweep_jobs(&benches, &ks, &strategies, seed);
     for s in &mut specs {
         s.opts = opts;
         s.params = params;
+        s.array_policy = array_policy;
     }
 
     let batch_opts = BatchOptions {

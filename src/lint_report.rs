@@ -9,6 +9,7 @@
 
 use std::fmt::Write as _;
 
+use parmem_core::layout::ArrayPolicy;
 use parmem_driver::Session;
 use parmem_lint::LintReport;
 use rliw_sim::pipeline::CompileOptions;
@@ -30,6 +31,9 @@ pub struct LintJobSpec {
     pub predict: bool,
     /// Seed for the uniform-random placement the t_ave cross-check runs.
     pub seed: u64,
+    /// Compile-time array placement policy: when set (and `predict` is
+    /// on), the report carries per-policy measured-vs-modeled rows.
+    pub array_policy: Option<ArrayPolicy>,
 }
 
 /// What one lint job produced.
@@ -48,9 +52,12 @@ pub fn run_lint_job(spec: &LintJobSpec) -> LintJobResult {
     let mut sp = parmem_obs::span("lint.job");
     sp.attr("program", spec.program.clone());
     sp.attr("k", spec.k);
-    let session = Session::new(spec.k)
+    let mut session = Session::new(spec.k)
         .with_opts(spec.opts)
         .with_seed(spec.seed);
+    if let Some(policy) = spec.array_policy {
+        session = session.with_array_policy(policy);
+    }
     let outcome = session
         .lint(&spec.program, &spec.source, spec.predict)
         .map_err(|e| e.to_string());
@@ -150,6 +157,7 @@ mod tests {
             opts: CompileOptions::default(),
             predict: true,
             seed: 0xC0FFEE,
+            array_policy: None,
         }
     }
 

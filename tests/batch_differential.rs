@@ -147,6 +147,33 @@ fn scale_assignment_is_independent_of_jobs() {
     }
 }
 
+/// Differential: the unified layout's interleaved scheme is the same
+/// placement the simulator's legacy statistical `Interleaved` mode used, so
+/// running the plan must measure exactly the transfer time the legacy path
+/// reports (`t_interleaved`) on every paper workload at every machine size.
+#[test]
+fn planned_interleaved_matches_legacy_interleaved() {
+    use parallel_memories::core::prelude::ArrayPolicy;
+
+    for bench in workloads::benchmarks() {
+        for k in [2usize, 4, 8] {
+            let spec = JobSpec::new(bench.name, bench.source, k)
+                .with_array_policy(ArrayPolicy::Interleaved);
+            let r = job::run_job(&spec);
+            let out = r.outcome.as_ref().expect("pipeline succeeds");
+            let planned = out
+                .planned
+                .as_ref()
+                .expect("planned summary present when a policy was asked for");
+            assert_eq!(
+                planned.transfer_time, out.table2.t_interleaved,
+                "{} k={k}: planned interleaved diverges from the legacy path",
+                bench.name
+            );
+        }
+    }
+}
+
 /// Acceptance criterion: the CLI over all paper workloads at k ∈ {2,4,8}
 /// prints byte-identical reports with `--jobs 8` and `--jobs 1`.
 #[test]

@@ -103,6 +103,24 @@ fn trace_metrics_output_is_conformant_prometheus() {
 }
 
 #[test]
+fn trace_with_array_policy_is_stable() {
+    // The planned-placement pipeline: the same deterministic span tree,
+    // now with the layout plan/verify stages and the hash-distributed
+    // array placement live. Pins the planned run's word counts and the
+    // layout digest baked into the span attributes.
+    let actual = parmem_stdout(&[
+        "trace",
+        "FFT",
+        "-k",
+        "4",
+        "--array-policy",
+        "hash",
+        "--deterministic",
+    ]);
+    check_golden("trace_fft_k4_hash", &actual);
+}
+
+#[test]
 fn exact_output_is_stable() {
     // The default budget is clock-free, so bounds, gaps, and node counts
     // are deterministic.
@@ -183,4 +201,48 @@ fn batch_output_is_stable_across_jobs() {
     let wide = parmem_stdout(&["batch", "FFT", "SORT", "-k", "2,4", "--jobs", "4"]);
     assert_eq!(serial, actual, "--jobs 1 must match the default report");
     assert_eq!(wide, actual, "--jobs 4 must match the default report");
+}
+
+#[test]
+fn batch_with_array_policy_is_stable_across_jobs() {
+    // Planned placement rides the batch report: the per-job `planned=`
+    // columns (policy, array count, measured transfer time) are pinned
+    // here, and — the acceptance criterion — the planned transfer counts
+    // are byte-identical whether one worker ran or eight.
+    let args = [
+        "batch",
+        "FFT",
+        "SORT",
+        "-k",
+        "2,4",
+        "--array-policy",
+        "hash",
+    ];
+    let actual = parmem_stdout(&args);
+    check_golden("batch_fft_sort_hash", &actual);
+
+    let serial = parmem_stdout(&[
+        "batch",
+        "FFT",
+        "SORT",
+        "-k",
+        "2,4",
+        "--array-policy",
+        "hash",
+        "--jobs",
+        "1",
+    ]);
+    let wide = parmem_stdout(&[
+        "batch",
+        "FFT",
+        "SORT",
+        "-k",
+        "2,4",
+        "--array-policy",
+        "hash",
+        "--jobs",
+        "8",
+    ]);
+    assert_eq!(serial, actual, "--jobs 1 must match the default report");
+    assert_eq!(wide, actual, "--jobs 8 must match the default report");
 }

@@ -372,6 +372,96 @@ mod rich_fuzz {
     }
 }
 
+/// The unified compile-time memory layout as a property: whatever the
+/// planner is fed, every array element must map to exactly one in-range
+/// module, the digest must anchor the plan, and the independent PM30x
+/// checks must pass.
+mod layout {
+    use super::*;
+    use parallel_memories::core::prelude::{
+        plan_layout, ArrayPolicy, ArrayProfile, Assignment, ModuleId,
+    };
+    use parallel_memories::verify;
+
+    fn arb_policy() -> impl Strategy<Value = ArrayPolicy> {
+        prop_oneof![
+            Just(ArrayPolicy::Interleaved),
+            Just(ArrayPolicy::Hash),
+            Just(ArrayPolicy::Block),
+            Just(ArrayPolicy::Auto),
+        ]
+    }
+
+    fn arb_profiles() -> impl Strategy<Value = Vec<ArrayProfile>> {
+        // Stride -10 encodes "analysis derived nothing" (None).
+        proptest::collection::vec((1usize..100, -10i64..9, 0u64..50, 0u64..50), 0..6).prop_map(
+            |arrays| {
+                arrays
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (len, stride, loads, stores))| ArrayProfile {
+                        name: format!("a{i}"),
+                        len,
+                        loads,
+                        stores,
+                        dominant_stride: (stride != -10).then_some(stride),
+                    })
+                    .collect()
+            },
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        /// Totality: any (policy, k, profiles) plan maps every element of
+        /// every array — in bounds, out of bounds, negative, or for an
+        /// array id the plan has never heard of — to exactly one module in
+        /// `0..k`. The mapper can never strand a memory access.
+        #[test]
+        fn planned_layout_maps_every_element_in_range(
+            k in 1usize..=8,
+            policy in arb_policy(),
+            profiles in arb_profiles(),
+            indices in proptest::collection::vec(i64::MIN / 2..i64::MAX / 2, 1..20),
+        ) {
+            let layout = plan_layout(k, policy, Assignment::new(k), &profiles);
+            prop_assert_eq!(layout.arrays.len(), profiles.len());
+            for id in 0..(profiles.len() as u32 + 2) {
+                for &i in &indices {
+                    let m = layout.module_of(id, i);
+                    prop_assert!(
+                        (m as usize) < k,
+                        "{:?} k={} a{}[{}] -> module {}", policy, k, id, i, m
+                    );
+                }
+            }
+        }
+
+        /// The digest is a function of the plan (stable under recompute,
+        /// moved by any scalar copy), and the independently coded PM301–PM303
+        /// checks accept every plan the planner emits.
+        #[test]
+        fn planned_layout_digest_anchors_and_verifies(
+            k in 1usize..=8,
+            policy in arb_policy(),
+            profiles in arb_profiles(),
+            scalar in 0u32..40,
+        ) {
+            let layout = plan_layout(k, policy, Assignment::new(k), &profiles);
+            let digest = layout.digest();
+            prop_assert_eq!(digest, layout.digest());
+            let report = verify::verify_layout(&layout, digest);
+            prop_assert!(report.is_clean(), "{}", report);
+            // Any scalar placement moves the digest (PM302 anchoring).
+            let mut a = Assignment::new(k);
+            a.add_copy(parallel_memories::core::prelude::ValueId(scalar), ModuleId(0));
+            let moved = plan_layout(k, policy, a, &profiles);
+            prop_assert!(digest != moved.digest(), "scalar copy did not move the digest");
+        }
+    }
+}
+
 /// The independent verifier (`parmem-verify`) as a property: everything the
 /// pipeline produces must pass every re-derived invariant check.
 mod verification {
